@@ -1,0 +1,171 @@
+// Command compare races the search strategies on a single tuning task and
+// prints their convergence traces side by side — the per-task view behind
+// the paper's Fig. 4.
+//
+// Usage:
+//
+//	compare -model mobilenet-v1 -task 5 -budget 512 -seeds 3
+//	compare -workload conv2d:1,64,56,56,128,3,1,1 -device v100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/plot"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+func main() {
+	model := flag.String("model", "mobilenet-v1", "model to extract the task from")
+	taskIdx := flag.Int("task", 1, "1-based task index within the model")
+	workload := flag.String("workload", "", "explicit workload instead of -model/-task: conv2d:N,C,H,W,F,K,S,P | depthwise:N,C,H,W,K,S,P | dense:N,CIn,COut")
+	device := flag.String("device", "gtx1080ti", "simulated device: gtx1080ti | v100 | gtx1060 | jetsontx2")
+	budget := flag.Int("budget", 512, "measurement budget")
+	plan := flag.Int("plan", 32, "batch/init size")
+	seeds := flag.Int("seeds", 2, "number of seeds to average")
+	tuners := flag.String("tuners", "random,ga,autotvm,bted,bted+bao", "comma-separated tuner list")
+	chart := flag.Bool("chart", true, "render an ASCII convergence chart")
+	flag.Parse()
+
+	if err := run(*model, *taskIdx, *workload, *device, *budget, *plan, *seeds, *tuners, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+func parseWorkload(spec string) (tensor.Workload, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return tensor.Workload{}, fmt.Errorf("workload spec %q needs kind:dims", spec)
+	}
+	var dims []int
+	for _, f := range strings.Split(parts[1], ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return tensor.Workload{}, fmt.Errorf("workload dim %q: %w", f, err)
+		}
+		dims = append(dims, v)
+	}
+	switch parts[0] {
+	case "conv2d":
+		if len(dims) != 8 {
+			return tensor.Workload{}, fmt.Errorf("conv2d needs 8 dims N,C,H,W,F,K,S,P")
+		}
+		return tensor.Conv2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6], dims[7]), nil
+	case "depthwise":
+		if len(dims) != 7 {
+			return tensor.Workload{}, fmt.Errorf("depthwise needs 7 dims N,C,H,W,K,S,P")
+		}
+		return tensor.DepthwiseConv2D(dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6]), nil
+	case "dense":
+		if len(dims) != 3 {
+			return tensor.Workload{}, fmt.Errorf("dense needs 3 dims N,CIn,COut")
+		}
+		return tensor.Dense(dims[0], dims[1], dims[2]), nil
+	default:
+		return tensor.Workload{}, fmt.Errorf("unknown workload kind %q", parts[0])
+	}
+}
+
+func newTuner(name string) (tuner.Tuner, error) {
+	switch name {
+	case "random":
+		return tuner.RandomTuner{}, nil
+	case "grid":
+		return tuner.GridTuner{}, nil
+	case "ga":
+		return tuner.GATuner{}, nil
+	case "chameleon":
+		return tuner.NewChameleon(), nil
+	case "autotvm":
+		return tuner.NewAutoTVM(), nil
+	case "bted":
+		return tuner.NewBTED(), nil
+	case "bted+bao":
+		return tuner.NewBTEDBAO(), nil
+	default:
+		return nil, fmt.Errorf("unknown tuner %q", name)
+	}
+}
+
+func run(model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool) error {
+	dev, ok := hwsim.DeviceByName(deviceName)
+	if !ok {
+		return fmt.Errorf("unknown device %q", deviceName)
+	}
+
+	var task *tuner.Task
+	if workloadSpec != "" {
+		w, err := parseWorkload(workloadSpec)
+		if err != nil {
+			return err
+		}
+		t, err := tuner.NewTask("custom", w)
+		if err != nil {
+			return err
+		}
+		task = t
+	} else {
+		g, err := graph.Model(model)
+		if err != nil {
+			return err
+		}
+		gts := graph.ExtractTasks(g, graph.ConvOnly)
+		if taskIdx < 1 || taskIdx > len(gts) {
+			return fmt.Errorf("task index %d out of range 1..%d", taskIdx, len(gts))
+		}
+		t, err := tuner.FromGraphTask(gts[taskIdx-1])
+		if err != nil {
+			return err
+		}
+		task = t
+	}
+
+	fmt.Printf("task %s on %s\nworkload %s\nspace %d configurations\n\n",
+		task.Name, dev.Name, task.Workload.Key(), task.Space.Size())
+
+	var series []plot.Series
+	fmt.Printf("%-10s %12s %12s %12s\n", "tuner", "best GFLOPS", "@25%", "@50%")
+	for _, name := range strings.Split(tunerList, ",") {
+		name = strings.TrimSpace(name)
+		tn, err := newTuner(name)
+		if err != nil {
+			return err
+		}
+		acc := make([]float64, budget)
+		for s := 0; s < seeds; s++ {
+			sim := hwsim.NewSimulator(dev, int64(100+s))
+			res := tn.Tune(task, sim, tuner.Options{
+				Budget: budget, EarlyStop: -1, PlanSize: plan, Seed: int64(7 + s*1000),
+			})
+			trace := res.BestTrace()
+			last := 0.0
+			for i := 0; i < budget; i++ {
+				if i < len(trace) {
+					last = trace[i]
+				}
+				acc[i] += last
+			}
+		}
+		for i := range acc {
+			acc[i] /= float64(seeds)
+		}
+		fmt.Printf("%-10s %12.1f %12.1f %12.1f\n", name, acc[budget-1], acc[budget/4-1], acc[budget/2-1])
+		series = append(series, plot.Series{Name: name, Values: acc})
+	}
+	if chart {
+		fmt.Println()
+		plot.LineChart{
+			Title:  fmt.Sprintf("best-so-far GFLOPS, %s on %s", task.Name, dev.Name),
+			XLabel: fmt.Sprintf("#configs (1..%d)", budget),
+		}.Render(os.Stdout, series)
+	}
+	return nil
+}

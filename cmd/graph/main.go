@@ -1,0 +1,60 @@
+// Command graph inspects and exports the built-in model graphs: summary
+// statistics, the fused-kernel view, and JSON / Graphviz-DOT serialization.
+//
+// Usage:
+//
+//	graph -model resnet-18                    # stats + fusion report
+//	graph -model vgg-16 -format json > g.json
+//	graph -model mobilenet-v1 -format dot | dot -Tpng > g.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	model := flag.String("model", "mobilenet-v1", "model name (see -list)")
+	format := flag.String("format", "summary", "summary | json | dot")
+	list := flag.Bool("list", false, "list available models and exit")
+	flag.Parse()
+
+	if *list {
+		for _, m := range graph.ModelNames {
+			fmt.Println(m)
+		}
+		return
+	}
+	if err := run(*model, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "graph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, format string) error {
+	g, err := graph.Model(model)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "summary":
+		graph.ComputeStats(g).Print(os.Stdout)
+		fg := graph.Fuse(g)
+		fmt.Println(fg.FusionReport())
+		for _, f := range fg.TunableKernels() {
+			fmt.Printf("  %-40s %s\n", f.String(), f.Anchor.Workload.Key())
+		}
+		tasks := graph.ExtractTasks(g, graph.ConvOnly)
+		fmt.Printf("%d unique conv/depthwise tuning tasks\n", len(tasks))
+		return nil
+	case "json":
+		return g.WriteJSON(os.Stdout)
+	case "dot":
+		return g.WriteDOT(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want summary|json|dot)", format)
+	}
+}

@@ -1,0 +1,153 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	repro -exp fig4                 # convergence curves (Fig. 4)
+//	repro -exp fig5                 # per-task MobileNet comparison (Fig. 5)
+//	repro -exp table1               # end-to-end latency table (Table I)
+//	repro -exp ablation             # design-choice ablations
+//	repro -exp all                  # everything
+//
+// Scale: -scale quick (default) runs in minutes with the paper's
+// qualitative shape; -scale paper uses the full settings (10 trials,
+// budget 1024, early stop 400, 600 latency runs) and takes on the order of
+// an hour of CPU time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "fig4 | fig5 | table1 | baselines | batch | precision | crossdev | ablation | all")
+	scale := flag.String("scale", "quick", "quick | paper")
+	models := flag.String("models", "", "comma-separated Table I models (default: all five)")
+	trials := flag.Int("trials", 0, "override trial count")
+	budget := flag.Int("budget", 0, "override per-task budget")
+	seed := flag.Int64("seed", 0, "override base seed")
+	verbose := flag.Bool("v", false, "print progress lines")
+	flag.Parse()
+
+	cfg := repro.Quick()
+	if *scale == "paper" {
+		cfg = repro.Paper()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *verbose {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	var modelList []string
+	if *models != "" {
+		modelList = strings.Split(*models, ",")
+	}
+
+	if err := run(*exp, cfg, modelList); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg repro.Config, models []string) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig4") {
+		ran = true
+		results, err := repro.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			r.Chart(os.Stdout)
+			fmt.Println()
+			r.Print(os.Stdout, cfg.Budget/16)
+			fmt.Println()
+		}
+	}
+	if want("fig5") {
+		ran = true
+		res, err := repro.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		bted, bao := res.ImprovementSummary()
+		fmt.Printf("\naverage GFLOPS improvement vs AutoTVM: BTED %+.2f%%, BTED+BAO %+.2f%%\n\n", bted, bao)
+	}
+	if want("table1") {
+		ran = true
+		res, err := repro.Table1(cfg, models)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		lat, variance := res.Headline()
+		fmt.Printf("\nheadline (best row, BTED+BAO): latency %+.2f%%, variance %+.2f%%\n\n", lat, variance)
+	}
+	if want("batch") {
+		ran = true
+		res, err := repro.Batch(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if want("precision") {
+		ran = true
+		res, err := repro.Precision(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if want("baselines") {
+		ran = true
+		res, err := repro.Baselines(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if want("crossdev") {
+		ran = true
+		res, err := repro.CrossDevice(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("\nmean cross-device retention: %.1f%% (of natively-tuned performance)\n\n", res.MeanOffDiagonal())
+	}
+	if want("ablation") {
+		ran = true
+		results, err := repro.AllAblations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			r.Print(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|table1|baselines|batch|precision|crossdev|ablation|all)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command space inspects the schedule configuration spaces of a model's
+// tuning tasks: knob structure, space sizes and sample configurations.
+//
+// Usage:
+//
+//	space -model mobilenet-v1 [-ops conv|all] [-samples 2]
+//	space -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/tuner"
+)
+
+func main() {
+	model := flag.String("model", "mobilenet-v1", "model name")
+	ops := flag.String("ops", "conv", "task extraction: conv (conv2d+depthwise) or all (adds dense)")
+	samples := flag.Int("samples", 1, "random sample configs to print per task")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	list := flag.Bool("list", false, "list available models and exit")
+	flag.Parse()
+
+	if *list {
+		for _, m := range graph.ModelNames {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	if err := run(*model, *ops, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "space:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, ops string, samples int, seed int64) error {
+	g, err := graph.Model(model)
+	if err != nil {
+		return err
+	}
+	extract := graph.ConvOnly
+	if ops == "all" {
+		extract = graph.AllOps
+	}
+	graph.ComputeStats(g).Print(os.Stdout)
+	fg := graph.Fuse(g)
+	fmt.Println(fg.FusionReport())
+
+	tasks := graph.ExtractTasks(g, extract)
+	fmt.Printf("%d tuning tasks:\n\n", len(tasks))
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for _, gt := range tasks {
+		t, err := tuner.FromGraphTask(gt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %-55s x%d\n", t.Name, gt.Workload.Key(), gt.Count)
+		fmt.Printf("  space size: %d configurations, %d knobs\n", t.Space.Size(), t.Space.NumKnobs())
+		for _, k := range t.Space.Knobs() {
+			fmt.Printf("    %-22s %6d options\n", k.Name(), k.Len())
+		}
+		for i := 0; i < samples; i++ {
+			fmt.Printf("  sample: %s\n", t.Space.Random(rng))
+		}
+		total += float64(t.Space.Size())
+		fmt.Println()
+	}
+	fmt.Printf("mean space size per task: %.3g configurations\n", total/float64(len(tasks)))
+	return nil
+}

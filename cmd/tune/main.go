@@ -1,0 +1,140 @@
+// Command tune optimizes one model's deployment end to end with a chosen
+// search strategy on the simulated GTX 1080 Ti, reporting per-task results
+// and the final latency statistics, and optionally writing the tuning log.
+//
+// Usage:
+//
+//	tune -model mobilenet-v1 -tuner bted+bao -budget 512 -log out.jsonl
+//
+// Tuners: autotvm | bted | bted+bao | random | grid | ga.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/record"
+	"repro/internal/tuner"
+)
+
+func main() {
+	model := flag.String("model", "mobilenet-v1", "model name (see cmd/space -list)")
+	tunerName := flag.String("tuner", "bted+bao", "autotvm | bted | bted+bao | random | grid | ga | chameleon")
+	ops := flag.String("ops", "all", "task extraction: conv or all")
+	budget := flag.Int("budget", 512, "measurement budget per task")
+	earlyStop := flag.Int("earlystop", 400, "early stopping threshold (<0 disables)")
+	planSize := flag.Int("plan", 64, "batch/initialization size")
+	runs := flag.Int("runs", 600, "end-to-end latency runs")
+	seed := flag.Int64("seed", 2021, "random seed")
+	logPath := flag.String("log", "", "write tuning records (JSON lines) to this file")
+	resumePath := flag.String("resume", "", "resume from a previous record log (JSON lines)")
+	device := flag.String("device", "gtx1080ti", "simulated device: gtx1080ti | v100 | gtx1060 | jetsontx2")
+	flag.Parse()
+
+	if err := run(*model, *tunerName, *ops, *device, *budget, *earlyStop, *planSize, *runs, *seed, *logPath, *resumePath); err != nil {
+		fmt.Fprintln(os.Stderr, "tune:", err)
+		os.Exit(1)
+	}
+}
+
+func newTuner(name string) (tuner.Tuner, error) {
+	switch name {
+	case "autotvm":
+		return tuner.NewAutoTVM(), nil
+	case "bted":
+		return tuner.NewBTED(), nil
+	case "bted+bao":
+		return tuner.NewBTEDBAO(), nil
+	case "random":
+		return tuner.RandomTuner{}, nil
+	case "grid":
+		return tuner.GridTuner{}, nil
+	case "ga":
+		return tuner.GATuner{}, nil
+	case "chameleon":
+		return tuner.NewChameleon(), nil
+	default:
+		return nil, fmt.Errorf("unknown tuner %q", name)
+	}
+}
+
+func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, runs int, seed int64, logPath, resumePath string) error {
+	tn, err := newTuner(tunerName)
+	if err != nil {
+		return err
+	}
+	extract := graph.AllOps
+	if ops == "conv" {
+		extract = graph.ConvOnly
+	}
+	dev, ok := hwsim.DeviceByName(deviceName)
+	if !ok {
+		return fmt.Errorf("unknown device %q", deviceName)
+	}
+	var resume []record.Record
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return err
+		}
+		resume, err = record.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming from %d records in %s\n", len(resume), resumePath)
+	}
+	sim := hwsim.NewSimulator(dev, seed)
+	opts := core.PipelineOptions{
+		Tuning: tuner.Options{
+			Budget:    budget,
+			EarlyStop: earlyStop,
+			PlanSize:  planSize,
+			Seed:      seed,
+		},
+		Extract:     extract,
+		UseTransfer: true,
+		Resume:      resume,
+		Runs:        runs,
+		Progress: func(i, n int, name string) {
+			fmt.Printf("[%2d/%2d] tuning %s\n", i, n, name)
+		},
+	}
+	dep, err := core.OptimizeModel(model, tn, sim, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	for _, t := range dep.Tasks {
+		fmt.Printf("%-24s best %9.1f GFLOPS after %4d measurements\n",
+			t.Task.Name, t.Result.Best.GFLOPS, t.Result.Measurements)
+	}
+	fmt.Println()
+	fmt.Println(dep.Summary())
+
+	if shares, err := dep.Breakdown(sim.Estimator()); err == nil {
+		fmt.Println("\nlatency breakdown (top tasks):")
+		if len(shares) > 8 {
+			shares = shares[:8]
+		}
+		core.PrintBreakdown(os.Stdout, shares)
+	}
+
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := record.Write(f, dep.Records()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", dep.TotalMeasurements, logPath)
+	}
+	return nil
+}

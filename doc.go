@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Deep Neural Network
+// Hardware Deployment Optimization via Advanced Active Learning" (Sun, Bai,
+// Geng, Yu — DATE 2021): an AutoTVM-style auto-tuning stack (compute-graph
+// IR, schedule configuration spaces, an analytic GPU cost simulator, an
+// XGBoost-style surrogate, simulated annealing and transfer learning)
+// together with the paper's contribution — batch transductive experimental
+// design (BTED) for initialization and Bootstrap-guided adaptive
+// optimization (BAO) for the iterative search.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation at reduced scale;
+// cmd/repro regenerates them at any scale.
+package repro

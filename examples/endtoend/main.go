@@ -1,0 +1,64 @@
+// End-to-end deployment: a scaled-down version of the paper's Table I on
+// SqueezeNet-v1.1 — tune every tunable node with AutoTVM and with
+// BTED+BAO, deploy the best configuration of every node together, and
+// compare mean inference latency and run-to-run variance over repeated
+// simulated runs.
+//
+// Run with:
+//
+//	go run ./examples/endtoend
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+func main() {
+	const model = "squeezenet-v1.1"
+	fmt.Printf("Table I (scaled) on %s\n\n", model)
+
+	type arm struct {
+		tn  tuner.Tuner
+		lat float64
+		v   float64
+	}
+	arms := []arm{{tn: tuner.NewAutoTVM()}, {tn: tuner.NewBTEDBAO()}}
+
+	for i := range arms {
+		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), int64(11+i))
+		dep, err := core.OptimizeModel(model, arms[i].tn, sim, core.PipelineOptions{
+			Tuning: tuner.Options{
+				Budget:    128,
+				EarlyStop: 64,
+				PlanSize:  32,
+				Seed:      int64(2021 + i),
+			},
+			Extract:     graph.AllOps,
+			UseTransfer: true,
+			Runs:        600,
+			Progress: func(ti, n int, name string) {
+				fmt.Printf("  [%s %2d/%2d] %s\n", arms[i].tn.Name(), ti, n, name)
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		arms[i].lat = dep.LatencyMS
+		arms[i].v = dep.Variance
+		fmt.Printf("=> %s\n\n", dep.Summary())
+	}
+
+	fmt.Printf("%-10s %12s %14s\n", "method", "latency(ms)", "variance")
+	fmt.Printf("%-10s %12.4f %14.6f\n", arms[0].tn.Name(), arms[0].lat, arms[0].v)
+	fmt.Printf("%-10s %12.4f %14.6f\n", arms[1].tn.Name(), arms[1].lat, arms[1].v)
+	fmt.Printf("\nBTED+BAO vs AutoTVM: latency %+.2f%%, variance %+.2f%%\n",
+		stats.DeltaPercent(arms[0].lat, arms[1].lat),
+		stats.DeltaPercent(arms[0].v, arms[1].v))
+	fmt.Println("(full Table I: go run ./cmd/repro -exp table1)")
+}

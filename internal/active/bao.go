@@ -1,0 +1,331 @@
+package active
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Sample is one measured configuration: the (x, y) pair of the paper's
+// already-sampled sets X and Y. Invalid deployments carry GFLOPS 0.
+type Sample struct {
+	Config space.Config
+	GFLOPS float64
+	Valid  bool
+}
+
+// MeasureFunc deploys a configuration on (simulated) hardware and returns
+// its achieved GFLOPS; valid is false when the deployment failed.
+type MeasureFunc func(space.Config) (gflops float64, valid bool)
+
+// BootstrapSelect implements Bootstrap-guided sampling (Algorithm 3):
+// Gamma evaluation functions are trained on bootstrap resamples of the
+// observations, and the candidate maximizing their summed prediction is
+// returned (as an index into cands). It returns an error when no evaluation
+// function can be trained.
+func BootstrapSelect(tr EvalTrainer, samples []Sample, cands []space.Config, gamma int, rng *rand.Rand) (int, error) {
+	if len(cands) == 0 {
+		return -1, fmt.Errorf("active: BootstrapSelect needs candidates")
+	}
+	if len(samples) == 0 {
+		return -1, fmt.Errorf("active: BootstrapSelect needs observations")
+	}
+	if gamma <= 0 {
+		gamma = 1
+	}
+
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	yMax := 0.0
+	for i, s := range samples {
+		X[i] = s.Config.Features()
+		y[i] = s.GFLOPS
+		if s.GFLOPS > yMax {
+			yMax = s.GFLOPS
+		}
+	}
+	if yMax > 0 {
+		for i := range y {
+			y[i] /= yMax // scale-free targets keep tree gains well-conditioned
+		}
+	}
+
+	evals := make([]Evaluator, 0, gamma)
+	for g := 0; g < gamma; g++ {
+		idx := stats.ResampleIndices(len(samples), rng)
+		Xg := make([][]float64, len(idx))
+		yg := make([]float64, len(idx))
+		for i, j := range idx {
+			Xg[i] = X[j]
+			yg[i] = y[j]
+		}
+		ev, err := tr.Train(Xg, yg, rng.Int63())
+		if err != nil {
+			return -1, fmt.Errorf("active: training evaluation function %d: %w", g, err)
+		}
+		evals = append(evals, ev)
+	}
+
+	// Tree-based evaluators predict leaf-constant values, so exact score
+	// ties among candidates are common; scanning in a random order breaks
+	// ties uniformly instead of systematically sweeping one corner of the
+	// searching space.
+	perm := rng.Perm(len(cands))
+	best := -1
+	bestScore := math.Inf(-1)
+	for _, i := range perm {
+		feat := cands[i].Features()
+		score := 0.0
+		for _, ev := range evals {
+			score += ev.Predict(feat)
+		}
+		if score > bestScore {
+			best = i
+			bestScore = score
+		}
+	}
+	return best, nil
+}
+
+// BAOParams configures Bootstrap-guided adaptive optimization
+// (Algorithm 4). The paper's experimental settings are eta=0.05, Gamma=2,
+// tau=1.5, R=3.
+type BAOParams struct {
+	T     int     // optimization iterations (measurement budget after init)
+	Eta   float64 // relative-improvement threshold
+	Gamma int     // number of bootstrap resamples
+	Tau   float64 // radius growth factor (>1)
+	R     float64 // neighborhood radius in knob-index space
+	// MaxCandidates caps each step's neighborhood (0 = package default).
+	MaxCandidates int
+	// EarlyStop ends the loop after this many consecutive measurements
+	// without improving the incumbent (0 disables; AutoTVM uses 400).
+	EarlyStop int
+	// GlobalFallbackAfter switches the searching scope C_t from the
+	// incumbent's neighborhood to a bootstrap-scored uniform global sample
+	// after this many consecutive non-improving steps, returning to the
+	// local scope as soon as the incumbent improves (default 12; negative
+	// disables the fallback, giving the strictly-local reading of
+	// Algorithm 4). The paper states C is "preferred" to be the incumbent
+	// neighborhood, leaving the stalled case open; without an escape the
+	// walk provably pins to the first index-space local maximum whose
+	// radius-tau*R ball contains no better point.
+	GlobalFallbackAfter int
+	// LiteralCeil applies the ceiling of the paper's Eq. (1) verbatim
+	// instead of the plain relative improvement (ablation; see DESIGN.md).
+	LiteralCeil bool
+}
+
+// DefaultBAOParams returns the paper's experimental settings.
+func DefaultBAOParams() BAOParams {
+	return BAOParams{T: 960, Eta: 0.05, Gamma: 2, Tau: 1.5, R: 3, EarlyStop: 400}
+}
+
+func (p BAOParams) normalized() BAOParams {
+	if p.T <= 0 {
+		p.T = 960
+	}
+	if p.Eta <= 0 {
+		p.Eta = 0.05
+	}
+	if p.Gamma <= 0 {
+		p.Gamma = 2
+	}
+	if p.Tau <= 1 {
+		p.Tau = 1.5
+	}
+	if p.R <= 0 {
+		p.R = 3
+	}
+	if p.MaxCandidates <= 0 {
+		// One BAO step costs Gamma model trainings plus Gamma predictions
+		// per candidate; 2048 candidates keeps a step in the milliseconds
+		// while still covering the radius-3 ball densely.
+		p.MaxCandidates = 2048
+	}
+	if p.GlobalFallbackAfter == 0 {
+		p.GlobalFallbackAfter = 12
+	}
+	return p
+}
+
+// StepObserver is invoked after each BAO measurement with the step index
+// (1-based) and the sample; used to record convergence curves.
+type StepObserver func(step int, s Sample)
+
+// BAO runs Bootstrap-guided adaptive optimization (Algorithm 4) starting
+// from the measured initialization set. Each iteration builds the search
+// scope C_t as the lattice neighborhood of the incumbent (radius R,
+// enlarged to tau*R when the relative improvement r_t of Eq. (1) falls
+// below eta), selects the next configuration with BootstrapSelect, deploys
+// it via measure, and folds the result into the observation set.
+//
+// Interpretation notes (documented in DESIGN.md): y*_t is read as the best
+// performance known at step t, and the neighborhood centers on the config
+// achieving it; Eq. (1)'s ceiling is a typo reproduced only under
+// LiteralCeil. When the neighborhood is empty or the bootstrap selection
+// fails (e.g. all observations invalid), the step falls back to a uniform
+// random unmeasured configuration, mirroring AutoTVM's epsilon-greedy
+// fallback.
+//
+// It returns all samples (initialization first, then one per iteration) in
+// measurement order.
+func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p BAOParams, rng *rand.Rand, obs StepObserver) []Sample {
+	p = p.normalized()
+	samples := append([]Sample(nil), init...)
+	measured := make(map[uint64]bool, len(samples)+p.T)
+	for _, s := range samples {
+		measured[s.Config.Flat()] = true
+	}
+
+	// Incumbent: best valid sample so far.
+	bestIdx := -1
+	for i, s := range samples {
+		if s.Valid && (bestIdx < 0 || s.GFLOPS > samples[bestIdx].GFLOPS) {
+			bestIdx = i
+		}
+	}
+
+	// Best-so-far trajectory y*_t for Eq. (1). y[t] is the best value
+	// known after iteration t; index 0 is the initialization.
+	bestTrace := []float64{0}
+	if bestIdx >= 0 {
+		bestTrace[0] = samples[bestIdx].GFLOPS
+	}
+
+	sinceImprove := 0
+	for t := 1; t <= p.T; t++ {
+		radius := p.R
+		if t >= 2 {
+			rt := relativeImprovement(bestTrace, p.LiteralCeil)
+			if rt < p.Eta {
+				radius = p.Tau * p.R
+			}
+		}
+
+		var cands []space.Config
+		useGlobal := p.GlobalFallbackAfter > 0 && sinceImprove >= p.GlobalFallbackAfter
+		if bestIdx >= 0 && !useGlobal {
+			cands = sp.Neighborhood(samples[bestIdx].Config, radius,
+				space.NeighborhoodOpts{MaxCandidates: p.MaxCandidates, Exclude: measured}, rng)
+		} else if useGlobal {
+			cands = globalPool(sp, p.MaxCandidates, measured, rng)
+		}
+		var next space.Config
+		picked := false
+		if len(cands) > 0 {
+			if i, err := BootstrapSelect(tr, samples, cands, p.Gamma, rng); err == nil {
+				next = cands[i]
+				picked = true
+			}
+		}
+		if !picked {
+			next = randomUnmeasured(sp, measured, rng)
+		}
+
+		g, valid := measure(next)
+		s := Sample{Config: next, GFLOPS: g, Valid: valid}
+		samples = append(samples, s)
+		measured[next.Flat()] = true
+		if obs != nil {
+			obs(t, s)
+		}
+
+		improved := valid && (bestIdx < 0 || g > samples[bestIdx].GFLOPS)
+		if improved {
+			bestIdx = len(samples) - 1
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		cur := 0.0
+		if bestIdx >= 0 {
+			cur = samples[bestIdx].GFLOPS
+		}
+		bestTrace = append(bestTrace, cur)
+
+		if p.EarlyStop > 0 && sinceImprove >= p.EarlyStop {
+			break
+		}
+	}
+	return samples
+}
+
+// relativeImprovement computes Eq. (1) over the best-so-far trajectory:
+// r_t = (y*_{t-1} - y*_{t-2}) / y*_{t-1}, optionally with the paper's
+// literal ceiling.
+func relativeImprovement(bestTrace []float64, literalCeil bool) float64 {
+	n := len(bestTrace)
+	y1 := bestTrace[n-1] // y*_{t-1}
+	y2 := bestTrace[n-2] // y*_{t-2}
+	if y1 <= 0 {
+		return 0
+	}
+	r := (y1 - y2) / y1
+	if literalCeil {
+		return math.Ceil(r)
+	}
+	return r
+}
+
+// globalPool draws up to n distinct unmeasured configurations uniformly
+// from the whole space: the searching scope of a stalled BAO step.
+func globalPool(sp *space.Space, n int, measured map[uint64]bool, rng *rand.Rand) []space.Config {
+	seen := make(map[uint64]bool, n)
+	out := make([]space.Config, 0, n)
+	for trials := 0; trials < n*8 && len(out) < n; trials++ {
+		c := sp.Random(rng)
+		f := c.Flat()
+		if seen[f] || measured[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// randomUnmeasured draws a uniform configuration not yet measured, giving
+// up after a bounded number of rejections (returning a possibly-measured
+// point only when the space is effectively exhausted).
+func randomUnmeasured(sp *space.Space, measured map[uint64]bool, rng *rand.Rand) space.Config {
+	for i := 0; i < 256; i++ {
+		c := sp.Random(rng)
+		if !measured[c.Flat()] {
+			return c
+		}
+	}
+	return sp.Random(rng)
+}
+
+// Best returns the best valid sample of a run, and ok=false when every
+// sample was invalid.
+func Best(samples []Sample) (Sample, bool) {
+	best := -1
+	for i, s := range samples {
+		if s.Valid && (best < 0 || s.GFLOPS > samples[best].GFLOPS) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Sample{}, false
+	}
+	return samples[best], true
+}
+
+// BestTrace returns the best-so-far GFLOPS after each measurement, the
+// series plotted in the paper's Fig. 4.
+func BestTrace(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	best := 0.0
+	for i, s := range samples {
+		if s.Valid && s.GFLOPS > best {
+			best = s.GFLOPS
+		}
+		out[i] = best
+	}
+	return out
+}

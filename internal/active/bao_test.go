@@ -1,0 +1,308 @@
+package active
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// quadSpace is a 4-knob space with a smooth peak for optimizer tests.
+func quadSpace() *space.Space {
+	vals := make([]int, 30)
+	for i := range vals {
+		vals[i] = i
+	}
+	return space.New(
+		space.NewEnumKnob("a", vals...),
+		space.NewEnumKnob("b", vals...),
+		space.NewEnumKnob("c", vals...),
+		space.NewEnumKnob("d", vals...),
+	)
+}
+
+// quadGFLOPS peaks at (20, 10, 15, 5) with value 1000.
+func quadGFLOPS(c space.Config) float64 {
+	target := []float64{20, 10, 15, 5}
+	s := 0.0
+	for i, v := range c.Index {
+		d := float64(v) - target[i]
+		s += d * d
+	}
+	return 1000 * math.Exp(-s/200)
+}
+
+func quadMeasure(c space.Config) (float64, bool) { return quadGFLOPS(c), true }
+
+// oracleTrainer ignores the training data and returns an evaluator backed
+// by a fixed scoring function; it isolates BAO mechanics from model fit.
+type oracleTrainer struct{ score func(x []float64) float64 }
+
+type oracleEval struct{ score func(x []float64) float64 }
+
+func (o oracleEval) Predict(x []float64) float64 { return o.score(x) }
+
+func (o oracleTrainer) Train(_ [][]float64, _ []float64, _ int64) (Evaluator, error) {
+	return oracleEval{o.score}, nil
+}
+
+// failingTrainer always errors, exercising the random fallback path.
+type failingTrainer struct{}
+
+func (failingTrainer) Train(_ [][]float64, _ []float64, _ int64) (Evaluator, error) {
+	return nil, errors.New("no model")
+}
+
+func measureInit(sp *space.Space, n int, rng *rand.Rand, measure MeasureFunc) []Sample {
+	out := make([]Sample, 0, n)
+	for _, c := range sp.RandomSample(n, rng) {
+		g, ok := measure(c)
+		out = append(out, Sample{Config: c, GFLOPS: g, Valid: ok})
+	}
+	return out
+}
+
+func TestBootstrapSelectPicksArgmax(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(1))
+	samples := measureInit(sp, 20, rng, quadMeasure)
+	cands := sp.RandomSample(50, rng)
+	// Oracle evaluator scores candidates by the true function: the pick
+	// must be the true best candidate regardless of bootstrap resampling.
+	tr := oracleTrainer{score: func(x []float64) float64 {
+		// Features here are log2(1+v) of enum values; invert to index.
+		s := 0.0
+		target := []float64{20, 10, 15, 5}
+		for i, f := range x {
+			v := math.Exp2(f) - 1
+			d := v - target[i]
+			s += d * d
+		}
+		return -s
+	}}
+	got, err := BootstrapSelect(tr, samples, cands, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestI, bestV := -1, -1.0
+	for i, c := range cands {
+		if v := quadGFLOPS(c); v > bestV {
+			bestI, bestV = i, v
+		}
+	}
+	if got != bestI {
+		t.Fatalf("BootstrapSelect picked %d (%.1f), want %d (%.1f)",
+			got, quadGFLOPS(cands[got]), bestI, bestV)
+	}
+}
+
+func TestBootstrapSelectErrors(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(2))
+	samples := measureInit(sp, 5, rng, quadMeasure)
+	if _, err := BootstrapSelect(NewXGBTrainer(), samples, nil, 2, rng); err == nil {
+		t.Fatal("no candidates should error")
+	}
+	if _, err := BootstrapSelect(NewXGBTrainer(), nil, sp.RandomSample(3, rng), 2, rng); err == nil {
+		t.Fatal("no observations should error")
+	}
+	if _, err := BootstrapSelect(failingTrainer{}, samples, sp.RandomSample(3, rng), 2, rng); err == nil {
+		t.Fatal("failing trainer should error")
+	}
+}
+
+func TestBootstrapSelectGammaDefault(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(3))
+	samples := measureInit(sp, 10, rng, quadMeasure)
+	cands := sp.RandomSample(10, rng)
+	if _, err := BootstrapSelect(NewXGBTrainer(), samples, cands, 0, rng); err != nil {
+		t.Fatalf("gamma=0 should default to 1: %v", err)
+	}
+}
+
+func TestBAOFindsNearOptimum(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(4))
+	init := measureInit(sp, 16, rng, quadMeasure)
+	p := BAOParams{T: 120, Eta: 0.05, Gamma: 2, Tau: 1.5, R: 3}
+	samples := BAO(sp, NewXGBTrainer(), init, quadMeasure, p, rng, nil)
+	best, ok := Best(samples)
+	if !ok {
+		t.Fatal("no valid sample")
+	}
+	initBest, _ := Best(init)
+	if best.GFLOPS <= initBest.GFLOPS {
+		t.Fatalf("BAO did not improve: init %.1f, final %.1f", initBest.GFLOPS, best.GFLOPS)
+	}
+	if best.GFLOPS < 900 {
+		t.Fatalf("BAO final %.1f, want > 900 (peak 1000)", best.GFLOPS)
+	}
+}
+
+func TestBAOBeatsRandomSearch(t *testing.T) {
+	sp := quadSpace()
+	wins := 0
+	rounds := 5
+	for r := 0; r < rounds; r++ {
+		rng := rand.New(rand.NewSource(int64(40 + r)))
+		init := measureInit(sp, 16, rng, quadMeasure)
+		p := BAOParams{T: 150, Eta: 0.05, Gamma: 2, Tau: 1.5, R: 3}
+		samples := BAO(sp, NewXGBTrainer(), init, quadMeasure, p, rng, nil)
+		baoBest, _ := Best(samples)
+
+		rng2 := rand.New(rand.NewSource(int64(140 + r)))
+		randBest := 0.0
+		for i := 0; i < len(samples); i++ {
+			if v := quadGFLOPS(sp.Random(rng2)); v > randBest {
+				randBest = v
+			}
+		}
+		if baoBest.GFLOPS >= randBest {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("BAO beat random only %d/%d rounds", wins, rounds)
+	}
+}
+
+func TestBAOEarlyStopping(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(5))
+	// Constant landscape: nothing ever improves, so the loop must stop
+	// after exactly EarlyStop+... iterations past the first.
+	flat := func(space.Config) (float64, bool) { return 1.0, true }
+	init := measureInit(sp, 8, rng, flat)
+	p := BAOParams{T: 500, EarlyStop: 20, Gamma: 1}
+	samples := BAO(sp, NewXGBTrainer(), init, flat, p, rng, nil)
+	iters := len(samples) - len(init)
+	if iters > 25 {
+		t.Fatalf("early stopping did not trigger: %d iterations", iters)
+	}
+}
+
+func TestBAOAllInvalidFallsBack(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(6))
+	invalid := func(space.Config) (float64, bool) { return 0, false }
+	init := measureInit(sp, 8, rng, invalid)
+	p := BAOParams{T: 10, Gamma: 1}
+	samples := BAO(sp, NewXGBTrainer(), init, invalid, p, rng, nil)
+	if len(samples) != len(init)+10 {
+		t.Fatalf("BAO with all-invalid measurements ran %d iters", len(samples)-len(init))
+	}
+	if _, ok := Best(samples); ok {
+		t.Fatal("all-invalid run should have no best")
+	}
+}
+
+func TestBAOFailingTrainerFallsBack(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(7))
+	init := measureInit(sp, 8, rng, quadMeasure)
+	p := BAOParams{T: 15, Gamma: 2}
+	samples := BAO(sp, failingTrainer{}, init, quadMeasure, p, rng, nil)
+	if len(samples) != len(init)+15 {
+		t.Fatal("failing trainer should still complete via random fallback")
+	}
+}
+
+func TestBAOObserverAndDedup(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(8))
+	init := measureInit(sp, 12, rng, quadMeasure)
+	steps := 0
+	p := BAOParams{T: 40, Gamma: 1}
+	samples := BAO(sp, NewXGBTrainer(), init, quadMeasure, p, rng, func(step int, s Sample) {
+		steps++
+		if step != steps {
+			t.Fatalf("observer step %d out of order", step)
+		}
+	})
+	if steps != 40 {
+		t.Fatalf("observer called %d times, want 40", steps)
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range samples {
+		f := s.Config.Flat()
+		if seen[f] {
+			t.Fatal("BAO re-measured a configuration")
+		}
+		seen[f] = true
+	}
+}
+
+func TestRelativeImprovement(t *testing.T) {
+	// Trace ends ... y*_{t-2}=90, y*_{t-1}=100 -> r = 0.1.
+	r := relativeImprovement([]float64{0, 90, 100}, false)
+	if math.Abs(r-0.1) > 1e-12 {
+		t.Fatalf("r = %v, want 0.1", r)
+	}
+	// No improvement -> 0 (< eta, triggers growth).
+	if r := relativeImprovement([]float64{0, 100, 100}, false); r != 0 {
+		t.Fatalf("flat r = %v", r)
+	}
+	// Literal ceiling: any positive improvement ceils to 1 (>= eta).
+	if r := relativeImprovement([]float64{0, 90, 100}, true); r != 1 {
+		t.Fatalf("ceil r = %v, want 1", r)
+	}
+	if r := relativeImprovement([]float64{0, 100, 100}, true); r != 0 {
+		t.Fatalf("ceil flat r = %v, want 0", r)
+	}
+	// Zero incumbent guards division.
+	if r := relativeImprovement([]float64{0, 0, 0}, false); r != 0 {
+		t.Fatalf("zero trace r = %v", r)
+	}
+}
+
+func TestBAOParamsNormalized(t *testing.T) {
+	p := BAOParams{}.normalized()
+	if p.T != 960 || p.Eta != 0.05 || p.Gamma != 2 || p.Tau != 1.5 || p.R != 3 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	d := DefaultBAOParams()
+	if d.EarlyStop != 400 {
+		t.Fatalf("paper early stop wrong: %+v", d)
+	}
+}
+
+func TestBestAndBestTrace(t *testing.T) {
+	sp := quadSpace()
+	rng := rand.New(rand.NewSource(9))
+	samples := []Sample{
+		{Config: sp.Random(rng), GFLOPS: 5, Valid: true},
+		{Config: sp.Random(rng), GFLOPS: 0, Valid: false},
+		{Config: sp.Random(rng), GFLOPS: 9, Valid: true},
+		{Config: sp.Random(rng), GFLOPS: 7, Valid: true},
+	}
+	b, ok := Best(samples)
+	if !ok || b.GFLOPS != 9 {
+		t.Fatalf("Best = %+v", b)
+	}
+	tr := BestTrace(samples)
+	want := []float64{5, 5, 9, 9}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", tr, want)
+		}
+	}
+	if _, ok := Best(nil); ok {
+		t.Fatal("empty Best should be !ok")
+	}
+}
+
+func TestMeanEvaluator(t *testing.T) {
+	e := MeanEvaluator{
+		oracleEval{func(x []float64) float64 { return 2 }},
+		oracleEval{func(x []float64) float64 { return 4 }},
+	}
+	if got := e.Predict(nil); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := (MeanEvaluator{}).Predict(nil); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+}

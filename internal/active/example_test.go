@@ -1,0 +1,57 @@
+package active_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/active"
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// ExampleBTED shows the paper's initialization stage: Algorithm 2 distills
+// a diverse 16-point set from a 90M-configuration space.
+func ExampleBTED() {
+	w := tensor.Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	sp, _ := space.ForWorkload(w)
+	p := active.DefaultBTEDParams()
+	p.M0 = 16
+	init := active.BTED(sp, p, rand.New(rand.NewSource(1)))
+	fmt.Println("initial configs:", len(init))
+	// Output:
+	// initial configs: 16
+}
+
+// ExampleBAO runs the full advanced active-learning flow against the
+// simulated GPU: BTED initialization followed by Bootstrap-guided adaptive
+// optimization.
+func ExampleBAO() {
+	w := tensor.Conv2D(1, 32, 28, 28, 64, 3, 1, 1)
+	sp, _ := space.ForWorkload(w)
+	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 7)
+	rng := rand.New(rand.NewSource(7))
+
+	measure := func(c space.Config) (float64, bool) {
+		m := sim.Measure(w, c)
+		return m.GFLOPS, m.Valid
+	}
+	var init []active.Sample
+	bp := active.DefaultBTEDParams()
+	bp.M0 = 16
+	for _, c := range active.BTED(sp, bp, rng) {
+		g, ok := measure(c)
+		init = append(init, active.Sample{Config: c, GFLOPS: g, Valid: ok})
+	}
+	p := active.DefaultBAOParams()
+	p.T = 64
+	p.EarlyStop = 0
+	samples := active.BAO(sp, active.NewXGBTrainer(), init, measure, p, rng, nil)
+	best, ok := active.Best(samples)
+	initBest, _ := active.Best(init)
+	fmt.Println("measurements:", len(samples))
+	fmt.Println("improved:", ok && best.GFLOPS > initBest.GFLOPS)
+	// Output:
+	// measurements: 80
+	// improved: true
+}

@@ -1,0 +1,139 @@
+// Package active implements the paper's advanced active-learning framework:
+// transductive experimental design (TED, Algorithm 1), its batch variant
+// BTED (Algorithm 2), Bootstrap-guided sampling (BS, Algorithm 3) and
+// Bootstrap-guided adaptive optimization (BAO, Algorithm 4).
+package active
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/space"
+)
+
+// TED performs transductive experimental design (Algorithm 1): it greedily
+// selects m points whose kernel columns have maximal residual energy,
+// deflating the kernel matrix after each pick so later picks are diverse
+// with respect to earlier ones. It returns the indices of the selected
+// points in pick order. mu is the normalization coefficient of the paper;
+// k is the kernel building K_VV.
+//
+// Points already selected keep a residual column norm of ~0 after the
+// rank-1 downdate, so the same index is never picked twice. When m exceeds
+// the candidate count, every index is returned.
+func TED(feats [][]float64, mu float64, m int, k linalg.Kernel) []int {
+	n := len(feats)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	if m > n {
+		m = n
+	}
+	K := linalg.GramMatrix(feats, k)
+	selected := make([]int, 0, m)
+	taken := make([]bool, n)
+	for i := 0; i < m; i++ {
+		norms := K.ColNorms2()
+		best := -1
+		bestScore := 0.0
+		for j := 0; j < n; j++ {
+			if taken[j] {
+				continue
+			}
+			score := norms[j] / (K.At(j, j) + mu)
+			if best < 0 || score > bestScore {
+				best = j
+				bestScore = score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		taken[best] = true
+		// Non-PSD "kernels" (e.g. the paper-literal raw-distance matrix)
+		// can drive the deflated diagonal non-positive; the downdate is
+		// then numerically meaningless, so skip it — the point is already
+		// marked taken and cannot be re-selected.
+		if denom := K.At(best, best) + mu; denom > 1e-12 {
+			K.Rank1Downdate(best, denom)
+		}
+	}
+	return selected
+}
+
+// FeatureView selects how configurations are embedded for TED distances.
+type FeatureView int
+
+// Feature views for TED.
+const (
+	// ViewKnobValues embeds configs as standardized log-scaled knob values
+	// (the default; matches the geometry the cost model sees).
+	ViewKnobValues FeatureView = iota
+	// ViewKnobIndices embeds configs as raw knob option indices (the
+	// paper's literal Euclidean-distance space).
+	ViewKnobIndices
+)
+
+// Embed maps configs into the chosen feature view, standardizing each
+// dimension to zero mean and unit variance over the batch so no knob
+// dominates the kernel.
+func Embed(cfgs []space.Config, view FeatureView) [][]float64 {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	raw := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		if view == ViewKnobIndices {
+			raw[i] = c.IndexVec()
+		} else {
+			raw[i] = c.Features()
+		}
+	}
+	standardize(raw)
+	return raw
+}
+
+// standardize normalizes columns in place to mean 0 / stddev 1 (constant
+// columns become all-zero).
+func standardize(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	d := len(X[0])
+	n := float64(len(X))
+	for j := 0; j < d; j++ {
+		mean := 0.0
+		for _, row := range X {
+			mean += row[j]
+		}
+		mean /= n
+		varsum := 0.0
+		for _, row := range X {
+			dev := row[j] - mean
+			varsum += dev * dev
+		}
+		if varsum == 0 {
+			for _, row := range X {
+				row[j] = 0
+			}
+			continue
+		}
+		stdInv := 1 / math.Sqrt(varsum/n)
+		for _, row := range X {
+			row[j] = (row[j] - mean) * stdInv
+		}
+	}
+}
+
+// TEDConfigs runs TED over a batch of configurations with the given view
+// and kernel, returning the selected configs in pick order.
+func TEDConfigs(cfgs []space.Config, mu float64, m int, view FeatureView, k linalg.Kernel, _ *rand.Rand) []space.Config {
+	idx := TED(Embed(cfgs, view), mu, m, k)
+	out := make([]space.Config, len(idx))
+	for i, j := range idx {
+		out[i] = cfgs[j]
+	}
+	return out
+}

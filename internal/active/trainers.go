@@ -1,0 +1,46 @@
+package active
+
+import (
+	"repro/internal/gp"
+	"repro/internal/rf"
+)
+
+// GPTrainer adapts Gaussian-process regression as the evaluation function.
+// Exact inference is O(n³); the params cap the training-set size, which the
+// bootstrap resampling of Algorithm 3 tolerates naturally.
+type GPTrainer struct {
+	Params gp.Params
+}
+
+// NewGPTrainer returns a trainer with tuning-scale defaults.
+func NewGPTrainer() GPTrainer { return GPTrainer{Params: gp.DefaultParams()} }
+
+// Train implements EvalTrainer.
+func (t GPTrainer) Train(X [][]float64, y []float64, seed int64) (Evaluator, error) {
+	p := t.Params
+	p.Seed = seed
+	return gp.Train(X, y, p)
+}
+
+// RFTrainer adapts random-forest regression as the evaluation function.
+// Note the composition with Algorithm 3: BAO bootstraps the observation set
+// and the forest bootstraps again internally — bagging over bagging, which
+// is exactly the variance-reduction stack the paper motivates.
+type RFTrainer struct {
+	Params rf.Params
+}
+
+// NewRFTrainer returns a trainer sized for the per-step BAO loop.
+func NewRFTrainer() RFTrainer {
+	p := rf.DefaultParams()
+	p.NumTrees = 24
+	p.MaxDepth = 8
+	return RFTrainer{Params: p}
+}
+
+// Train implements EvalTrainer.
+func (t RFTrainer) Train(X [][]float64, y []float64, seed int64) (Evaluator, error) {
+	p := t.Params
+	p.Seed = seed
+	return rf.Train(X, y, p)
+}

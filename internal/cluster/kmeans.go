@@ -1,0 +1,188 @@
+// Package cluster implements k-means clustering with k-means++ seeding.
+// It backs the CHAMELEON-style adaptive-sampling baseline, which clusters a
+// surrogate-proposed candidate batch and measures only cluster
+// representatives to cut the number of expensive on-chip measurements.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result describes a clustering: per-point assignment and the centroids.
+type Result struct {
+	Assign    []int       // len == #points; cluster index per point
+	Centroids [][]float64 // len == K
+	Inertia   float64     // sum of squared distances to assigned centroids
+	Iters     int         // Lloyd iterations performed
+}
+
+// KMeans clusters points into k groups using k-means++ seeding and Lloyd
+// iterations until convergence or maxIters. It returns an error for empty
+// input or non-positive k; k is clamped to the number of points.
+func KMeans(points [][]float64, k, maxIters int, rng *rand.Rand) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	res := &Result{}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := dist2(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		res.Iters = iter + 1
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, the standard fix for collapse.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := dist2(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				assign[far] = c
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	res.Assign = assign
+	res.Centroids = centroids
+	for i, p := range points {
+		res.Inertia += dist2(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// Representatives returns, for each cluster, the index of the member
+// closest to its centroid — the points a measurement-thrifty tuner
+// actually deploys.
+func (r *Result) Representatives(points [][]float64) []int {
+	k := len(r.Centroids)
+	best := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		c := r.Assign[i]
+		if d := dist2(p, r.Centroids[c]); d < bestD[c] {
+			best[c] = i
+			bestD[c] = d
+		}
+	}
+	out := best[:0]
+	for _, i := range best {
+		if i >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = dist2(p, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n) // all points coincide with some centroid
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := dist2(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	// Pad dimension-checked centroids (defensive; dim is uniform).
+	_ = dim
+	return centroids
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blobs makes three well-separated gaussian clusters of 20 points each.
+func blobs(seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	var pts [][]float64
+	var truth []int
+	for ci, c := range centers {
+		for i := 0; i < 20; i++ {
+			pts = append(pts, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+			truth = append(truth, ci)
+		}
+	}
+	return pts, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	pts, truth := blobs(1)
+	rng := rand.New(rand.NewSource(2))
+	res, err := KMeans(pts, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	// Every ground-truth cluster must map to exactly one k-means cluster.
+	mapping := map[int]map[int]int{}
+	for i, a := range res.Assign {
+		if mapping[truth[i]] == nil {
+			mapping[truth[i]] = map[int]int{}
+		}
+		mapping[truth[i]][a]++
+	}
+	for tc, m := range mapping {
+		if len(m) != 1 {
+			t.Fatalf("true cluster %d split across %d k-means clusters", tc, len(m))
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Fatal("inertia should be positive for noisy blobs")
+	}
+	if res.Iters < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 2, 10, rng); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 10, rng); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10, rng); err == nil {
+		t.Fatal("ragged points should error")
+	}
+}
+
+func TestKMeansKClampedToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := [][]float64{{0}, {10}}
+	res, err := KMeans(pts, 10, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("k should clamp to n: %d", len(res.Centroids))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(pts, 2, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia %v", res.Inertia)
+	}
+}
+
+func TestRepresentativesAreClusterMembers(t *testing.T) {
+	pts, _ := blobs(5)
+	rng := rand.New(rand.NewSource(6))
+	res, err := KMeans(pts, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.Representatives(pts)
+	if len(reps) != 3 {
+		t.Fatalf("reps = %d", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, i := range reps {
+		if i < 0 || i >= len(pts) {
+			t.Fatalf("rep index %d out of range", i)
+		}
+		c := res.Assign[i]
+		if seen[c] {
+			t.Fatal("two representatives from one cluster")
+		}
+		seen[c] = true
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	pts, _ := blobs(7)
+	a, err := KMeans(pts, 3, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must give same clustering")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/hwsim"
+	"repro/internal/space"
+)
+
+// NodeShare is one task's contribution to end-to-end latency.
+type NodeShare struct {
+	Task     string
+	Count    int     // kernels sharing the task
+	KernelMS float64 // modeled single-kernel time
+	TotalMS  float64 // KernelMS * Count
+	SharePct float64 // of the model's kernel time
+	GFLOPS   float64 // achieved throughput of the deployed config
+}
+
+// Breakdown computes the per-task latency decomposition of a deployment
+// using the simulator's noiseless model, sorted by descending share.
+func (d *Deployment) Breakdown(est hwsim.Estimator) ([]NodeShare, error) {
+	shares := make([]NodeShare, 0, len(d.Tasks))
+	total := 0.0
+	for _, t := range d.Tasks {
+		if !t.Result.Found {
+			return nil, fmt.Errorf("core: task %s has no deployable config", t.Task.Name)
+		}
+		e := est.Estimate(t.Task.Workload, deployedOf(t))
+		if !e.Valid {
+			return nil, fmt.Errorf("core: deployed config of %s infeasible: %s", t.Task.Name, e.Reason)
+		}
+		s := NodeShare{
+			Task:     t.Task.Name,
+			Count:    t.Task.Count,
+			KernelMS: e.TimeMS,
+			TotalMS:  e.TimeMS * float64(t.Task.Count),
+			GFLOPS:   e.GFLOPS,
+		}
+		total += s.TotalMS
+		shares = append(shares, s)
+	}
+	for i := range shares {
+		if total > 0 {
+			shares[i].SharePct = 100 * shares[i].TotalMS / total
+		}
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].TotalMS > shares[j].TotalMS })
+	return shares, nil
+}
+
+// PrintBreakdown renders the decomposition as a table.
+func PrintBreakdown(w io.Writer, shares []NodeShare) {
+	fmt.Fprintf(w, "%-24s %6s %12s %12s %8s %10s\n",
+		"task", "count", "kernel(ms)", "total(ms)", "share%", "GFLOPS")
+	for _, s := range shares {
+		fmt.Fprintf(w, "%-24s %6d %12.5f %12.5f %8.2f %10.1f\n",
+			s.Task, s.Count, s.KernelMS, s.TotalMS, s.SharePct, s.GFLOPS)
+	}
+}
+
+// deployedOf returns the deployed config, falling back to the tuner's best
+// for outcomes built without the pipeline (e.g. in tests).
+func deployedOf(t TaskOutcome) space.Config {
+	if t.Deployed.Index != nil {
+		return t.Deployed
+	}
+	return t.Result.Best.Config
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/tuner"
+)
+
+func TestBreakdown(t *testing.T) {
+	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 21)
+	dep, err := OptimizeGraph(tinyGraph(), tuner.RandomTuner{}, sim, quickPipelineOpts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := dep.Breakdown(sim.Estimator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != len(dep.Tasks) {
+		t.Fatalf("shares = %d, tasks = %d", len(shares), len(dep.Tasks))
+	}
+	total := 0.0
+	for i, s := range shares {
+		if s.TotalMS != s.KernelMS*float64(s.Count) {
+			t.Fatalf("total mismatch in %s", s.Task)
+		}
+		if i > 0 && s.TotalMS > shares[i-1].TotalMS {
+			t.Fatal("shares not sorted descending")
+		}
+		total += s.SharePct
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("shares sum to %v", total)
+	}
+	var buf bytes.Buffer
+	PrintBreakdown(&buf, shares)
+	if !strings.Contains(buf.String(), "share%") {
+		t.Fatal("print header missing")
+	}
+}
+
+func TestBreakdownRejectsNotFound(t *testing.T) {
+	d := &Deployment{Tasks: []TaskOutcome{{Task: &tuner.Task{Name: "x"}, Result: tuner.Result{Found: false}}}}
+	if _, err := d.Breakdown(hwsim.Estimator{Dev: hwsim.GTX1080Ti()}); err == nil {
+		t.Fatal("missing config should error")
+	}
+}

@@ -1,0 +1,311 @@
+// Package core drives the paper's end-to-end flow (Fig. 1): a DNN model is
+// lowered to a fused compute graph, node-wise tuning tasks are extracted,
+// each task is optimized with a chosen search strategy, and the resulting
+// per-node configurations are combined into a model deployment whose
+// inference latency (mean and variance over repeated runs) is the final
+// metric of Table I.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/active"
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/record"
+	"repro/internal/space"
+	"repro/internal/transfer"
+	"repro/internal/tuner"
+)
+
+// PipelineOptions configures an end-to-end deployment optimization.
+type PipelineOptions struct {
+	// Tuning carries the per-task tuning options; Seed seeds task i with
+	// Seed+i so runs are deterministic yet decorrelated.
+	Tuning tuner.Options
+	// Extract selects which operator kinds become tuning tasks
+	// (graph.AllOps for Table I end-to-end runs).
+	Extract graph.ExtractOpts
+	// UseTransfer enables cross-task transfer learning within the model
+	// (AutoTVM's default behaviour).
+	UseTransfer bool
+	// Resume carries records of a previous run; matching tasks start with
+	// that knowledge and never re-measure logged configurations.
+	Resume []record.Record
+	// Runs is the number of end-to-end inference simulations used for the
+	// latency statistics (paper: 600).
+	Runs int
+	// ReMeasureTopK / ReMeasureRepeats: before deployment, the top-K
+	// distinct configurations of each task are re-measured Repeats times
+	// and the best mean wins. Single noisy measurements suffer a winner's
+	// curse (a mediocre high-variance config gets one lucky reading and is
+	// deployed); re-measuring the short list is what AutoTVM's
+	// pick-best-from-log flow does in practice. Defaults 5 and 3;
+	// ReMeasureTopK < 0 disables re-measurement.
+	ReMeasureTopK    int
+	ReMeasureRepeats int
+	// Progress, when non-nil, is called before each task is tuned.
+	Progress func(taskIdx, taskTotal int, name string)
+}
+
+// TaskOutcome records the tuning result of one task.
+type TaskOutcome struct {
+	Task   *tuner.Task
+	Result tuner.Result
+	// Deployed is the configuration actually deployed: the tuner's best
+	// unless re-measurement promoted a steadier candidate.
+	Deployed space.Config
+}
+
+// Deployment is the tuned end-to-end model: the combination of the best
+// configuration for every node.
+type Deployment struct {
+	Model     string
+	TunerName string
+	Tasks     []TaskOutcome
+	// LatencyMS and Variance are the Table I columns: mean end-to-end
+	// inference latency and its variance over Runs simulated runs.
+	LatencyMS float64
+	Variance  float64
+	// TotalMeasurements sums tuning measurements over all tasks (the
+	// optimization workload of Fig. 5(a)).
+	TotalMeasurements int
+}
+
+// BestGFLOPSByTask maps task name to its best achieved GFLOPS.
+func (d *Deployment) BestGFLOPSByTask() map[string]float64 {
+	out := make(map[string]float64, len(d.Tasks))
+	for _, t := range d.Tasks {
+		if t.Result.Found {
+			out[t.Task.Name] = t.Result.Best.GFLOPS
+		}
+	}
+	return out
+}
+
+// Records flattens all tuning measurements into log records.
+func (d *Deployment) Records() []record.Record {
+	var out []record.Record
+	for _, t := range d.Tasks {
+		for i, s := range t.Result.Samples {
+			out = append(out, record.Record{
+				Task:     t.Task.Name,
+				Workload: t.Task.Workload.Key(),
+				Tuner:    d.TunerName,
+				Step:     i + 1,
+				Config:   s.Config.Index,
+				GFLOPS:   s.GFLOPS,
+				Valid:    s.Valid,
+			})
+		}
+	}
+	return out
+}
+
+// OptimizeModel runs the full pipeline for one model and tuner on the
+// simulator. It returns an error when the model is unknown or when any task
+// finishes without a single valid configuration.
+func OptimizeModel(model string, tn tuner.Tuner, sim *hwsim.Simulator, opts PipelineOptions) (*Deployment, error) {
+	g, err := graph.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeGraph(g, tn, sim, opts)
+}
+
+// OptimizeGraph is OptimizeModel over an already-built graph.
+func OptimizeGraph(g *graph.Graph, tn tuner.Tuner, sim *hwsim.Simulator, opts PipelineOptions) (*Deployment, error) {
+	if opts.Runs <= 0 {
+		opts.Runs = 600
+	}
+	gtasks := graph.ExtractTasks(g, opts.Extract)
+	if len(gtasks) == 0 {
+		return nil, fmt.Errorf("core: model %s has no tunable tasks", g.Name)
+	}
+	var hist *transfer.History
+	if opts.UseTransfer {
+		hist = transfer.NewHistory()
+	}
+
+	dep := &Deployment{Model: g.Name, TunerName: tn.Name()}
+	deps := make([]hwsim.Deployment, 0, len(gtasks))
+	for i, gt := range gtasks {
+		task, err := tuner.FromGraphTask(gt)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(gtasks), task.Name)
+		}
+		topts := opts.Tuning
+		topts.Seed = opts.Tuning.Seed + int64(i)*1000003
+		topts.Transfer = hist
+		if len(opts.Resume) > 0 {
+			topts.Resume = resumeSamples(opts.Resume, task)
+		}
+		res := tn.Tune(task, sim, topts)
+		if !res.Found {
+			return nil, fmt.Errorf("core: task %s found no valid configuration in %d measurements",
+				task.Name, res.Measurements)
+		}
+		deployed := selectDeployConfig(task, res, sim, opts.ReMeasureTopK, opts.ReMeasureRepeats)
+		dep.Tasks = append(dep.Tasks, TaskOutcome{Task: task, Result: res, Deployed: deployed})
+		dep.TotalMeasurements += res.Measurements
+		deps = append(deps, hwsim.Deployment{Workload: task.Workload, Config: deployed, Count: task.Count})
+	}
+
+	mean, variance, err := sim.NetworkLatency(deps, opts.Runs)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring end-to-end latency of %s: %w", g.Name, err)
+	}
+	dep.LatencyMS = mean
+	dep.Variance = variance
+	return dep, nil
+}
+
+// ApplyRecords rebuilds a Deployment's latency from previously logged best
+// records (e.g. loaded from disk) instead of re-tuning. Tasks without a
+// matching record are an error.
+func ApplyRecords(model string, recs []record.Record, sim *hwsim.Simulator, extract graph.ExtractOpts, runs int) (latencyMS, variance float64, err error) {
+	g, err := graph.Model(model)
+	if err != nil {
+		return 0, 0, err
+	}
+	if runs <= 0 {
+		runs = 600
+	}
+	best := record.BestByTask(recs)
+	gtasks := graph.ExtractTasks(g, extract)
+	deps := make([]hwsim.Deployment, 0, len(gtasks))
+	for _, gt := range gtasks {
+		r, ok := best[gt.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("core: no record for task %s", gt.Name)
+		}
+		task, err := tuner.FromGraphTask(gt)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg, err := r.ToConfig(task.Space)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: record for %s: %w", gt.Name, err)
+		}
+		deps = append(deps, hwsim.Deployment{Workload: task.Workload, Config: cfg, Count: task.Count})
+	}
+	return sim.NetworkLatency(deps, runs)
+}
+
+// selectDeployConfig re-measures the task's top-K distinct configurations
+// `repeats` times each and returns the one with the best mean GFLOPS. With
+// topK < 0 (or degenerate parameters) it returns the tuner's raw best.
+func selectDeployConfig(task *tuner.Task, res tuner.Result, m tuner.Measurer, topK, repeats int) space.Config {
+	if topK < 0 {
+		return res.Best.Config
+	}
+	if topK == 0 {
+		topK = 5
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	// Distinct valid samples, best measured first.
+	ordered := append([]active.Sample(nil), res.Samples...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].GFLOPS > ordered[j].GFLOPS })
+	best := res.Best.Config
+	bestMean := -1.0
+	taken := 0
+	seen := make(map[uint64]bool, topK)
+	for _, s := range ordered {
+		if !s.Valid || taken >= topK {
+			if taken >= topK {
+				break
+			}
+			continue
+		}
+		f := s.Config.Flat()
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		taken++
+		total, valid := 0.0, 0
+		for r := 0; r < repeats; r++ {
+			mr := m.Measure(task.Workload, s.Config)
+			if mr.Valid {
+				total += mr.GFLOPS
+				valid++
+			}
+		}
+		if valid == 0 {
+			continue
+		}
+		if mean := total / float64(valid); mean > bestMean {
+			bestMean = mean
+			best = s.Config
+		}
+	}
+	return best
+}
+
+// resumeSamples rebuilds the samples of a task from matching log records,
+// silently skipping records whose config no longer fits the space.
+func resumeSamples(recs []record.Record, task *tuner.Task) []active.Sample {
+	var out []active.Sample
+	for _, r := range recs {
+		if r.Task != task.Name && r.Workload != task.Workload.Key() {
+			continue
+		}
+		cfg, err := r.ToConfig(task.Space)
+		if err != nil {
+			continue
+		}
+		out = append(out, active.Sample{Config: cfg, GFLOPS: r.GFLOPS, Valid: r.Valid})
+	}
+	return out
+}
+
+// SortedTaskNames returns the deployment's task names in index order
+// (T1, T2, ... as in Fig. 5).
+func (d *Deployment) SortedTaskNames() []string {
+	names := make([]string, 0, len(d.Tasks))
+	for _, t := range d.Tasks {
+		names = append(names, t.Task.Name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return taskIndex(names[i]) < taskIndex(names[j])
+	})
+	return names
+}
+
+// taskIndex parses the numeric suffix of "<model>.T<k>".
+func taskIndex(name string) int {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == 'T' {
+			k := 0
+			for _, ch := range name[i+1:] {
+				if ch < '0' || ch > '9' {
+					return 0
+				}
+				k = k*10 + int(ch-'0')
+			}
+			return k
+		}
+	}
+	return 0
+}
+
+// Summary renders a one-line deployment summary.
+func (d *Deployment) Summary() string {
+	return fmt.Sprintf("%s/%s: %.4f ms (var %.4g), %d tasks, %d measurements",
+		d.Model, d.TunerName, d.LatencyMS, d.Variance, len(d.Tasks), d.TotalMeasurements)
+}
+
+// InitSamplesOf returns the first n samples of a result, a convenience for
+// inspecting initialization quality in examples and docs.
+func InitSamplesOf(r tuner.Result, n int) []active.Sample {
+	if n > len(r.Samples) {
+		n = len(r.Samples)
+	}
+	return r.Samples[:n]
+}

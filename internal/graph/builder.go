@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Builder constructs graphs with shape inference. Methods panic on invalid
+// shapes: model definitions are static code, so a mistake is a programmer
+// error, not a runtime condition.
+type Builder struct {
+	g    *Graph
+	next int
+}
+
+// NewBuilder starts a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: &Graph{Name: name}}
+}
+
+func (b *Builder) add(name string, op OpType, attrs Attrs, out tensor.Shape, inputs ...*Node) *Node {
+	if !out.Valid() {
+		panic(fmt.Sprintf("graph %s: node %s produces invalid shape %v", b.g.Name, name, out))
+	}
+	n := &Node{ID: b.next, Name: name, Op: op, Inputs: inputs, Attrs: attrs, OutShape: out}
+	b.next++
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+// Input declares the model input (N, C, H, W).
+func (b *Builder) Input(name string, n, c, h, w int) *Node {
+	return b.add(name, OpInput, Attrs{}, tensor.NewShape(n, c, h, w))
+}
+
+// Conv adds a conv2d with square kernel/stride/pad and records its workload.
+func (b *Builder) Conv(name string, x *Node, channels, kernel, stride, pad int) *Node {
+	in := x.OutShape
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("graph %s: conv %s needs NCHW input, got %v", b.g.Name, name, in))
+	}
+	w := tensor.Conv2D(in[0], in[1], in[2], in[3], channels, kernel, stride, pad)
+	nd := b.add(name, OpConv2D, Attrs{Channels: channels, Kernel: kernel, Stride: stride, Pad: pad},
+		w.OutShape(), x)
+	nd.Workload = w
+	return nd
+}
+
+// DepthwiseConv adds a depthwise conv2d (channel multiplier 1).
+func (b *Builder) DepthwiseConv(name string, x *Node, kernel, stride, pad int) *Node {
+	in := x.OutShape
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("graph %s: depthwise %s needs NCHW input, got %v", b.g.Name, name, in))
+	}
+	w := tensor.DepthwiseConv2D(in[0], in[1], in[2], in[3], kernel, stride, pad)
+	nd := b.add(name, OpDepthwiseConv2D, Attrs{Channels: in[1], Kernel: kernel, Stride: stride, Pad: pad},
+		w.OutShape(), x)
+	nd.Workload = w
+	return nd
+}
+
+// Dense adds a fully-connected layer over a rank-2 input.
+func (b *Builder) Dense(name string, x *Node, units int) *Node {
+	in := x.OutShape
+	if in.Rank() != 2 {
+		panic(fmt.Sprintf("graph %s: dense %s needs rank-2 input, got %v", b.g.Name, name, in))
+	}
+	w := tensor.Dense(in[0], in[1], units)
+	nd := b.add(name, OpDense, Attrs{Channels: units}, w.OutShape(), x)
+	nd.Workload = w
+	return nd
+}
+
+// BatchNorm adds a batch-normalization node (shape preserving).
+func (b *Builder) BatchNorm(name string, x *Node) *Node {
+	return b.add(name, OpBatchNorm, Attrs{}, x.OutShape.Clone(), x)
+}
+
+// ReLU adds a rectifier (shape preserving).
+func (b *Builder) ReLU(name string, x *Node) *Node {
+	return b.add(name, OpReLU, Attrs{}, x.OutShape.Clone(), x)
+}
+
+// Dropout adds an inference-time no-op dropout (shape preserving).
+func (b *Builder) Dropout(name string, x *Node) *Node {
+	return b.add(name, OpDropout, Attrs{}, x.OutShape.Clone(), x)
+}
+
+// LRN adds local response normalization (shape preserving).
+func (b *Builder) LRN(name string, x *Node) *Node {
+	return b.add(name, OpLRN, Attrs{}, x.OutShape.Clone(), x)
+}
+
+// MaxPool adds a max pooling node.
+func (b *Builder) MaxPool(name string, x *Node, kernel, stride, pad int, ceilMode bool) *Node {
+	in := x.OutShape
+	oh := tensor.PoolOutDim(in[2], kernel, stride, pad, ceilMode)
+	ow := tensor.PoolOutDim(in[3], kernel, stride, pad, ceilMode)
+	return b.add(name, OpMaxPool, Attrs{Kernel: kernel, Stride: stride, Pad: pad, CeilMode: ceilMode},
+		tensor.NewShape(in[0], in[1], oh, ow), x)
+}
+
+// AvgPool adds an average pooling node.
+func (b *Builder) AvgPool(name string, x *Node, kernel, stride, pad int) *Node {
+	in := x.OutShape
+	oh := tensor.PoolOutDim(in[2], kernel, stride, pad, false)
+	ow := tensor.PoolOutDim(in[3], kernel, stride, pad, false)
+	return b.add(name, OpAvgPool, Attrs{Kernel: kernel, Stride: stride, Pad: pad},
+		tensor.NewShape(in[0], in[1], oh, ow), x)
+}
+
+// GlobalAvgPool reduces spatial dims to 1x1.
+func (b *Builder) GlobalAvgPool(name string, x *Node) *Node {
+	in := x.OutShape
+	return b.add(name, OpGlobalAvgPool, Attrs{}, tensor.NewShape(in[0], in[1], 1, 1), x)
+}
+
+// Add performs elementwise addition of equal shapes (residual shortcut).
+func (b *Builder) Add(name string, x, y *Node) *Node {
+	if !x.OutShape.Equal(y.OutShape) {
+		panic(fmt.Sprintf("graph %s: add %s shape mismatch %v vs %v", b.g.Name, name, x.OutShape, y.OutShape))
+	}
+	return b.add(name, OpAdd, Attrs{}, x.OutShape.Clone(), x, y)
+}
+
+// Concat joins inputs along the channel axis.
+func (b *Builder) Concat(name string, xs ...*Node) *Node {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("graph %s: concat %s needs inputs", b.g.Name, name))
+	}
+	base := xs[0].OutShape
+	c := 0
+	for _, x := range xs {
+		s := x.OutShape
+		if s.Rank() != 4 || s[0] != base[0] || s[2] != base[2] || s[3] != base[3] {
+			panic(fmt.Sprintf("graph %s: concat %s incompatible shape %v", b.g.Name, name, s))
+		}
+		c += s[1]
+	}
+	return b.add(name, OpConcat, Attrs{}, tensor.NewShape(base[0], c, base[2], base[3]), xs...)
+}
+
+// Flatten reshapes NCHW to (N, C*H*W).
+func (b *Builder) Flatten(name string, x *Node) *Node {
+	in := x.OutShape
+	flat := 1
+	for _, d := range in[1:] {
+		flat *= d
+	}
+	return b.add(name, OpFlatten, Attrs{}, tensor.NewShape(in[0], flat), x)
+}
+
+// Softmax adds the output activation (shape preserving).
+func (b *Builder) Softmax(name string, x *Node) *Node {
+	return b.add(name, OpSoftmax, Attrs{}, x.OutShape.Clone(), x)
+}
+
+// Finish marks the output node, validates and returns the graph.
+func (b *Builder) Finish(output *Node) *Graph {
+	b.g.Output = output
+	if err := b.g.Validate(); err != nil {
+		panic(err)
+	}
+	return b.g
+}

@@ -1,0 +1,152 @@
+package graph
+
+import "fmt"
+
+// FusedNode is one kernel after operator fusion: an anchor operator plus
+// the elementwise epilogue absorbed into it. For tunable anchors the fused
+// kernel inherits the anchor's tuning workload (fused epilogues are free on
+// the accelerator, as in TVM's fusion model).
+type FusedNode struct {
+	Anchor *Node
+	Fused  []*Node // absorbed ops, in execution order
+}
+
+// Name returns the anchor name.
+func (f *FusedNode) Name() string { return f.Anchor.Name }
+
+// String renders "conv1+bn+relu".
+func (f *FusedNode) String() string {
+	s := f.Anchor.Name
+	for _, n := range f.Fused {
+		s += "+" + n.Op.String()
+	}
+	return s
+}
+
+// FusedGraph is the result of graph-level optimization: the kernel list in
+// execution order.
+type FusedGraph struct {
+	Name  string
+	Nodes []*FusedNode
+}
+
+// NumKernels returns the number of fused kernels (excluding inputs).
+func (fg *FusedGraph) NumKernels() int {
+	n := 0
+	for _, f := range fg.Nodes {
+		if f.Anchor.Op != OpInput {
+			n++
+		}
+	}
+	return n
+}
+
+// TunableKernels returns fused kernels with tunable anchors, in order.
+func (fg *FusedGraph) TunableKernels() []*FusedNode {
+	var out []*FusedNode
+	for _, f := range fg.Nodes {
+		if f.Anchor.Op.Tunable() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fusableEpilogue reports whether op can be absorbed into a preceding
+// kernel's epilogue.
+func fusableEpilogue(op OpType) bool {
+	switch op {
+	case OpBatchNorm, OpReLU, OpDropout:
+		return true
+	default:
+		return false
+	}
+}
+
+// Fuse runs the graph-level optimization pass of Fig. 1: every tunable
+// operator absorbs its single-consumer elementwise epilogue chain
+// (batch-norm, relu, dropout), including a residual add whose other operand
+// is already materialized, plus the relu following that add. Non-absorbed
+// operators become standalone kernels.
+func Fuse(g *Graph) *FusedGraph {
+	consumers := make(map[*Node]int)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in]++
+		}
+	}
+	// The graph output is consumed externally.
+	consumers[g.Output]++
+
+	next := make(map[*Node][]*Node)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			next[in] = append(next[in], n)
+		}
+	}
+
+	absorbed := make(map[*Node]bool)
+	fg := &FusedGraph{Name: g.Name}
+	for _, n := range g.Nodes {
+		if absorbed[n] {
+			continue
+		}
+		fn := &FusedNode{Anchor: n}
+		if n.Op.Tunable() {
+			tail := n
+			allowAdd := true
+			for {
+				if consumers[tail] != 1 {
+					break
+				}
+				succs := next[tail]
+				if len(succs) != 1 {
+					break
+				}
+				s := succs[0]
+				if fusableEpilogue(s.Op) {
+					fn.Fused = append(fn.Fused, s)
+					absorbed[s] = true
+					tail = s
+					continue
+				}
+				// Residual add: fuse when this kernel is the later operand,
+				// i.e. every other operand was produced before the anchor
+				// and is therefore already materialized.
+				if s.Op == OpAdd && allowAdd && laterOperand(s, tail, n) {
+					fn.Fused = append(fn.Fused, s)
+					absorbed[s] = true
+					tail = s
+					allowAdd = false
+					continue
+				}
+				break
+			}
+		}
+		fg.Nodes = append(fg.Nodes, fn)
+	}
+	return fg
+}
+
+// laterOperand reports whether `tail` is the operand of add that appears
+// last in topological order, so all other operands are already computed.
+func laterOperand(add, tail, anchor *Node) bool {
+	for _, in := range add.Inputs {
+		if in == tail {
+			continue
+		}
+		if in.ID > anchor.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// FusionReport summarizes a fusion pass for logs and docs.
+func (fg *FusedGraph) FusionReport() string {
+	fusedOps := 0
+	for _, f := range fg.Nodes {
+		fusedOps += len(f.Fused)
+	}
+	return fmt.Sprintf("%s: %d kernels (%d epilogue ops fused)", fg.Name, fg.NumKernels(), fusedOps)
+}

@@ -1,0 +1,175 @@
+// Package graph implements the compute-graph IR of the general deployment
+// framework (Fig. 1 of the paper): DNN models as DAGs of operator nodes,
+// graph-level optimization (operator fusion), and extraction of the
+// node-wise tuning tasks that the active-learning framework optimizes.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// OpType identifies a graph operator. Conv2D, DepthwiseConv2D and Dense are
+// tunable; the rest are glue operators that fuse into their producers or run
+// in the graph executor.
+type OpType int
+
+// Graph operator types.
+const (
+	OpInput OpType = iota
+	OpConv2D
+	OpDepthwiseConv2D
+	OpDense
+	OpBatchNorm
+	OpReLU
+	OpMaxPool
+	OpAvgPool
+	OpGlobalAvgPool
+	OpAdd
+	OpConcat
+	OpFlatten
+	OpSoftmax
+	OpDropout
+	OpLRN
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpInput:
+		return "input"
+	case OpConv2D:
+		return "conv2d"
+	case OpDepthwiseConv2D:
+		return "depthwise_conv2d"
+	case OpDense:
+		return "dense"
+	case OpBatchNorm:
+		return "batch_norm"
+	case OpReLU:
+		return "relu"
+	case OpMaxPool:
+		return "max_pool"
+	case OpAvgPool:
+		return "avg_pool"
+	case OpGlobalAvgPool:
+		return "global_avg_pool"
+	case OpAdd:
+		return "add"
+	case OpConcat:
+		return "concat"
+	case OpFlatten:
+		return "flatten"
+	case OpSoftmax:
+		return "softmax"
+	case OpDropout:
+		return "dropout"
+	case OpLRN:
+		return "lrn"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Tunable reports whether the operator is an auto-tuning target.
+func (o OpType) Tunable() bool {
+	return o == OpConv2D || o == OpDepthwiseConv2D || o == OpDense
+}
+
+// Attrs carries the operator parameters that shape inference needs.
+type Attrs struct {
+	Channels int // output channels (conv/dense)
+	Kernel   int // square kernel extent (conv/pool)
+	Stride   int
+	Pad      int
+	CeilMode bool // pooling rounding (SqueezeNet-v1.1 max pools)
+}
+
+// Node is one operator instance in a graph.
+type Node struct {
+	ID       int
+	Name     string
+	Op       OpType
+	Inputs   []*Node
+	Attrs    Attrs
+	OutShape tensor.Shape
+	// Workload is the canonical tuning workload; set iff Op.Tunable().
+	Workload tensor.Workload
+}
+
+// String renders "name(op) -> shape".
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s) -> %s", n.Name, n.Op, n.OutShape)
+}
+
+// Graph is a DAG of nodes in topological (construction) order.
+type Graph struct {
+	Name   string
+	Nodes  []*Node
+	Output *Node
+}
+
+// NumNodes returns the number of operator nodes (excluding inputs).
+func (g *Graph) NumNodes() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Op != OpInput {
+			n++
+		}
+	}
+	return n
+}
+
+// TunableNodes returns the nodes targeted by auto-tuning, in graph order.
+func (g *Graph) TunableNodes() []*Node {
+	var out []*Node
+	for _, nd := range g.Nodes {
+		if nd.Op.Tunable() {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: topological input ordering,
+// consistent shapes, and tunable workload presence.
+func (g *Graph) Validate() error {
+	pos := make(map[*Node]int, len(g.Nodes))
+	for i, nd := range g.Nodes {
+		for _, in := range nd.Inputs {
+			p, ok := pos[in]
+			if !ok {
+				return fmt.Errorf("graph %s: node %s uses input %s not in graph", g.Name, nd.Name, in.Name)
+			}
+			if p >= i {
+				return fmt.Errorf("graph %s: node %s not topologically ordered", g.Name, nd.Name)
+			}
+		}
+		if !nd.OutShape.Valid() {
+			return fmt.Errorf("graph %s: node %s has invalid shape %v", g.Name, nd.Name, nd.OutShape)
+		}
+		if nd.Op.Tunable() {
+			if err := nd.Workload.Valid(); err != nil {
+				return fmt.Errorf("graph %s: node %s: %v", g.Name, nd.Name, err)
+			}
+		}
+		pos[nd] = i
+	}
+	if g.Output == nil {
+		return fmt.Errorf("graph %s: no output node", g.Name)
+	}
+	if _, ok := pos[g.Output]; !ok {
+		return fmt.Errorf("graph %s: output not in node list", g.Name)
+	}
+	return nil
+}
+
+// TotalFLOPs sums the FLOPs of all tunable nodes (the dominant cost).
+func (g *Graph) TotalFLOPs() int64 {
+	var total int64
+	for _, nd := range g.TunableNodes() {
+		total += nd.Workload.FLOPs()
+	}
+	return total
+}

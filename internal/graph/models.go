@@ -1,0 +1,161 @@
+package graph
+
+import "fmt"
+
+// ModelNames lists the five models of the paper's evaluation, in Table I
+// order.
+var ModelNames = []string{"alexnet", "resnet-18", "vgg-16", "mobilenet-v1", "squeezenet-v1.1"}
+
+// Model builds a paper model by name (batch size 1, 224x224 RGB input).
+func Model(name string) (*Graph, error) {
+	switch name {
+	case "alexnet":
+		return AlexNet(), nil
+	case "resnet-18":
+		return ResNet18(), nil
+	case "vgg-16":
+		return VGG16(), nil
+	case "mobilenet-v1":
+		return MobileNetV1(), nil
+	case "squeezenet-v1.1":
+		return SqueezeNetV11(), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown model %q (have %v)", name, ModelNames)
+	}
+}
+
+// AlexNet builds the torchvision AlexNet variant (Krizhevsky et al. 2012).
+func AlexNet() *Graph {
+	b := NewBuilder("alexnet")
+	x := b.Input("data", 1, 3, 224, 224)
+	x = b.ReLU("relu1", b.Conv("conv1", x, 64, 11, 4, 2))
+	x = b.LRN("lrn1", x)
+	x = b.MaxPool("pool1", x, 3, 2, 0, false)
+	x = b.ReLU("relu2", b.Conv("conv2", x, 192, 5, 1, 2))
+	x = b.LRN("lrn2", x)
+	x = b.MaxPool("pool2", x, 3, 2, 0, false)
+	x = b.ReLU("relu3", b.Conv("conv3", x, 384, 3, 1, 1))
+	x = b.ReLU("relu4", b.Conv("conv4", x, 256, 3, 1, 1))
+	x = b.ReLU("relu5", b.Conv("conv5", x, 256, 3, 1, 1))
+	x = b.MaxPool("pool5", x, 3, 2, 0, false)
+	x = b.Flatten("flatten", x)
+	x = b.Dropout("drop6", x)
+	x = b.ReLU("relu6", b.Dense("fc6", x, 4096))
+	x = b.Dropout("drop7", x)
+	x = b.ReLU("relu7", b.Dense("fc7", x, 4096))
+	x = b.Dense("fc8", x, 1000)
+	return b.Finish(b.Softmax("prob", x))
+}
+
+// VGG16 builds VGG-16 (Simonyan & Zisserman 2015, configuration D).
+func VGG16() *Graph {
+	b := NewBuilder("vgg-16")
+	x := b.Input("data", 1, 3, 224, 224)
+	block := func(stage, convs, channels int) {
+		for i := 1; i <= convs; i++ {
+			x = b.ReLU(fmt.Sprintf("relu%d_%d", stage, i),
+				b.Conv(fmt.Sprintf("conv%d_%d", stage, i), x, channels, 3, 1, 1))
+		}
+		x = b.MaxPool(fmt.Sprintf("pool%d", stage), x, 2, 2, 0, false)
+	}
+	block(1, 2, 64)
+	block(2, 2, 128)
+	block(3, 3, 256)
+	block(4, 3, 512)
+	block(5, 3, 512)
+	x = b.Flatten("flatten", x)
+	x = b.ReLU("relu6", b.Dense("fc6", x, 4096))
+	x = b.Dropout("drop6", x)
+	x = b.ReLU("relu7", b.Dense("fc7", x, 4096))
+	x = b.Dropout("drop7", x)
+	x = b.Dense("fc8", x, 1000)
+	return b.Finish(b.Softmax("prob", x))
+}
+
+// ResNet18 builds ResNet-18 (He et al. 2016) with basic blocks.
+func ResNet18() *Graph {
+	b := NewBuilder("resnet-18")
+	x := b.Input("data", 1, 3, 224, 224)
+	x = b.ReLU("relu0", b.BatchNorm("bn0", b.Conv("conv0", x, 64, 7, 2, 3)))
+	x = b.MaxPool("pool0", x, 3, 2, 1, false)
+	basic := func(name string, in *Node, channels, stride int) *Node {
+		body := b.ReLU(name+"_relu1",
+			b.BatchNorm(name+"_bn1", b.Conv(name+"_conv1", in, channels, 3, stride, 1)))
+		body = b.BatchNorm(name+"_bn2", b.Conv(name+"_conv2", body, channels, 3, 1, 1))
+		shortcut := in
+		if stride != 1 || in.OutShape[1] != channels {
+			shortcut = b.BatchNorm(name+"_scbn", b.Conv(name+"_sc", in, channels, 1, stride, 0))
+		}
+		return b.ReLU(name+"_relu2", b.Add(name+"_add", body, shortcut))
+	}
+	x = basic("s1b1", x, 64, 1)
+	x = basic("s1b2", x, 64, 1)
+	x = basic("s2b1", x, 128, 2)
+	x = basic("s2b2", x, 128, 1)
+	x = basic("s3b1", x, 256, 2)
+	x = basic("s3b2", x, 256, 1)
+	x = basic("s4b1", x, 512, 2)
+	x = basic("s4b2", x, 512, 1)
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flatten", x)
+	x = b.Dense("fc", x, 1000)
+	return b.Finish(b.Softmax("prob", x))
+}
+
+// MobileNetV1 builds MobileNet-v1 with width multiplier 1.0 (Howard et al.
+// 2017): an initial conv followed by 13 depthwise-separable blocks. Its 19
+// unique conv/depthwise workloads are the tasks T1..T19 of the paper's
+// Fig. 5.
+func MobileNetV1() *Graph {
+	b := NewBuilder("mobilenet-v1")
+	x := b.Input("data", 1, 3, 224, 224)
+	x = b.ReLU("relu0", b.BatchNorm("bn0", b.Conv("conv0", x, 32, 3, 2, 1)))
+	sep := func(i, channels, stride int) {
+		name := fmt.Sprintf("sep%d", i)
+		x = b.ReLU(name+"_dwrelu",
+			b.BatchNorm(name+"_dwbn", b.DepthwiseConv(name+"_dw", x, 3, stride, 1)))
+		x = b.ReLU(name+"_pwrelu",
+			b.BatchNorm(name+"_pwbn", b.Conv(name+"_pw", x, channels, 1, 1, 0)))
+	}
+	plan := []struct{ channels, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	for i, p := range plan {
+		sep(i+1, p.channels, p.stride)
+	}
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flatten", x)
+	x = b.Dense("fc", x, 1000)
+	return b.Finish(b.Softmax("prob", x))
+}
+
+// SqueezeNetV11 builds SqueezeNet-v1.1 (Iandola et al. 2016).
+func SqueezeNetV11() *Graph {
+	b := NewBuilder("squeezenet-v1.1")
+	x := b.Input("data", 1, 3, 224, 224)
+	x = b.ReLU("relu1", b.Conv("conv1", x, 64, 3, 2, 0))
+	x = b.MaxPool("pool1", x, 3, 2, 0, true)
+	fire := func(i, squeeze, expand int) {
+		name := fmt.Sprintf("fire%d", i)
+		s := b.ReLU(name+"_srelu", b.Conv(name+"_squeeze", x, squeeze, 1, 1, 0))
+		e1 := b.ReLU(name+"_e1relu", b.Conv(name+"_expand1x1", s, expand, 1, 1, 0))
+		e3 := b.ReLU(name+"_e3relu", b.Conv(name+"_expand3x3", s, expand, 3, 1, 1))
+		x = b.Concat(name+"_concat", e1, e3)
+	}
+	fire(2, 16, 64)
+	fire(3, 16, 64)
+	x = b.MaxPool("pool3", x, 3, 2, 0, true)
+	fire(4, 32, 128)
+	fire(5, 32, 128)
+	x = b.MaxPool("pool5", x, 3, 2, 0, true)
+	fire(6, 48, 192)
+	fire(7, 48, 192)
+	fire(8, 64, 256)
+	fire(9, 64, 256)
+	x = b.Dropout("drop9", x)
+	x = b.ReLU("relu10", b.Conv("conv10", x, 1000, 1, 1, 0))
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Flatten("flatten", x)
+	return b.Finish(b.Softmax("prob", x))
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// nodeJSON is the serialized form of a node.
+type nodeJSON struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Op       string `json:"op"`
+	Inputs   []int  `json:"inputs,omitempty"`
+	Shape    []int  `json:"shape"`
+	Channels int    `json:"channels,omitempty"`
+	Kernel   int    `json:"kernel,omitempty"`
+	Stride   int    `json:"stride,omitempty"`
+	Pad      int    `json:"pad,omitempty"`
+	CeilMode bool   `json:"ceil_mode,omitempty"`
+	Workload string `json:"workload,omitempty"`
+}
+
+// graphJSON is the serialized form of a graph.
+type graphJSON struct {
+	Name   string     `json:"name"`
+	Nodes  []nodeJSON `json:"nodes"`
+	Output int        `json:"output"`
+}
+
+// WriteJSON serializes the graph as indented JSON. The format is stable and
+// intended for inspection and interchange, not as a versioned IR.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{Name: g.Name, Output: g.Output.ID}
+	for _, n := range g.Nodes {
+		nj := nodeJSON{
+			ID:       n.ID,
+			Name:     n.Name,
+			Op:       n.Op.String(),
+			Shape:    append([]int(nil), n.OutShape...),
+			Channels: n.Attrs.Channels,
+			Kernel:   n.Attrs.Kernel,
+			Stride:   n.Attrs.Stride,
+			Pad:      n.Attrs.Pad,
+			CeilMode: n.Attrs.CeilMode,
+		}
+		for _, in := range n.Inputs {
+			nj.Inputs = append(nj.Inputs, in.ID)
+		}
+		if n.Op.Tunable() {
+			nj.Workload = n.Workload.Key()
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// opTypeByName inverts OpType.String for deserialization.
+func opTypeByName(s string) (OpType, error) {
+	for op := OpInput; op <= OpLRN; op++ {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("graph: unknown op %q", s)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and re-validates it,
+// recomputing tunable workloads from attributes and input shapes.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("graph: decoding: %w", err)
+	}
+	byID := make(map[int]*Node, len(in.Nodes))
+	g := &Graph{Name: in.Name}
+	for _, nj := range in.Nodes {
+		op, err := opTypeByName(nj.Op)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			ID:   nj.ID,
+			Name: nj.Name,
+			Op:   op,
+			Attrs: Attrs{
+				Channels: nj.Channels, Kernel: nj.Kernel, Stride: nj.Stride,
+				Pad: nj.Pad, CeilMode: nj.CeilMode,
+			},
+			OutShape: tensor.NewShape(nj.Shape...),
+		}
+		for _, id := range nj.Inputs {
+			inNode, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("graph: node %s references unknown input %d", nj.Name, id)
+			}
+			n.Inputs = append(n.Inputs, inNode)
+		}
+		if op.Tunable() {
+			w, err := workloadFor(n)
+			if err != nil {
+				return nil, err
+			}
+			n.Workload = w
+		}
+		byID[nj.ID] = n
+		g.Nodes = append(g.Nodes, n)
+	}
+	out, ok := byID[in.Output]
+	if !ok {
+		return nil, fmt.Errorf("graph: output node %d missing", in.Output)
+	}
+	g.Output = out
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// workloadFor recomputes a tunable node's workload from its input shape.
+func workloadFor(n *Node) (tensor.Workload, error) {
+	if len(n.Inputs) == 0 {
+		return tensor.Workload{}, fmt.Errorf("graph: tunable node %s has no inputs", n.Name)
+	}
+	in := n.Inputs[0].OutShape
+	switch n.Op {
+	case OpConv2D:
+		return tensor.Conv2D(in[0], in[1], in[2], in[3], n.Attrs.Channels, n.Attrs.Kernel, n.Attrs.Stride, n.Attrs.Pad), nil
+	case OpDepthwiseConv2D:
+		return tensor.DepthwiseConv2D(in[0], in[1], in[2], in[3], n.Attrs.Kernel, n.Attrs.Stride, n.Attrs.Pad), nil
+	case OpDense:
+		return tensor.Dense(in[0], in[1], n.Attrs.Channels), nil
+	default:
+		return tensor.Workload{}, fmt.Errorf("graph: node %s is not tunable", n.Name)
+	}
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, coloring tunable
+// nodes. Deterministic output: nodes in ID order.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+	nodes := append([]*Node(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		attrs := ""
+		if n.Op.Tunable() {
+			attrs = ", style=filled, fillcolor=lightblue"
+		}
+		label := fmt.Sprintf("%s\\n%s %s", n.Name, n.Op, n.OutShape)
+		fmt.Fprintf(bw, "  n%d [label=%q%s];\n", n.ID, strings.ReplaceAll(label, `\n`, "\n"), attrs)
+	}
+	for _, n := range nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripAllModels(t *testing.T) {
+	for _, name := range ModelNames {
+		g, err := Model(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g2.Name != g.Name || len(g2.Nodes) != len(g.Nodes) {
+			t.Fatalf("%s: structure changed: %d vs %d nodes", name, len(g2.Nodes), len(g.Nodes))
+		}
+		// Task extraction must survive the round trip exactly.
+		a := ExtractTasks(g, ConvOnly)
+		b := ExtractTasks(g2, ConvOnly)
+		if len(a) != len(b) {
+			t.Fatalf("%s: task count changed %d -> %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Workload.Key() != b[i].Workload.Key() || a[i].Count != b[i].Count {
+				t.Fatalf("%s: task %d changed: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"name":"x","nodes":[{"id":0,"name":"a","op":"nope","shape":[1]}],"output":0}`,              // unknown op
+		`{"name":"x","nodes":[{"id":0,"name":"a","op":"relu","inputs":[5],"shape":[1]}],"output":0}`, // missing input
+		`{"name":"x","nodes":[{"id":0,"name":"a","op":"input","shape":[1,3,8,8]}],"output":9}`,       // missing output
+		`{"name":"x","nodes":[{"id":0,"name":"c","op":"conv2d","shape":[1,8,8,8]}],"output":0}`,      // tunable without inputs
+	}
+	for i, s := range cases {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := SqueezeNetV11()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	if !strings.Contains(out, "fillcolor=lightblue") {
+		t.Fatal("tunable nodes should be highlighted")
+	}
+	if strings.Count(out, "->") == 0 {
+		t.Fatal("edges missing")
+	}
+	// Deterministic.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("DOT output must be deterministic")
+	}
+}
+
+func TestOpTypeByNameCoversAll(t *testing.T) {
+	for op := OpInput; op <= OpLRN; op++ {
+		got, err := opTypeByName(op.String())
+		if err != nil || got != op {
+			t.Fatalf("round trip failed for %v", op)
+		}
+	}
+	if _, err := opTypeByName("bogus"); err == nil {
+		t.Fatal("bogus op should error")
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Stats summarizes a graph for reports: operator histogram, parameter and
+// activation footprints, total FLOPs.
+type Stats struct {
+	Name        string
+	OpCounts    map[OpType]int
+	Params      int64 // learnable parameter count
+	ParamBytes  int64
+	MaxActBytes int64 // largest single activation tensor
+	TotalFLOPs  int64
+}
+
+// ComputeStats walks the graph once.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Name: g.Name, OpCounts: make(map[OpType]int)}
+	for _, n := range g.Nodes {
+		if n.Op != OpInput {
+			s.OpCounts[n.Op]++
+		}
+		if b := n.OutShape.Bytes(tensor.Float32); b > s.MaxActBytes {
+			s.MaxActBytes = b
+		}
+		s.Params += paramCount(n)
+	}
+	s.ParamBytes = s.Params * 4
+	s.TotalFLOPs = g.TotalFLOPs()
+	return s
+}
+
+// paramCount returns the learnable parameters a node carries.
+func paramCount(n *Node) int64 {
+	switch n.Op {
+	case OpConv2D:
+		w := n.Workload
+		return int64(w.F)*int64(w.C)*int64(w.KH)*int64(w.KW) + int64(w.F)
+	case OpDepthwiseConv2D:
+		w := n.Workload
+		return int64(w.C)*int64(w.KH)*int64(w.KW) + int64(w.C)
+	case OpDense:
+		w := n.Workload
+		return int64(w.F)*int64(w.C) + int64(w.F)
+	case OpBatchNorm:
+		if len(n.Inputs) > 0 && n.OutShape.Rank() == 4 {
+			return 2 * int64(n.OutShape[1]) // scale + shift
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Print renders the summary.
+func (s Stats) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %.2f GFLOPs, %.2fM params (%.1f MB), max activation %.2f MB\n",
+		s.Name, float64(s.TotalFLOPs)/1e9, float64(s.Params)/1e6,
+		float64(s.ParamBytes)/(1<<20), float64(s.MaxActBytes)/(1<<20))
+	ops := make([]OpType, 0, len(s.OpCounts))
+	for op := range s.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return s.OpCounts[ops[i]] > s.OpCounts[ops[j]] })
+	for _, op := range ops {
+		fmt.Fprintf(w, "  %-18s %4d\n", op, s.OpCounts[op])
+	}
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsKnownParamCounts(t *testing.T) {
+	// Published parameter counts (weights + biases, conv/fc only; our
+	// models add small batch-norm params on ResNet/MobileNet).
+	cases := []struct {
+		model  string
+		lo, hi float64 // millions of parameters
+	}{
+		{"alexnet", 57, 62},           // ~61M
+		{"vgg-16", 132, 140},          // ~138M
+		{"resnet-18", 11, 13},         // ~11.7M + bn
+		{"mobilenet-v1", 4.0, 4.5},    // ~4.2M + bn
+		{"squeezenet-v1.1", 1.0, 1.5}, // ~1.24M
+	}
+	for _, c := range cases {
+		g, err := Model(c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ComputeStats(g)
+		m := float64(s.Params) / 1e6
+		if m < c.lo || m > c.hi {
+			t.Errorf("%s: %.2fM params, want in [%v, %v]M", c.model, m, c.lo, c.hi)
+		}
+		if s.TotalFLOPs != g.TotalFLOPs() {
+			t.Errorf("%s: FLOPs mismatch", c.model)
+		}
+		if s.MaxActBytes <= 0 || s.ParamBytes != s.Params*4 {
+			t.Errorf("%s: footprint accounting wrong", c.model)
+		}
+	}
+}
+
+func TestStatsPrint(t *testing.T) {
+	g := MobileNetV1()
+	var buf bytes.Buffer
+	ComputeStats(g).Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mobilenet-v1") || !strings.Contains(out, "depthwise_conv2d") {
+		t.Fatalf("stats print missing content:\n%s", out)
+	}
+}
+
+func TestStatsOpCounts(t *testing.T) {
+	g := MobileNetV1()
+	s := ComputeStats(g)
+	if s.OpCounts[OpDepthwiseConv2D] != 13 {
+		t.Fatalf("depthwise count = %d, want 13", s.OpCounts[OpDepthwiseConv2D])
+	}
+	if s.OpCounts[OpConv2D] != 14 { // stem + 13 pointwise
+		t.Fatalf("conv count = %d, want 14", s.OpCounts[OpConv2D])
+	}
+	if s.OpCounts[OpInput] != 0 {
+		t.Fatal("inputs must not be counted")
+	}
+}

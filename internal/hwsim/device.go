@@ -1,0 +1,185 @@
+// Package hwsim is the stand-in for the paper's on-chip measurement
+// environment: an analytic GPU cost simulator parameterized like the
+// Nvidia GTX 1080 Ti the paper evaluates on. Given a workload and a
+// schedule configuration it derives launch geometry (blocks, threads,
+// shared memory, registers), rejects resource-infeasible configs, and
+// combines an occupancy-scaled compute roofline with a coalescing-scaled
+// memory roofline into a kernel time. A deterministic hash-based
+// ruggedness term and config-dependent measurement noise give the search
+// algorithms the multi-modal, noisy landscape that makes AutoTVM-style
+// tuning hard on real hardware.
+package hwsim
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Device describes a CUDA-like accelerator. All byte quantities are bytes.
+type Device struct {
+	Name               string
+	SMs                int
+	CoresPerSM         int
+	ClockGHz           float64
+	MemBWGBs           float64
+	SharedMemPerBlock  int
+	SharedMemPerSM     int
+	RegsPerSM          int
+	MaxRegsPerThread   int
+	MaxThreadsPerBlock int
+	MaxThreadsPerSM    int
+	MaxBlocksPerSM     int
+	WarpSize           int
+	L2Bytes            int
+	// LaunchOverheadMS is the fixed per-kernel launch cost.
+	LaunchOverheadMS float64
+	// FP16Ratio scales FP16 arithmetic throughput relative to FP32: 2.0 on
+	// architectures with native double-rate half precision (Volta, Tegra),
+	// 1/64 on Pascal GeForce parts where FP16 is deliberately crippled.
+	// Zero means FP16 runs at FP32 rate.
+	FP16Ratio float64
+}
+
+// GTX1080Ti returns the evaluation platform of the paper.
+func GTX1080Ti() Device {
+	return Device{
+		Name:               "GeForce GTX 1080 Ti",
+		SMs:                28,
+		CoresPerSM:         128,
+		ClockGHz:           1.582,
+		MemBWGBs:           484,
+		SharedMemPerBlock:  48 * 1024,
+		SharedMemPerSM:     96 * 1024,
+		RegsPerSM:          64 * 1024,
+		MaxRegsPerThread:   255,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    2048,
+		MaxBlocksPerSM:     32,
+		WarpSize:           32,
+		L2Bytes:            2816 * 1024,
+		LaunchOverheadMS:   0.004,
+		FP16Ratio:          1.0 / 64, // GP102 half rate is crippled
+	}
+}
+
+// TeslaV100 returns a data-center-class device: more SMs, HBM2 bandwidth.
+func TeslaV100() Device {
+	return Device{
+		Name:               "Tesla V100",
+		SMs:                80,
+		CoresPerSM:         64,
+		ClockGHz:           1.53,
+		MemBWGBs:           900,
+		SharedMemPerBlock:  48 * 1024,
+		SharedMemPerSM:     96 * 1024,
+		RegsPerSM:          64 * 1024,
+		MaxRegsPerThread:   255,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    2048,
+		MaxBlocksPerSM:     32,
+		WarpSize:           32,
+		L2Bytes:            6 * 1024 * 1024,
+		LaunchOverheadMS:   0.004,
+		FP16Ratio:          2.0,
+	}
+}
+
+// GTX1060 returns a mid-range consumer device (half the 1080 Ti).
+func GTX1060() Device {
+	return Device{
+		Name:               "GeForce GTX 1060",
+		SMs:                10,
+		CoresPerSM:         128,
+		ClockGHz:           1.708,
+		MemBWGBs:           192,
+		SharedMemPerBlock:  48 * 1024,
+		SharedMemPerSM:     96 * 1024,
+		RegsPerSM:          64 * 1024,
+		MaxRegsPerThread:   255,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    2048,
+		MaxBlocksPerSM:     32,
+		WarpSize:           32,
+		L2Bytes:            1536 * 1024,
+		LaunchOverheadMS:   0.005,
+		FP16Ratio:          1.0 / 64,
+	}
+}
+
+// JetsonTX2 returns an embedded device: few SMs, shared LPDDR4 bandwidth,
+// tighter shared-memory limits. Deployment configurations that win here
+// differ sharply from the desktop cards, which is what makes cross-device
+// retuning experiments interesting.
+func JetsonTX2() Device {
+	return Device{
+		Name:               "Jetson TX2",
+		SMs:                2,
+		CoresPerSM:         128,
+		ClockGHz:           1.3,
+		MemBWGBs:           59,
+		SharedMemPerBlock:  48 * 1024,
+		SharedMemPerSM:     64 * 1024,
+		RegsPerSM:          32 * 1024,
+		MaxRegsPerThread:   255,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    2048,
+		MaxBlocksPerSM:     32,
+		WarpSize:           32,
+		L2Bytes:            512 * 1024,
+		LaunchOverheadMS:   0.010,
+		FP16Ratio:          2.0, // Tegra X2 supports double-rate FP16
+	}
+}
+
+// Devices lists the built-in device models by name.
+func Devices() map[string]Device {
+	return map[string]Device{
+		"gtx1080ti": GTX1080Ti(),
+		"v100":      TeslaV100(),
+		"gtx1060":   GTX1060(),
+		"jetsontx2": JetsonTX2(),
+	}
+}
+
+// DeviceByName looks up a built-in device model.
+func DeviceByName(name string) (Device, bool) {
+	d, ok := Devices()[name]
+	return d, ok
+}
+
+// PeakGFLOPS returns the FP32 FMA peak throughput (2 flops per core per
+// cycle).
+func (d Device) PeakGFLOPS() float64 {
+	return float64(d.SMs) * float64(d.CoresPerSM) * 2 * d.ClockGHz
+}
+
+// PeakGFLOPSFor returns the arithmetic peak at the given precision.
+func (d Device) PeakGFLOPSFor(dt tensor.DType) float64 {
+	peak := d.PeakGFLOPS()
+	if dt == tensor.Float16 {
+		r := d.FP16Ratio
+		if r == 0 {
+			r = 1
+		}
+		return peak * r
+	}
+	return peak
+}
+
+// Validate checks the device parameters for internal consistency.
+func (d Device) Validate() error {
+	if d.SMs <= 0 || d.CoresPerSM <= 0 || d.ClockGHz <= 0 || d.MemBWGBs <= 0 {
+		return fmt.Errorf("hwsim: device %q has non-positive throughput parameters", d.Name)
+	}
+	if d.MaxThreadsPerBlock <= 0 || d.MaxThreadsPerSM < d.MaxThreadsPerBlock {
+		return fmt.Errorf("hwsim: device %q thread limits inconsistent", d.Name)
+	}
+	if d.SharedMemPerBlock <= 0 || d.SharedMemPerSM < d.SharedMemPerBlock {
+		return fmt.Errorf("hwsim: device %q shared memory limits inconsistent", d.Name)
+	}
+	if d.WarpSize <= 0 || d.MaxBlocksPerSM <= 0 || d.RegsPerSM <= 0 || d.MaxRegsPerThread <= 0 {
+		return fmt.Errorf("hwsim: device %q occupancy limits inconsistent", d.Name)
+	}
+	return nil
+}

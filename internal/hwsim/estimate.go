@@ -1,0 +1,407 @@
+package hwsim
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// Estimate is the deterministic ("true") performance model of one kernel
+// launch. Measurement noise is layered on top by Simulator.
+type Estimate struct {
+	Valid  bool
+	Reason string // why the config is infeasible, when !Valid
+
+	TimeMS    float64 // noiseless kernel time
+	ComputeMS float64 // compute-roofline component
+	MemoryMS  float64 // memory-roofline component
+	GFLOPS    float64 // workload FLOPs / TimeMS
+
+	Occupancy       float64 // achieved occupancy in [0, 1]
+	ThreadsPerBlock int
+	Blocks          int
+	SmemBytes       int
+	RegsPerThread   int
+	Sigma           float64 // run-to-run relative noise of this config
+}
+
+// launchGeometry captures the schedule-derived launch shape shared by the
+// per-operator models.
+type launchGeometry struct {
+	threads     int     // threads per block
+	blocks      int     // grid size
+	workPerThr  int     // output elements computed serially per thread
+	smemBytes   int     // shared memory per block
+	regsPerThr  int     // estimated registers per thread
+	spanX       int     // contiguous output extent per block along x (coalescing)
+	redInner    int     // innermost reduction tile length (unroll target)
+	trafficByte float64 // global memory traffic of the whole kernel
+}
+
+// Estimator evaluates configurations on a device. It is stateless and safe
+// for concurrent use.
+type Estimator struct {
+	Dev Device
+	// Ruggedness scales the deterministic per-config hash jitter (default
+	// 0.03 when zero): uncorrelated fine grain, un-climbable by any search.
+	Ruggedness float64
+	// LocalAmp scales the locally-smooth index-space component (default
+	// 0.18 when zero): low-frequency structure over knob option indices
+	// that neighboring configurations share. This models the many real
+	// micro-architectural effects that no simple feature-based cost model
+	// captures but that vary smoothly under small schedule perturbations —
+	// the locality assumption the paper's BAO explicitly relies on.
+	LocalAmp float64
+	// BaseSigma scales measurement noise (default 0.008 when zero).
+	BaseSigma float64
+}
+
+func (e Estimator) ruggedness() float64 {
+	if e.Ruggedness == 0 {
+		return 0.03
+	}
+	return e.Ruggedness
+}
+
+func (e Estimator) localAmp() float64 {
+	if e.LocalAmp == 0 {
+		return 0.18
+	}
+	return e.LocalAmp
+}
+
+func (e Estimator) baseSigma() float64 {
+	if e.BaseSigma == 0 {
+		return 0.008
+	}
+	return e.BaseSigma
+}
+
+// Estimate computes the noiseless performance of (workload, config).
+func (e Estimator) Estimate(w tensor.Workload, c space.Config) Estimate {
+	var g launchGeometry
+	var ok bool
+	var reason string
+	switch w.Op {
+	case tensor.OpConv2D:
+		g, ok, reason = convGeometry(w, c, false)
+	case tensor.OpDepthwiseConv2D:
+		g, ok, reason = convGeometry(w, c, true)
+	case tensor.OpDense:
+		g, ok, reason = denseGeometry(w, c)
+	default:
+		return Estimate{Valid: false, Reason: "unsupported operator"}
+	}
+	if !ok {
+		return Estimate{Valid: false, Reason: reason}
+	}
+	d := e.Dev
+	if g.threads <= 0 || g.threads > d.MaxThreadsPerBlock {
+		return Estimate{Valid: false, Reason: "threads per block exceeds device limit"}
+	}
+	if g.smemBytes > d.SharedMemPerBlock {
+		return Estimate{Valid: false, Reason: "shared memory per block exceeds device limit"}
+	}
+	if g.regsPerThr > 2*d.MaxRegsPerThread {
+		// Beyond 2x the architectural limit the compiler would fail the
+		// launch outright (register allocation cannot spill that much).
+		return Estimate{Valid: false, Reason: "register pressure infeasible"}
+	}
+
+	// ---- Occupancy -------------------------------------------------------
+	warps := (g.threads + d.WarpSize - 1) / d.WarpSize
+	blocksByThreads := d.MaxThreadsPerSM / (warps * d.WarpSize)
+	blocksBySmem := d.MaxBlocksPerSM
+	if g.smemBytes > 0 {
+		blocksBySmem = d.SharedMemPerSM / g.smemBytes
+	}
+	regsPerBlock := g.regsPerThr * g.threads
+	blocksByRegs := d.MaxBlocksPerSM
+	if regsPerBlock > 0 {
+		blocksByRegs = d.RegsPerSM / regsPerBlock
+	}
+	blocksPerSM := minInt(minInt(blocksByThreads, blocksBySmem), minInt(blocksByRegs, d.MaxBlocksPerSM))
+	if blocksPerSM <= 0 {
+		return Estimate{Valid: false, Reason: "block does not fit on an SM"}
+	}
+	occ := float64(blocksPerSM*warps*d.WarpSize) / float64(d.MaxThreadsPerSM)
+	if occ > 1 {
+		occ = 1
+	}
+
+	// ---- Compute roofline ------------------------------------------------
+	flops := float64(w.FLOPs())
+	// Latency hiding improves steeply up to ~50% occupancy, then saturates.
+	occEff := (1 - math.Exp(-5*occ)) / (1 - math.Exp(-5))
+	// Warp divergence: threads beyond the last full warp idle.
+	warpEff := float64(g.threads) / float64(warps*d.WarpSize)
+	// Instruction-level parallelism: a few serial outputs per thread keep
+	// the FMA pipes busy; a single output per thread stalls on latency.
+	ilp := float64(g.workPerThr)
+	ilpEff := 1 - 0.45/(1+0.6*ilp)
+	// Too much per-thread state spills to local memory.
+	spillEff := 1.0
+	if g.regsPerThr > d.MaxRegsPerThread {
+		spillEff = 1 / (1 + 0.8*math.Log2(float64(g.regsPerThr)/float64(d.MaxRegsPerThread)+1))
+	}
+	// Unrolling the inner reduction helps when it covers the loop; very
+	// aggressive unrolling of large bodies thrashes the instruction cache.
+	unrollEff := 1.0
+	if u, uok := c.EnumValue(space.KnobAutoUnroll); uok && u > 0 {
+		body := float64(g.redInner * g.workPerThr)
+		if float64(u) >= body {
+			unrollEff = 1.10
+		} else {
+			unrollEff = 1.04
+		}
+		if u >= 1500 && body > 256 {
+			unrollEff = 0.92 // icache thrash
+		}
+	}
+	if ex, exok := c.EnumValue(space.KnobUnrollExplicit); exok && ex == 1 {
+		unrollEff *= 1.02
+	}
+	computeEff := occEff * warpEff * ilpEff * spillEff * unrollEff
+	if computeEff < 0.01 {
+		computeEff = 0.01
+	}
+	computeMS := flops / (e.Dev.PeakGFLOPSFor(w.DType) * 1e9 * computeEff) * 1e3
+
+	// Grid-level tail effect: partial last wave leaves SMs idle.
+	slots := d.SMs * blocksPerSM
+	waves := (g.blocks + slots - 1) / slots
+	utilization := float64(g.blocks) / float64(waves*slots)
+	computeMS /= math.Max(utilization, 0.02)
+
+	// ---- Memory roofline ---------------------------------------------------
+	// Coalescing: full efficiency needs 32 contiguous floats per access row.
+	coalesce := math.Sqrt(math.Min(1, float64(g.spanX)/float64(d.WarpSize)))
+	memEff := (0.15 + 0.85*coalesce) * (0.5 + 0.5*occEff)
+	memMS := g.trafficByte / (d.MemBWGBs * 1e9 * memEff) * 1e3
+
+	timeMS := math.Max(computeMS, memMS)
+	// Overlap credit: compute and memory pipelines overlap partially.
+	timeMS += 0.25 * math.Min(computeMS, memMS)
+	timeMS += d.LaunchOverheadMS
+
+	// ---- Deterministic fine-grained structure -------------------------------
+	// Locally-smooth component over knob indices (climbable by neighborhood
+	// search) plus uncorrelated hash jitter (not climbable by anything).
+	timeMS *= 1 + e.localAmp()*localJitter(w.Key(), c)
+	timeMS *= 1 + e.ruggedness()*hashJitter(w.Key(), c.Flat())
+
+	// ---- Run-to-run noise level --------------------------------------------
+	memBound := 0.0
+	if memMS > computeMS {
+		memBound = 1.0
+	}
+	// Heavy-tailed across configs: well-occupied compute-bound kernels sit
+	// near the base noise floor, while low-occupancy or memory-bound
+	// stragglers are an order of magnitude noisier — the dispersion behind
+	// Table I's variance column.
+	lowOcc := (1 - occ) * (1 - occ)
+	sigma := e.baseSigma() * (1 + 6*lowOcc + 2.5*memBound + 1.5*(1-utilization))
+
+	return Estimate{
+		Valid:           true,
+		TimeMS:          timeMS,
+		ComputeMS:       computeMS,
+		MemoryMS:        memMS,
+		GFLOPS:          flops / (timeMS * 1e6),
+		Occupancy:       occ,
+		ThreadsPerBlock: g.threads,
+		Blocks:          g.blocks,
+		SmemBytes:       g.smemBytes,
+		RegsPerThread:   g.regsPerThr,
+		Sigma:           sigma,
+	}
+}
+
+// convGeometry derives launch geometry for direct conv2d (and depthwise
+// when dw is true) from the 4-way F/Y/X splits and 2-way reduction splits.
+func convGeometry(w tensor.Workload, c space.Config, dw bool) (launchGeometry, bool, string) {
+	tf := c.SplitFactors(space.KnobTileF)
+	ty := c.SplitFactors(space.KnobTileY)
+	tx := c.SplitFactors(space.KnobTileX)
+	if tf == nil || ty == nil || tx == nil {
+		return launchGeometry{}, false, "missing tile knobs"
+	}
+	// [block, vthread, thread, inner] per axis.
+	fB, fV, fT, fI := tf[0], tf[1], tf[2], tf[3]
+	yB, yV, yT, yI := ty[0], ty[1], ty[2], ty[3]
+	xB, xV, xT, xI := tx[0], tx[1], tx[2], tx[3]
+
+	rcI, ryI, rxI := 1, 1, 1
+	if !dw {
+		if rc := c.SplitFactors(space.KnobTileRC); rc != nil {
+			rcI = rc[1]
+		}
+		if ry := c.SplitFactors(space.KnobTileRY); ry != nil {
+			ryI = ry[1]
+		}
+		if rx := c.SplitFactors(space.KnobTileRX); rx != nil {
+			rxI = rx[1]
+		}
+	}
+
+	threads := fT * yT * xT
+	blocks := w.N * fB * yB * xB
+	workPerThr := fV * fI * yV * yI * xV * xI
+
+	// Output span of one block, and the padded input span it stages.
+	fSpan := fV * fT * fI
+	ySpan := yV * yT * yI
+	xSpan := xV * xT * xI
+	inYSpan := (ySpan-1)*w.SH + w.KH
+	inXSpan := (xSpan-1)*w.SW + w.KW
+
+	es := w.DType.Size()
+	var smem int
+	var traffic float64
+	if dw {
+		// Depthwise: each block stages its channel slice of the input and a
+		// KHxKW filter per channel.
+		smem = (inYSpan*inXSpan*fSpan + fSpan*w.KH*w.KW) * es
+		traffic = float64(blocks) * float64(inYSpan*inXSpan*fSpan+fSpan*w.KH*w.KW) * float64(es)
+	} else {
+		// Direct conv: stage rcI input channels and the matching filter tile
+		// per reduction step; total traffic sums over C/rcI steps.
+		smem = (inYSpan*inXSpan*rcI + rcI*ryI*rxI*fSpan) * es
+		rcSteps := (w.C + rcI - 1) / rcI
+		perStep := float64(inYSpan*inXSpan*rcI+rcI*w.KH*w.KW*fSpan) * float64(es)
+		traffic = float64(blocks) * perStep * float64(rcSteps)
+	}
+	// Output writeback.
+	traffic += float64(w.OutputBytes())
+
+	regs := 24 + workPerThr + 2*rcI*ryI*rxI
+	if dw {
+		regs = 24 + workPerThr + 2*w.KH*w.KW
+	}
+
+	redInner := rcI * ryI * rxI
+	if dw {
+		redInner = w.KH * w.KW
+	}
+
+	if threads <= 0 || blocks <= 0 {
+		return launchGeometry{}, false, "degenerate launch geometry"
+	}
+	return launchGeometry{
+		threads:     threads,
+		blocks:      blocks,
+		workPerThr:  workPerThr,
+		smemBytes:   smem,
+		regsPerThr:  regs,
+		spanX:       xT * xI, // contiguous floats accessed per thread row
+		redInner:    redInner,
+		trafficByte: traffic,
+	}, true, ""
+}
+
+// denseGeometry derives geometry for the dense (fully-connected) template:
+// a 4-way split of the output axis and a 2-way split of the reduction axis
+// whose inner part is cooperatively reduced through shared memory.
+func denseGeometry(w tensor.Workload, c space.Config) (launchGeometry, bool, string) {
+	tf := c.SplitFactors(space.KnobTileF)
+	tk := c.SplitFactors(space.KnobTileK)
+	if tf == nil || tk == nil {
+		return launchGeometry{}, false, "missing tile knobs"
+	}
+	fB, fV, fT, fI := tf[0], tf[1], tf[2], tf[3]
+	_, kI := tk[0], tk[1]
+
+	threads := fT * kI
+	blocks := w.N * fB
+	workPerThr := fV * fI
+	es := w.DType.Size()
+	// Reduction scratch + a staged slice of the input vector.
+	smem := (fT*kI + kI) * es
+	// GEMV traffic: the weight matrix dominates; the input vector is read
+	// once per block.
+	traffic := float64(w.F)*float64(w.C)*float64(es) +
+		float64(blocks)*float64(w.C)*float64(es) +
+		float64(w.OutputBytes())
+	regs := 20 + 2*workPerThr + kI/8
+
+	if threads <= 0 || blocks <= 0 {
+		return launchGeometry{}, false, "degenerate launch geometry"
+	}
+	return launchGeometry{
+		threads:     threads,
+		blocks:      blocks,
+		workPerThr:  workPerThr,
+		smemBytes:   smem,
+		regsPerThr:  regs,
+		spanX:       kI, // contiguous reduction reads
+		redInner:    kI,
+		trafficByte: traffic,
+	}, true, ""
+}
+
+// localJitter is a deterministic, locally-smooth function of the knob
+// option indices: a small sum of low-frequency sinusoids per knob whose
+// phases and frequencies derive from the workload key. Values are roughly
+// in [-1, 1]; adjacent configurations (differing by small index offsets)
+// receive similar values, so neighborhood search can climb this component,
+// while no log-factor feature model can represent it globally.
+func localJitter(key string, c space.Config) float64 {
+	idx := c.Index
+	sp := c.Space()
+	if sp == nil || len(idx) == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	base := h.Sum64()
+	total := 0.0
+	for i, v := range idx {
+		kLen := sp.Knob(i).Len()
+		if kLen < 2 {
+			continue
+		}
+		pos := float64(v) / float64(kLen-1) // 0..1 along the knob axis
+		// Two harmonics per knob with workload-derived phase/frequency.
+		s := splitmix(base + uint64(i)*0x9e3779b97f4a7c15)
+		phase1 := float64(s%10000) / 10000 * 2 * math.Pi
+		freq1 := 1 + float64((s>>16)%3) // 1..3 periods across the axis
+		s2 := splitmix(s)
+		phase2 := float64(s2%10000) / 10000 * 2 * math.Pi
+		freq2 := 3 + float64((s2>>16)%4) // 3..6 periods
+		total += math.Sin(2*math.Pi*freq1*pos+phase1) + 0.5*math.Sin(2*math.Pi*freq2*pos+phase2)
+	}
+	// Normalize to unit-ish scale: each knob contributes mean-zero terms
+	// with combined RMS ~= sqrt(1/2 + 1/8).
+	return total / (0.8 * math.Sqrt(float64(len(idx))) * 1.4)
+}
+
+// splitmix is SplitMix64, a cheap deterministic bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashJitter maps (workload, flat config) to a deterministic value in
+// [-1, 1], giving the loss surface reproducible fine-grained structure.
+func hashJitter(key string, flat uint64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(flat >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	v := h.Sum64()
+	return float64(v%200001)/100000 - 1
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

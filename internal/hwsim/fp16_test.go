@@ -1,0 +1,76 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+func TestPeakGFLOPSFor(t *testing.T) {
+	v100 := TeslaV100()
+	if got := v100.PeakGFLOPSFor(tensor.Float16); got != 2*v100.PeakGFLOPS() {
+		t.Fatalf("V100 fp16 peak = %v", got)
+	}
+	ti := GTX1080Ti()
+	if got := ti.PeakGFLOPSFor(tensor.Float16); got >= ti.PeakGFLOPS()/32 {
+		t.Fatalf("1080 Ti fp16 peak should be crippled, got %v", got)
+	}
+	if ti.PeakGFLOPSFor(tensor.Float32) != ti.PeakGFLOPS() {
+		t.Fatal("fp32 peak must be unchanged")
+	}
+	var noRatio Device
+	noRatio = ti
+	noRatio.FP16Ratio = 0
+	if noRatio.PeakGFLOPSFor(tensor.Float16) != noRatio.PeakGFLOPS() {
+		t.Fatal("zero ratio should mean fp32 rate")
+	}
+}
+
+// bestOf samples configs and returns the best valid estimate.
+func bestOf(t *testing.T, est Estimator, w tensor.Workload, n int, seed int64) float64 {
+	t.Helper()
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := 0.0
+	for i := 0; i < n; i++ {
+		if e := est.Estimate(w, sp.Random(rng)); e.Valid && e.GFLOPS > best {
+			best = e.GFLOPS
+		}
+	}
+	if best == 0 {
+		t.Fatal("no valid config")
+	}
+	return best
+}
+
+func TestFP16FasterOnVoltaSlowerOnPascal(t *testing.T) {
+	fp32 := tensor.Conv2D(1, 128, 28, 28, 128, 3, 1, 1)
+	fp16 := fp32
+	fp16.DType = tensor.Float16
+
+	v100 := Estimator{Dev: TeslaV100()}
+	if b16, b32 := bestOf(t, v100, fp16, 3000, 1), bestOf(t, v100, fp32, 3000, 1); b16 <= b32 {
+		t.Fatalf("V100 fp16 best %.0f should beat fp32 %.0f", b16, b32)
+	}
+	pascal := Estimator{Dev: GTX1080Ti()}
+	if b16, b32 := bestOf(t, pascal, fp16, 3000, 2), bestOf(t, pascal, fp32, 3000, 2); b16 >= b32 {
+		t.Fatalf("1080 Ti fp16 best %.0f should lose to fp32 %.0f", b16, b32)
+	}
+}
+
+func TestFP16HalvesMemoryFootprint(t *testing.T) {
+	fp32 := tensor.Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	fp16 := fp32
+	fp16.DType = tensor.Float16
+	if fp16.InputBytes()*2 != fp32.InputBytes() {
+		t.Fatal("fp16 input bytes should halve")
+	}
+	if fp16.FLOPs() != fp32.FLOPs() {
+		t.Fatal("precision must not change FLOP count")
+	}
+}

@@ -1,0 +1,440 @@
+package hwsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+func TestGTX1080TiParameters(t *testing.T) {
+	d := GTX1080Ti()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The real card peaks around 11.3 TFLOPS.
+	if p := d.PeakGFLOPS(); p < 10000 || p > 12500 {
+		t.Fatalf("peak = %.0f GFLOPS, want ~11300", p)
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	bad := GTX1080Ti()
+	bad.SMs = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero SMs should be invalid")
+	}
+	bad = GTX1080Ti()
+	bad.MaxThreadsPerSM = 100
+	if bad.Validate() == nil {
+		t.Fatal("threads-per-SM < threads-per-block should be invalid")
+	}
+	bad = GTX1080Ti()
+	bad.SharedMemPerSM = 1
+	if bad.Validate() == nil {
+		t.Fatal("smem inconsistency should be invalid")
+	}
+	bad = GTX1080Ti()
+	bad.WarpSize = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero warp should be invalid")
+	}
+}
+
+func convSpace(t *testing.T, w tensor.Workload) *space.Space {
+	t.Helper()
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestEstimateValidFraction(t *testing.T) {
+	// A healthy template space has both feasible and infeasible points.
+	w := tensor.Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(1))
+	valid, invalid := 0, 0
+	for i := 0; i < 2000; i++ {
+		e := est.Estimate(w, sp.Random(rng))
+		if e.Valid {
+			valid++
+			if e.TimeMS <= 0 || e.GFLOPS <= 0 {
+				t.Fatal("valid estimate must have positive time and throughput")
+			}
+			if e.Occupancy <= 0 || e.Occupancy > 1 {
+				t.Fatalf("occupancy %v out of range", e.Occupancy)
+			}
+			if e.Sigma <= 0 {
+				t.Fatal("sigma must be positive")
+			}
+		} else {
+			invalid++
+			if e.Reason == "" {
+				t.Fatal("invalid estimate must carry a reason")
+			}
+		}
+	}
+	if valid == 0 || invalid == 0 {
+		t.Fatalf("degenerate space: %d valid / %d invalid", valid, invalid)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	w := tensor.Conv2D(1, 32, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		c := sp.Random(rng)
+		a := est.Estimate(w, c)
+		b := est.Estimate(w, c)
+		if a != b {
+			t.Fatal("Estimate must be deterministic")
+		}
+	}
+}
+
+func TestEstimateGFLOPSBelowPeak(t *testing.T) {
+	dev := GTX1080Ti()
+	est := Estimator{Dev: dev}
+	for _, w := range []tensor.Workload{
+		tensor.Conv2D(1, 128, 28, 28, 128, 3, 1, 1),
+		tensor.DepthwiseConv2D(1, 128, 56, 56, 3, 1, 1),
+		tensor.Dense(1, 4096, 4096),
+	} {
+		sp := convSpace(t, w)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 500; i++ {
+			e := est.Estimate(w, sp.Random(rng))
+			if e.Valid && e.GFLOPS > dev.PeakGFLOPS() {
+				t.Fatalf("%v: estimate %.0f GFLOPS exceeds peak %.0f", w.Op, e.GFLOPS, dev.PeakGFLOPS())
+			}
+		}
+	}
+}
+
+func TestEstimateLandscapeHasSpread(t *testing.T) {
+	// The tuning problem is only meaningful if config choice matters: the
+	// best sampled config should beat the median by a wide margin.
+	w := tensor.Conv2D(1, 64, 56, 56, 128, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(11))
+	var gf []float64
+	for i := 0; i < 3000; i++ {
+		e := est.Estimate(w, sp.Random(rng))
+		if e.Valid {
+			gf = append(gf, e.GFLOPS)
+		}
+	}
+	if len(gf) < 100 {
+		t.Fatalf("too few valid configs: %d", len(gf))
+	}
+	best, sum := 0.0, 0.0
+	for _, g := range gf {
+		if g > best {
+			best = g
+		}
+		sum += g
+	}
+	mean := sum / float64(len(gf))
+	if best < 3*mean {
+		t.Fatalf("landscape too flat: best %.0f vs mean %.0f", best, mean)
+	}
+}
+
+func TestResourceLimitsRejectHugeBlocks(t *testing.T) {
+	// Force a configuration with threads > 1024 and check rejection.
+	w := tensor.Conv2D(1, 64, 64, 64, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	// Find the option index with the largest thread product for each axis.
+	pickMaxThread := func(name string) int {
+		k := sp.KnobByName(name).(*space.SplitKnob)
+		bestI, bestV := 0, 0
+		for i := 0; i < k.Len(); i++ {
+			f := k.Factors(i)
+			if f[2] > bestV {
+				bestV = f[2]
+				bestI = i
+			}
+		}
+		return bestI
+	}
+	idx := make([]int, sp.NumKnobs())
+	for i := 0; i < sp.NumKnobs(); i++ {
+		switch sp.Knob(i).Name() {
+		case space.KnobTileF:
+			idx[i] = pickMaxThread(space.KnobTileF)
+		case space.KnobTileY:
+			idx[i] = pickMaxThread(space.KnobTileY)
+		case space.KnobTileX:
+			idx[i] = pickMaxThread(space.KnobTileX)
+		}
+	}
+	c, err := sp.FromIndices(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := est.Estimate(w, c)
+	if e.Valid {
+		t.Fatalf("64*64*64-thread block should be rejected, got %+v", e)
+	}
+}
+
+func TestMeasureNoiseAndCounting(t *testing.T) {
+	w := tensor.Conv2D(1, 32, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	sim := NewSimulator(GTX1080Ti(), 42)
+	rng := rand.New(rand.NewSource(5))
+	var c space.Config
+	est := sim.Estimator()
+	for {
+		c = sp.Random(rng)
+		if est.Estimate(w, c).Valid {
+			break
+		}
+	}
+	truth := est.Estimate(w, c)
+	n := 200
+	var acc, dev float64
+	for i := 0; i < n; i++ {
+		m := sim.Measure(w, c)
+		if !m.Valid {
+			t.Fatal("valid config should measure")
+		}
+		acc += m.TimeMS
+		d := m.TimeMS - truth.TimeMS
+		dev += d * d
+	}
+	if sim.MeasureCount() != int64(n) {
+		t.Fatalf("count = %d, want %d", sim.MeasureCount(), n)
+	}
+	mean := acc / float64(n)
+	if math.Abs(mean-truth.TimeMS)/truth.TimeMS > 0.05 {
+		t.Fatalf("noisy mean %.4f far from truth %.4f", mean, truth.TimeMS)
+	}
+	if dev == 0 {
+		t.Fatal("measurements should be noisy")
+	}
+	sim.ResetCount()
+	if sim.MeasureCount() != 0 {
+		t.Fatal("ResetCount failed")
+	}
+}
+
+func TestMeasureInvalidConfig(t *testing.T) {
+	w := tensor.Conv2D(1, 64, 64, 64, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	sim := NewSimulator(GTX1080Ti(), 1)
+	est := sim.Estimator()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		c := sp.Random(rng)
+		if !est.Estimate(w, c).Valid {
+			m := sim.Measure(w, c)
+			if m.Valid || m.Error == "" || m.GFLOPS != 0 {
+				t.Fatalf("invalid config measured as %+v", m)
+			}
+			return
+		}
+	}
+	t.Skip("no invalid config sampled")
+}
+
+func TestNetworkLatency(t *testing.T) {
+	w1 := tensor.Conv2D(1, 32, 56, 56, 64, 3, 1, 1)
+	w2 := tensor.DepthwiseConv2D(1, 64, 56, 56, 3, 1, 1)
+	sim := NewSimulator(GTX1080Ti(), 10)
+	est := sim.Estimator()
+	rng := rand.New(rand.NewSource(2))
+	pick := func(w tensor.Workload) space.Config {
+		sp := convSpace(t, w)
+		for {
+			c := sp.Random(rng)
+			if est.Estimate(w, c).Valid {
+				return c
+			}
+		}
+	}
+	deps := []Deployment{
+		{Workload: w1, Config: pick(w1), Count: 2},
+		{Workload: w2, Config: pick(w2), Count: 1},
+	}
+	mean, variance, err := sim.NetworkLatency(deps, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := est.Estimate(w1, deps[0].Config)
+	e2 := est.Estimate(w2, deps[1].Config)
+	expect := 2*e1.TimeMS + e2.TimeMS + FrameworkOverheadMS
+	if math.Abs(mean-expect)/expect > 0.05 {
+		t.Fatalf("latency mean %.4f, expected about %.4f", mean, expect)
+	}
+	if variance <= 0 {
+		t.Fatal("variance should be positive")
+	}
+	if _, _, err := sim.NetworkLatency(deps, 0); err == nil {
+		t.Fatal("zero runs should error")
+	}
+}
+
+func TestNetworkLatencyInfeasible(t *testing.T) {
+	w := tensor.Conv2D(1, 64, 64, 64, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	sim := NewSimulator(GTX1080Ti(), 3)
+	est := sim.Estimator()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		c := sp.Random(rng)
+		if !est.Estimate(w, c).Valid {
+			if _, _, err := sim.NetworkLatency([]Deployment{{Workload: w, Config: c}}, 10); err == nil {
+				t.Fatal("infeasible deployment should error")
+			}
+			return
+		}
+	}
+	t.Skip("no invalid config sampled")
+}
+
+func TestBetterConfigLowerSigma(t *testing.T) {
+	// The Table-I variance mechanism: higher-GFLOPS configs should on
+	// average carry lower run-to-run noise.
+	w := tensor.Conv2D(1, 128, 28, 28, 128, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(17))
+	type pt struct{ g, s float64 }
+	var pts []pt
+	for i := 0; i < 4000; i++ {
+		e := est.Estimate(w, sp.Random(rng))
+		if e.Valid {
+			pts = append(pts, pt{e.GFLOPS, e.Sigma})
+		}
+	}
+	if len(pts) < 200 {
+		t.Fatalf("too few valid points: %d", len(pts))
+	}
+	// Compare mean sigma of the top GFLOPS decile vs the bottom decile.
+	bestG := 0.0
+	for _, p := range pts {
+		if p.g > bestG {
+			bestG = p.g
+		}
+	}
+	var hi, lo []float64
+	for _, p := range pts {
+		if p.g > 0.5*bestG {
+			hi = append(hi, p.s)
+		} else if p.g < 0.1*bestG {
+			lo = append(lo, p.s)
+		}
+	}
+	if len(hi) == 0 || len(lo) == 0 {
+		t.Skip("not enough spread to compare")
+	}
+	mhi, mlo := 0.0, 0.0
+	for _, s := range hi {
+		mhi += s
+	}
+	for _, s := range lo {
+		mlo += s
+	}
+	mhi /= float64(len(hi))
+	mlo /= float64(len(lo))
+	if mhi >= mlo {
+		t.Fatalf("good configs sigma %.4f should be below bad configs %.4f", mhi, mlo)
+	}
+}
+
+func TestHashJitterRange(t *testing.T) {
+	f := func(flat uint64) bool {
+		v := hashJitter("conv_x", flat)
+		return v >= -1 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if hashJitter("a", 1) == hashJitter("b", 1) {
+		t.Fatal("jitter should depend on workload key")
+	}
+	if hashJitter("a", 1) != hashJitter("a", 1) {
+		t.Fatal("jitter must be deterministic")
+	}
+}
+
+func TestEstimatorCustomScales(t *testing.T) {
+	w := tensor.Conv2D(1, 32, 28, 28, 32, 3, 1, 1)
+	sp := convSpace(t, w)
+	rng := rand.New(rand.NewSource(8))
+	smooth := Estimator{Dev: GTX1080Ti(), Ruggedness: 1e-9, BaseSigma: 1e-9}
+	rough := Estimator{Dev: GTX1080Ti(), Ruggedness: 0.2}
+	var c space.Config
+	for {
+		c = sp.Random(rng)
+		if smooth.Estimate(w, c).Valid {
+			break
+		}
+	}
+	a := smooth.Estimate(w, c)
+	b := rough.Estimate(w, c)
+	if a.TimeMS == b.TimeMS {
+		t.Fatal("ruggedness scale should change the landscape")
+	}
+	if a.Sigma >= (Estimator{Dev: GTX1080Ti()}).baseSigma() {
+		t.Fatal("custom sigma scale not applied")
+	}
+	sim := NewSimulatorWith(smooth, 1)
+	if sim.Estimator().Ruggedness != 1e-9 {
+		t.Fatal("NewSimulatorWith lost settings")
+	}
+}
+
+func TestDepthwiseAndDenseEstimates(t *testing.T) {
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(21))
+	for _, w := range []tensor.Workload{
+		tensor.DepthwiseConv2D(1, 256, 14, 14, 3, 1, 1),
+		tensor.Dense(1, 9216, 4096),
+	} {
+		sp := convSpace(t, w)
+		found := false
+		for i := 0; i < 3000; i++ {
+			e := est.Estimate(w, sp.Random(rng))
+			if e.Valid {
+				found = true
+				if e.GFLOPS <= 0 || e.TimeMS <= 0 {
+					t.Fatalf("%v: bad estimate %+v", w.Op, e)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%v: no valid config found", w.Op)
+		}
+	}
+	// Unsupported op.
+	bad := tensor.Workload{Op: tensor.OpKind(9), N: 1, C: 1, F: 1}
+	if est.Estimate(bad, space.Config{}).Valid {
+		t.Fatal("unsupported op should be invalid")
+	}
+}
+
+func TestBestPossibleGFLOPS(t *testing.T) {
+	w := tensor.Conv2D(1, 64, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	sim := NewSimulator(GTX1080Ti(), 6)
+	before := sim.MeasureCount()
+	g := sim.BestPossibleGFLOPS(w, sp, 500, 1)
+	if g <= 0 {
+		t.Fatal("bound should be positive")
+	}
+	if sim.MeasureCount() != before {
+		t.Fatal("diagnostics must not consume measurement budget")
+	}
+}

@@ -1,0 +1,73 @@
+package hwsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// Lower renders the schedule a configuration denotes as human-readable
+// pseudo-code (in the spirit of TVM's `tvm.lower` output), together with
+// the derived launch geometry and resource footprint. It is a debugging
+// and documentation aid; the estimator consumes the geometry directly.
+func (e Estimator) Lower(w tensor.Workload, c space.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// schedule for %s\n", w.Key())
+	est := e.Estimate(w, c)
+
+	switch w.Op {
+	case tensor.OpConv2D, tensor.OpDepthwiseConv2D:
+		tf := c.SplitFactors(space.KnobTileF)
+		ty := c.SplitFactors(space.KnobTileY)
+		tx := c.SplitFactors(space.KnobTileX)
+		if tf == nil || ty == nil || tx == nil {
+			return b.String() + "// <missing tile knobs>\n"
+		}
+		fmt.Fprintf(&b, "split f  -> [block=%d, vthread=%d, thread=%d, serial=%d]\n", tf[0], tf[1], tf[2], tf[3])
+		fmt.Fprintf(&b, "split y  -> [block=%d, vthread=%d, thread=%d, serial=%d]\n", ty[0], ty[1], ty[2], ty[3])
+		fmt.Fprintf(&b, "split x  -> [block=%d, vthread=%d, thread=%d, serial=%d]\n", tx[0], tx[1], tx[2], tx[3])
+		if w.Op == tensor.OpConv2D {
+			if rc := c.SplitFactors(space.KnobTileRC); rc != nil {
+				fmt.Fprintf(&b, "split rc -> [outer=%d, inner=%d]\n", rc[0], rc[1])
+			}
+			if ry := c.SplitFactors(space.KnobTileRY); ry != nil {
+				fmt.Fprintf(&b, "split ry -> [outer=%d, inner=%d]\n", ry[0], ry[1])
+			}
+			if rx := c.SplitFactors(space.KnobTileRX); rx != nil {
+				fmt.Fprintf(&b, "split rx -> [outer=%d, inner=%d]\n", rx[0], rx[1])
+			}
+		}
+		fmt.Fprintf(&b, "bind blockIdx  = (n, f.block, y.block, x.block)\n")
+		fmt.Fprintf(&b, "bind threadIdx = (f.thread, y.thread, x.thread)\n")
+	case tensor.OpDense:
+		tf := c.SplitFactors(space.KnobTileF)
+		tk := c.SplitFactors(space.KnobTileK)
+		if tf == nil || tk == nil {
+			return b.String() + "// <missing tile knobs>\n"
+		}
+		fmt.Fprintf(&b, "split out -> [block=%d, vthread=%d, thread=%d, serial=%d]\n", tf[0], tf[1], tf[2], tf[3])
+		fmt.Fprintf(&b, "split k   -> [outer=%d, coop-threads=%d]\n", tk[0], tk[1])
+		fmt.Fprintf(&b, "bind blockIdx  = (n, out.block)\n")
+		fmt.Fprintf(&b, "bind threadIdx = (out.thread, k.coop)\n")
+	}
+
+	if u, ok := c.EnumValue(space.KnobAutoUnroll); ok {
+		fmt.Fprintf(&b, "pragma auto_unroll_max_step = %d\n", u)
+	}
+	if ex, ok := c.EnumValue(space.KnobUnrollExplicit); ok {
+		fmt.Fprintf(&b, "pragma unroll_explicit = %d\n", ex)
+	}
+
+	if !est.Valid {
+		fmt.Fprintf(&b, "// INFEASIBLE on %s: %s\n", e.Dev.Name, est.Reason)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "// launch: %d blocks x %d threads\n", est.Blocks, est.ThreadsPerBlock)
+	fmt.Fprintf(&b, "// smem %d B/block, ~%d regs/thread, occupancy %.2f\n",
+		est.SmemBytes, est.RegsPerThread, est.Occupancy)
+	fmt.Fprintf(&b, "// model: %.4f ms (compute %.4f, memory %.4f) -> %.1f GFLOPS on %s\n",
+		est.TimeMS, est.ComputeMS, est.MemoryMS, est.GFLOPS, e.Dev.Name)
+	return b.String()
+}

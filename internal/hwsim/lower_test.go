@@ -1,0 +1,111 @@
+package hwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+func TestLowerConv(t *testing.T) {
+	w := tensor.Conv2D(1, 32, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(1))
+	var valid, invalid bool
+	for i := 0; i < 3000 && !(valid && invalid); i++ {
+		c := sp.Random(rng)
+		out := est.Lower(w, c)
+		if !strings.Contains(out, "split f") || !strings.Contains(out, "bind blockIdx") {
+			t.Fatalf("lowering missing sections:\n%s", out)
+		}
+		if strings.Contains(out, "INFEASIBLE") {
+			invalid = true
+		} else {
+			if !strings.Contains(out, "GFLOPS") || !strings.Contains(out, "occupancy") {
+				t.Fatalf("valid lowering missing model line:\n%s", out)
+			}
+			valid = true
+		}
+	}
+	if !valid || !invalid {
+		t.Fatalf("expected both valid and infeasible lowerings (valid=%v invalid=%v)", valid, invalid)
+	}
+}
+
+func TestLowerDepthwiseAndDense(t *testing.T) {
+	est := Estimator{Dev: GTX1080Ti()}
+	rng := rand.New(rand.NewSource(2))
+
+	dw := tensor.DepthwiseConv2D(1, 64, 56, 56, 3, 1, 1)
+	dsp := convSpace(t, dw)
+	out := est.Lower(dw, dsp.Random(rng))
+	if !strings.Contains(out, "split f") || strings.Contains(out, "split rc") {
+		t.Fatalf("depthwise lowering wrong:\n%s", out)
+	}
+
+	d := tensor.Dense(1, 1024, 1000)
+	spd := convSpace(t, d)
+	out = est.Lower(d, spd.Random(rng))
+	if !strings.Contains(out, "split out") || !strings.Contains(out, "coop-threads") {
+		t.Fatalf("dense lowering wrong:\n%s", out)
+	}
+}
+
+func TestLowerMissingKnobs(t *testing.T) {
+	// A config from an alien space lacks the template knobs; Lower must
+	// degrade gracefully.
+	w := tensor.Conv2D(1, 8, 8, 8, 8, 3, 1, 1)
+	alien := space.New(space.NewEnumKnob("zzz", 1, 2))
+	est := Estimator{Dev: GTX1080Ti()}
+	out := est.Lower(w, alien.FromFlat(0))
+	if !strings.Contains(out, "missing tile knobs") {
+		t.Fatalf("expected missing-knob note:\n%s", out)
+	}
+}
+
+func TestDeviceRegistry(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 4 {
+		t.Fatalf("device registry has %d entries", len(devs))
+	}
+	for name, d := range devs {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, ok := DeviceByName("gtx1080ti"); !ok {
+		t.Fatal("gtx1080ti missing")
+	}
+	if _, ok := DeviceByName("tpu"); ok {
+		t.Fatal("unknown device should miss")
+	}
+	// Peak ordering sanity: V100 > 1080 Ti > 1060 > TX2.
+	if !(TeslaV100().PeakGFLOPS() > GTX1080Ti().PeakGFLOPS() &&
+		GTX1080Ti().PeakGFLOPS() > GTX1060().PeakGFLOPS() &&
+		GTX1060().PeakGFLOPS() > JetsonTX2().PeakGFLOPS()) {
+		t.Fatal("device peak ordering wrong")
+	}
+}
+
+func TestSameConfigDiffersAcrossDevices(t *testing.T) {
+	w := tensor.Conv2D(1, 64, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	rng := rand.New(rand.NewSource(3))
+	big := Estimator{Dev: TeslaV100()}
+	small := Estimator{Dev: JetsonTX2()}
+	for i := 0; i < 2000; i++ {
+		c := sp.Random(rng)
+		eb := big.Estimate(w, c)
+		es := small.Estimate(w, c)
+		if eb.Valid && es.Valid {
+			if eb.GFLOPS <= es.GFLOPS {
+				t.Fatalf("V100 (%.0f) should beat TX2 (%.0f) on the same config", eb.GFLOPS, es.GFLOPS)
+			}
+			return
+		}
+	}
+	t.Skip("no mutually valid config sampled")
+}

@@ -1,0 +1,175 @@
+// Package linalg provides the small dense linear-algebra kernels needed by
+// transductive experimental design: Gram/distance matrices, column norms and
+// symmetric rank-1 downdates. It is not a general matrix library; it holds
+// exactly what the active-learning core needs, implemented with flat
+// row-major storage for cache friendliness.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix dims %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// ColNorm2 returns the squared Euclidean norm of column j.
+func (m *Matrix) ColNorm2(j int) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		v := m.Data[i*m.Cols+j]
+		s += v * v
+	}
+	return s
+}
+
+// ColNorms2 returns the squared Euclidean norms of all columns. It walks the
+// matrix row-major once, which is far faster than per-column passes.
+func (m *Matrix) ColNorms2() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v * v
+		}
+	}
+	return out
+}
+
+// Rank1Downdate applies K <- K - K_x K_x^T / denom in place, where K_x is
+// column x of the current K. This is line 5 of the paper's Algorithm 1.
+// It panics if the matrix is not square or denom is not positive.
+func (m *Matrix) Rank1Downdate(x int, denom float64) {
+	if m.Rows != m.Cols {
+		panic("linalg: Rank1Downdate requires a square matrix")
+	}
+	if denom <= 0 {
+		panic("linalg: Rank1Downdate requires positive denominator")
+	}
+	n := m.Rows
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		col[i] = m.Data[i*n+x]
+	}
+	inv := 1.0 / denom
+	for i := 0; i < n; i++ {
+		ci := col[i] * inv
+		if ci == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] -= ci * col[j]
+		}
+	}
+}
+
+// Dist2 returns the squared Euclidean distance between vectors a and b,
+// which must have equal length.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Kernel computes a pairwise similarity between two feature vectors. TED
+// builds its K matrix from one of these.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Name identifies the kernel in logs and records.
+	Name() string
+}
+
+// RBFKernel is exp(-gamma * ||a-b||^2), the usual smooth choice for TED.
+type RBFKernel struct{ Gamma float64 }
+
+// Eval implements Kernel.
+func (k RBFKernel) Eval(a, b []float64) float64 { return math.Exp(-k.Gamma * Dist2(a, b)) }
+
+// Name implements Kernel.
+func (k RBFKernel) Name() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// LinearKernel is the plain inner product, the kernel of the original TED
+// formulation (Yu, Bi, Tresp 2006).
+type LinearKernel struct{}
+
+// Eval implements Kernel.
+func (LinearKernel) Eval(a, b []float64) float64 { return Dot(a, b) }
+
+// Name implements Kernel.
+func (LinearKernel) Name() string { return "linear" }
+
+// DistanceKernel uses the raw Euclidean distance as the matrix entry,
+// matching the paper's literal statement that "k(v1, v2) ... is computed as
+// Euclidean distance".
+type DistanceKernel struct{}
+
+// Eval implements Kernel.
+func (DistanceKernel) Eval(a, b []float64) float64 { return Dist(a, b) }
+
+// Name implements Kernel.
+func (DistanceKernel) Name() string { return "euclidean" }
+
+// GramMatrix builds the |V| x |V| kernel matrix over the given vectors.
+// The result is symmetric; only the upper triangle is computed directly.
+func GramMatrix(vecs [][]float64, k Kernel) *Matrix {
+	n := len(vecs)
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(vecs[i], vecs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}

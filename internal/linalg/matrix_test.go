@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	r := m.Row(1)
+	if len(r) != 3 || r[2] != 5 {
+		t.Fatal("Row view broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestColNorms(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 0, 4)
+	m.Set(0, 1, 1)
+	if m.ColNorm2(0) != 25 {
+		t.Fatalf("ColNorm2(0) = %v", m.ColNorm2(0))
+	}
+	all := m.ColNorms2()
+	if all[0] != 25 || all[1] != 1 {
+		t.Fatalf("ColNorms2 = %v", all)
+	}
+}
+
+func TestColNorms2MatchesColNorm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(7, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	all := m.ColNorms2()
+	for j := 0; j < m.Cols; j++ {
+		if !almostEq(all[j], m.ColNorm2(j), 1e-12) {
+			t.Fatalf("col %d: %v vs %v", j, all[j], m.ColNorm2(j))
+		}
+	}
+}
+
+func TestRank1Downdate(t *testing.T) {
+	// K = [[2,1],[1,2]], downdate on column 0 with denom k(0,0)+mu = 2.5.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	m.Rank1Downdate(0, 2.5)
+	// K - [2,1]^T [2,1] / 2.5 = [[2-1.6, 1-0.8],[1-0.8, 2-0.4]]
+	want := [][]float64{{0.4, 0.2}, {0.2, 1.6}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(m.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("K[%d][%d] = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestRank1DowndatePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on non-square")
+			}
+		}()
+		m.Rank1Downdate(0, 1)
+	}()
+	sq := NewMatrix(2, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on non-positive denom")
+			}
+		}()
+		sq.Rank1Downdate(0, 0)
+	}()
+}
+
+func TestDistDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 6, 3}
+	if Dist2(a, b) != 25 {
+		t.Fatalf("Dist2 = %v", Dist2(a, b))
+	}
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %v", Dist(a, b))
+	}
+	if Dot(a, b) != 4+12+9 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+}
+
+func TestDistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist2([]float64{1}, []float64{1, 2})
+}
+
+func TestKernels(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := (LinearKernel{}).Eval(b, b); got != 25 {
+		t.Fatalf("linear = %v", got)
+	}
+	if got := (DistanceKernel{}).Eval(a, b); got != 5 {
+		t.Fatalf("distance = %v", got)
+	}
+	rbf := RBFKernel{Gamma: 0.1}
+	if got := rbf.Eval(a, a); got != 1 {
+		t.Fatalf("rbf self = %v", got)
+	}
+	if got := rbf.Eval(a, b); !almostEq(got, math.Exp(-2.5), 1e-12) {
+		t.Fatalf("rbf = %v", got)
+	}
+	for _, k := range []Kernel{rbf, LinearKernel{}, DistanceKernel{}} {
+		if k.Name() == "" {
+			t.Error("kernel name empty")
+		}
+	}
+}
+
+func TestGramMatrixSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([][]float64, 6)
+	for i := range vecs {
+		vecs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	g := GramMatrix(vecs, RBFKernel{Gamma: 0.5})
+	for i := 0; i < 6; i++ {
+		if !almostEq(g.At(i, i), 1, 1e-12) {
+			t.Fatalf("diag[%d] = %v", i, g.At(i, i))
+		}
+		for j := 0; j < 6; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+// Property: Dist is a metric on random vectors — symmetry, identity,
+// triangle inequality.
+func TestDistMetricProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []float64 {
+		v := make([]float64, 4)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		return v
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if !almostEq(Dist(a, b), Dist(b, a), 1e-12) {
+			t.Fatal("not symmetric")
+		}
+		if Dist(a, a) != 0 {
+			t.Fatal("identity fails")
+		}
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-9 {
+			t.Fatal("triangle inequality fails")
+		}
+	}
+}
+
+// Property: a rank-1 downdate with the diagonal denominator zeroes the
+// pivot column when mu == 0 (K becomes exactly deflated at x).
+func TestRank1DowndateDeflates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		g := GramMatrix(vecs, RBFKernel{Gamma: 1})
+		x := int(rng.Int31n(int32(n)))
+		d := g.At(x, x)
+		g.Rank1Downdate(x, d)
+		for i := 0; i < n; i++ {
+			if !almostEq(g.At(i, x), 0, 1e-9) || !almostEq(g.At(x, i), 0, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package plot renders simple ASCII line charts and bar charts for the
+// experiment reports: the repository has no graphics dependencies, but the
+// paper's figures are line plots, so cmd/repro draws them as text.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LineChart renders series as an ASCII chart of the given size. The x axis
+// is the sample index (all series should share it); the y axis is scaled to
+// the global min/max. Each series draws with its own marker; later series
+// overwrite earlier ones on collisions.
+type LineChart struct {
+	Title   string
+	Width   int // plot columns (default 72)
+	Height  int // plot rows (default 18)
+	YLabel  string
+	XLabel  string
+	Markers string // one marker rune per series (default "o*x+#@")
+}
+
+// Render writes the chart.
+func (lc LineChart) Render(w io.Writer, series []Series) {
+	width := lc.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := lc.Height
+	if height <= 0 {
+		height = 18
+	}
+	markers := lc.Markers
+	if markers == "" {
+		markers = "o*x+#@"
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for j, v := range s.Values {
+			x := 0
+			if maxLen > 1 {
+				x = j * (width - 1) / (maxLen - 1)
+			}
+			yFrac := (v - lo) / (hi - lo)
+			y := height - 1 - int(yFrac*float64(height-1)+0.5)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = mk
+		}
+	}
+
+	if lc.Title != "" {
+		fmt.Fprintln(w, lc.Title)
+	}
+	yw := 10
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.4g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", lo)
+		case height / 2:
+			label = fmt.Sprintf("%.4g", (hi+lo)/2)
+		}
+		fmt.Fprintf(w, "%*s |%s\n", yw, label, string(row))
+	}
+	fmt.Fprintf(w, "%*s +%s\n", yw, "", strings.Repeat("-", width))
+	if lc.XLabel != "" {
+		fmt.Fprintf(w, "%*s  %s\n", yw, "", lc.XLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%*s  legend: %s\n", yw, "", strings.Join(legend, "  "))
+}
+
+// BarChart renders a horizontal bar chart of labeled values.
+type BarChart struct {
+	Title string
+	Width int // maximum bar width (default 50)
+}
+
+// Render writes the chart. Negative values draw leftward annotations.
+func (bc BarChart) Render(w io.Writer, labels []string, values []float64) {
+	width := bc.Width
+	if width <= 0 {
+		width = 50
+	}
+	if bc.Title != "" {
+		fmt.Fprintln(w, bc.Title)
+	}
+	maxAbs := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for i, v := range values {
+		n := int(math.Abs(v) / maxAbs * float64(width))
+		bar := strings.Repeat("#", n)
+		fmt.Fprintf(w, "%-*s %10.3f |%s\n", maxLabel, labels[i], v, bar)
+	}
+}
+
+// Sparkline returns a one-line unicode sparkline of the values.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return strings.Repeat(string(ramp[0]), len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+// Package record implements the tuning-log format: one JSON object per
+// line, mirroring AutoTVM's measure records. Logs make tuning runs
+// resumable, feed the transfer-learning history, and let cmd tools apply
+// previously-found best configurations.
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/space"
+)
+
+// Record is one measurement entry.
+type Record struct {
+	Task     string  `json:"task"`     // task name, e.g. "mobilenet-v1.T3"
+	Workload string  `json:"workload"` // canonical workload key
+	Tuner    string  `json:"tuner"`    // producing algorithm
+	Step     int     `json:"step"`     // 1-based measurement index within the run
+	Config   []int   `json:"config"`   // knob option indices
+	GFLOPS   float64 `json:"gflops"`   // 0 when invalid
+	Valid    bool    `json:"valid"`
+}
+
+// Write encodes records as JSON lines.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("record: encoding entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes JSON-line records until EOF. Blank lines are skipped;
+// malformed lines are an error.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("record: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("record: reading: %w", err)
+	}
+	return out, nil
+}
+
+// BestByTask returns the highest-GFLOPS valid record per task name.
+func BestByTask(recs []Record) map[string]Record {
+	best := make(map[string]Record)
+	for _, r := range recs {
+		if !r.Valid {
+			continue
+		}
+		if cur, ok := best[r.Task]; !ok || r.GFLOPS > cur.GFLOPS {
+			best[r.Task] = r
+		}
+	}
+	return best
+}
+
+// ToConfig rebuilds the record's configuration in the given space.
+func (r Record) ToConfig(sp *space.Space) (space.Config, error) {
+	return sp.FromIndices(r.Config)
+}

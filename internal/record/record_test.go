@@ -1,0 +1,103 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Task: "m.T1", Workload: "conv_a", Tuner: "autotvm", Step: 1, Config: []int{0, 1}, GFLOPS: 100, Valid: true},
+		{Task: "m.T1", Workload: "conv_a", Tuner: "autotvm", Step: 2, Config: []int{1, 1}, GFLOPS: 250, Valid: true},
+		{Task: "m.T1", Workload: "conv_a", Tuner: "autotvm", Step: 3, Config: []int{2, 0}, GFLOPS: 0, Valid: false},
+		{Task: "m.T2", Workload: "conv_b", Tuner: "autotvm", Step: 1, Config: []int{3, 2}, GFLOPS: 50, Valid: true},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Task != recs[i].Task || got[i].GFLOPS != recs[i].GFLOPS ||
+			got[i].Valid != recs[i].Valid || len(got[i].Config) != len(recs[i].Config) {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := "{\"task\":\"a\",\"valid\":true,\"gflops\":1}\n\n{\"task\":\"b\",\"valid\":true,\"gflops\":2}\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Fatalf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestBestByTask(t *testing.T) {
+	best := BestByTask(sampleRecords())
+	if len(best) != 2 {
+		t.Fatalf("best map size %d", len(best))
+	}
+	if best["m.T1"].GFLOPS != 250 {
+		t.Fatalf("T1 best = %v", best["m.T1"].GFLOPS)
+	}
+	if best["m.T2"].GFLOPS != 50 {
+		t.Fatalf("T2 best = %v", best["m.T2"].GFLOPS)
+	}
+	// Invalid-only records yield no best.
+	only := []Record{{Task: "x", Valid: false, GFLOPS: 999}}
+	if len(BestByTask(only)) != 0 {
+		t.Fatal("invalid records must not become best")
+	}
+}
+
+func TestToConfig(t *testing.T) {
+	w := tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sp.FromFlat(12345)
+	r := Record{Config: c.Index}
+	got, err := r.ToConfig(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c) {
+		t.Fatal("ToConfig mismatch")
+	}
+	bad := Record{Config: []int{1}}
+	if _, err := bad.ToConfig(sp); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+}

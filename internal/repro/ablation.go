@@ -1,0 +1,281 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/active"
+	"repro/internal/linalg"
+	"repro/internal/tuner"
+)
+
+// AblationRow is one setting of one ablation study: the mean best GFLOPS
+// (relative to the study's default setting, in percent) and the mean number
+// of sampled configurations.
+type AblationRow struct {
+	Setting  string
+	GFLOPS   float64
+	RelPct   float64 // 100 * GFLOPS / GFLOPS(default row)
+	Configs  float64
+	TasksRun int
+}
+
+// AblationResult is one study over a subset of MobileNet-v1 tasks.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// ablationTasks returns a representative subset of MobileNet-v1 tasks
+// (first conv, an early depthwise, a mid pointwise, a late pointwise).
+func ablationTasks(n int) ([]*tuner.Task, error) {
+	all, err := mobilenetTasks()
+	if err != nil {
+		return nil, err
+	}
+	pick := []int{0, 1, 8, 16}
+	var out []*tuner.Task
+	for _, i := range pick {
+		if i < len(all) {
+			out = append(out, all[i])
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	return out, nil
+}
+
+// runAblationArm evaluates one tuner variant over the task subset.
+func runAblationArm(cfg Config, tasks []*tuner.Task, tn tuner.Tuner, armIdx int) (gflops, configs float64) {
+	var gs, cs []float64
+	for ti, task := range tasks {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			sim := newSim(cfg.trialSeed(trial) + int64(ti)*131 + int64(armIdx)*7)
+			opts := tuner.Options{
+				Budget:    cfg.Budget,
+				EarlyStop: cfg.EarlyStop,
+				PlanSize:  cfg.PlanSize,
+				Seed:      cfg.trialSeed(trial)*13 + int64(ti)*431 + int64(armIdx),
+			}
+			r := tn.Tune(task, sim, opts)
+			cs = append(cs, float64(r.Measurements))
+			if r.Found {
+				gs = append(gs, r.Best.GFLOPS/1000) // TFLOPS-ish scale per task
+			}
+		}
+	}
+	return meanOf(gs), meanOf(cs)
+}
+
+// finishAblation normalizes rows against the first (default) row.
+func finishAblation(name string, rows []AblationRow) AblationResult {
+	base := rows[0].GFLOPS
+	for i := range rows {
+		if base > 0 {
+			rows[i].RelPct = 100 * rows[i].GFLOPS / base
+		}
+	}
+	return AblationResult{Name: name, Rows: rows}
+}
+
+// AblationGamma sweeps the number of bootstrap evaluation functions
+// (paper setting Γ=2 first).
+func AblationGamma(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	for i, gamma := range []int{2, 1, 4, 8} {
+		cfg.progress("ablation gamma=%d", gamma)
+		tn := tuner.NewBTEDBAO()
+		tn.BAO.Gamma = gamma
+		g, c := runAblationArm(cfg, tasks, tn, i)
+		rows = append(rows, AblationRow{Setting: fmt.Sprintf("Gamma=%d", gamma), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	}
+	return finishAblation("bootstrap-resamples", rows), nil
+}
+
+// AblationTau sweeps the adaptive radius growth factor (paper τ=1.5 first;
+// τ→1 disables growth).
+func AblationTau(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	for i, tau := range []float64{1.5, 1.000001, 2.0, 3.0} {
+		cfg.progress("ablation tau=%.2f", tau)
+		tn := tuner.NewBTEDBAO()
+		tn.BAO.Tau = tau
+		g, c := runAblationArm(cfg, tasks, tn, i)
+		rows = append(rows, AblationRow{Setting: fmt.Sprintf("tau=%.2f", tau), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	}
+	return finishAblation("adaptive-growth", rows), nil
+}
+
+// AblationRadius sweeps the base neighborhood radius (paper R=3 first).
+func AblationRadius(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	for i, r := range []float64{3, 1, 5} {
+		cfg.progress("ablation R=%.0f", r)
+		tn := tuner.NewBTEDBAO()
+		tn.BAO.R = r
+		g, c := runAblationArm(cfg, tasks, tn, i)
+		rows = append(rows, AblationRow{Setting: fmt.Sprintf("R=%.0f", r), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	}
+	return finishAblation("neighborhood-radius", rows), nil
+}
+
+// AblationInit compares BTED initialization against random initialization
+// with the identical BAO iterative stage (isolating BTED's contribution).
+func AblationInit(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	bted := tuner.NewBTEDBAO()
+	g, c := runAblationArm(cfg, tasks, bted, 0)
+	rows = append(rows, AblationRow{Setting: "BTED-init", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	rnd := tuner.NewBTEDBAO()
+	rnd.BTED.B = 1
+	rnd.BTED.M = cfg.PlanSize // degenerate BTED == random sample
+	g, c = runAblationArm(cfg, tasks, rnd, 1)
+	rows = append(rows, AblationRow{Setting: "random-init", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	return finishAblation("initialization", rows), nil
+}
+
+// AblationCeil compares the plain relative improvement of Eq. (1) against
+// the paper-literal ceiling (see DESIGN.md on the suspected typo).
+func AblationCeil(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	plain := tuner.NewBTEDBAO()
+	g, c := runAblationArm(cfg, tasks, plain, 0)
+	rows = append(rows, AblationRow{Setting: "plain-Eq1", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	ceil := tuner.NewBTEDBAO()
+	ceil.BAO.LiteralCeil = true
+	g, c = runAblationArm(cfg, tasks, ceil, 1)
+	rows = append(rows, AblationRow{Setting: "literal-ceil", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	return finishAblation("eq1-ceiling", rows), nil
+}
+
+// AblationScope compares the hybrid searching scope (local neighborhood
+// with bootstrap-guided global fallback on stall; see DESIGN.md) against
+// the strictly-local reading of Algorithm 4.
+func AblationScope(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	hybrid := tuner.NewBTEDBAO()
+	g, c := runAblationArm(cfg, tasks, hybrid, 0)
+	rows = append(rows, AblationRow{Setting: "hybrid-scope", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	local := tuner.NewBTEDBAO()
+	local.BAO.GlobalFallbackAfter = -1
+	g, c = runAblationArm(cfg, tasks, local, 1)
+	rows = append(rows, AblationRow{Setting: "strictly-local", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	return finishAblation("searching-scope", rows), nil
+}
+
+// AblationEvalFunc swaps the evaluation function under BAO — gradient
+// boosting (default), Gaussian process, random forest — exercising the
+// paper's claim that the framework is independent of the evaluation
+// function's concrete form.
+func AblationEvalFunc(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	arms := []struct {
+		name string
+		tr   active.EvalTrainer
+	}{
+		{"xgboost", active.NewXGBTrainer()},
+		{"gaussian-process", active.NewGPTrainer()},
+		{"random-forest", active.NewRFTrainer()},
+	}
+	var rows []AblationRow
+	for i, arm := range arms {
+		cfg.progress("ablation eval=%s", arm.name)
+		tn := tuner.NewBTEDBAO()
+		tn.Trainer = arm.tr
+		g, c := runAblationArm(cfg, tasks, tn, i)
+		rows = append(rows, AblationRow{Setting: arm.name, GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	}
+	return finishAblation("evaluation-function", rows), nil
+}
+
+// AblationObjective compares the AutoTVM arm's cost-model loss: squared
+// error (our calibrated default) versus the pairwise rank loss AutoTVM
+// ships with.
+func AblationObjective(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	reg := tuner.NewAutoTVM()
+	g, c := runAblationArm(cfg, tasks, reg, 0)
+	rows = append(rows, AblationRow{Setting: "squared-error", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	rank := tuner.NewAutoTVM()
+	rank.RankObjective = true
+	g, c = runAblationArm(cfg, tasks, rank, 1)
+	rows = append(rows, AblationRow{Setting: "pairwise-rank", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	return finishAblation("cost-model-objective", rows), nil
+}
+
+// AblationKernel compares the default RBF TED kernel against the
+// paper-literal raw Euclidean distance matrix.
+func AblationKernel(cfg Config) (AblationResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	var rows []AblationRow
+	rbf := tuner.NewBTEDBAO()
+	g, c := runAblationArm(cfg, tasks, rbf, 0)
+	rows = append(rows, AblationRow{Setting: "rbf-kernel", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	lit := tuner.NewBTEDBAO()
+	lit.BTED.Kernel = linalg.DistanceKernel{}
+	lit.BTED.View = active.ViewKnobIndices
+	g, c = runAblationArm(cfg, tasks, lit, 1)
+	rows = append(rows, AblationRow{Setting: "euclidean-literal", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
+	return finishAblation("ted-kernel", rows), nil
+}
+
+// AllAblations runs every study.
+func AllAblations(cfg Config) ([]AblationResult, error) {
+	studies := []func(Config) (AblationResult, error){
+		AblationGamma, AblationTau, AblationRadius, AblationInit,
+		AblationCeil, AblationKernel, AblationScope, AblationEvalFunc, AblationObjective,
+	}
+	var out []AblationResult
+	for _, f := range studies {
+		r, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Print renders one ablation table.
+func (r AblationResult) Print(w io.Writer) {
+	fprintf(w, "Ablation: %s\n", r.Name)
+	fprintf(w, "%-20s %12s %10s %10s\n", "setting", "TFLOPS(avg)", "rel(%)", "#configs")
+	for _, row := range r.Rows {
+		fprintf(w, "%-20s %12.3f %10.2f %10.0f\n", row.Setting, row.GFLOPS, row.RelPct, row.Configs)
+	}
+}

@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/tuner"
+)
+
+// BaselineRow is one tuner's aggregate over the baseline-comparison tasks.
+type BaselineRow struct {
+	Tuner   string
+	GFLOPS  float64 // mean best TFLOPS-scaled GFLOPS across tasks/trials
+	RelPct  float64 // relative to the random baseline
+	Configs float64 // mean sampled configurations
+}
+
+// BaselinesResult is the extension study comparing every implemented search
+// strategy (the paper's three arms plus random, grid, GA and the
+// CHAMELEON-style adaptive sampler) on a MobileNet-v1 task subset.
+type BaselinesResult struct {
+	Rows []BaselineRow
+}
+
+// Baselines runs the all-tuners comparison.
+func Baselines(cfg Config) (*BaselinesResult, error) {
+	tasks, err := ablationTasks(3)
+	if err != nil {
+		return nil, err
+	}
+	arms := []struct {
+		name string
+		tn   tuner.Tuner
+	}{
+		{"random", tuner.RandomTuner{}},
+		{"grid", tuner.GridTuner{}},
+		{"ga", tuner.GATuner{}},
+		{"chameleon", tuner.NewChameleon()},
+		{"autotvm", tuner.NewAutoTVM()},
+		{"bted", tuner.NewBTED()},
+		{"bted+bao", tuner.NewBTEDBAO()},
+	}
+	res := &BaselinesResult{}
+	for i, arm := range arms {
+		cfg.progress("baselines %s", arm.name)
+		g, c := runAblationArm(cfg, tasks, arm.tn, i)
+		res.Rows = append(res.Rows, BaselineRow{Tuner: arm.name, GFLOPS: g, Configs: c})
+	}
+	base := res.Rows[0].GFLOPS
+	for i := range res.Rows {
+		if base > 0 {
+			res.Rows[i].RelPct = 100 * res.Rows[i].GFLOPS / base
+		}
+	}
+	return res, nil
+}
+
+// Print renders the comparison table.
+func (r *BaselinesResult) Print(w io.Writer) {
+	fprintf(w, "Baseline comparison (MobileNet-v1 task subset)\n")
+	fprintf(w, "%-12s %12s %14s %10s\n", "tuner", "TFLOPS(avg)", "vs random(%)", "#configs")
+	for _, row := range r.Rows {
+		fprintf(w, "%-12s %12.3f %14.2f %10.0f\n", row.Tuner, row.GFLOPS, row.RelPct, row.Configs)
+	}
+}

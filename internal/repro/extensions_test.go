@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBaselinesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 7 tuners")
+	}
+	cfg := tinyCfg()
+	cfg.Budget = 24
+	cfg.PlanSize = 8
+	res, err := Baselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	if res.Rows[0].Tuner != "random" || math.Abs(res.Rows[0].RelPct-100) > 1e-9 {
+		t.Fatalf("first row must be the random anchor: %+v", res.Rows[0])
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		if names[row.Tuner] {
+			t.Fatalf("duplicate tuner %s", row.Tuner)
+		}
+		names[row.Tuner] = true
+		if row.GFLOPS <= 0 {
+			t.Fatalf("%s found nothing", row.Tuner)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "chameleon") || !strings.Contains(buf.String(), "bted+bao") {
+		t.Fatal("print missing tuners")
+	}
+}
+
+func TestCrossDeviceTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes on multiple devices")
+	}
+	cfg := tinyCfg()
+	cfg.Budget = 32
+	cfg.PlanSize = 8
+	res, err := CrossDevice(cfg, []string{"gtx1080ti", "jetsontx2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 2 || len(res.Matrix) != 2 {
+		t.Fatalf("matrix shape wrong: %+v", res)
+	}
+	for i := range res.Matrix {
+		if res.Matrix[i][i] != 100 {
+			t.Fatalf("diagonal [%d][%d] = %v, want 100", i, i, res.Matrix[i][i])
+		}
+		for j := range res.Matrix[i] {
+			if res.Matrix[i][j] < 0 {
+				t.Fatalf("negative retention at [%d][%d]", i, j)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Jetson") {
+		t.Fatal("print missing device names")
+	}
+	if m := res.MeanOffDiagonal(); m < 0 {
+		t.Fatalf("mean off-diagonal %v", m)
+	}
+}
+
+func TestCrossDeviceUnknownDevice(t *testing.T) {
+	cfg := tinyCfg()
+	if _, err := CrossDevice(cfg, []string{"tpu-v9"}); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/active"
+	"repro/internal/plot"
+	"repro/internal/tuner"
+)
+
+// Fig4Series is one convergence curve: best-so-far GFLOPS after each
+// sampled configuration, averaged over trials.
+type Fig4Series struct {
+	Method string
+	Trace  []float64 // length == Config.Budget
+}
+
+// Fig4Result is one panel of Fig. 4 (one MobileNet-v1 layer).
+type Fig4Result struct {
+	Task   string
+	Series []Fig4Series
+}
+
+// Fig4 regenerates the convergence comparison of the paper's Fig. 4: the
+// first two MobileNet-v1 layers tuned by the three methods with no early
+// stopping, plotting best-so-far GFLOPS against the number of sampled
+// configurations.
+func Fig4(cfg Config) ([]Fig4Result, error) {
+	tasks, err := mobilenetTasks()
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) < 2 {
+		return nil, fmt.Errorf("repro: expected at least 2 MobileNet tasks, got %d", len(tasks))
+	}
+	var out []Fig4Result
+	for _, task := range tasks[:2] {
+		res := Fig4Result{Task: task.Name}
+		for mi := range Methods {
+			acc := make([]float64, cfg.Budget)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cfg.progress("fig4 %s %s trial %d/%d", task.Name, Methods[mi], trial+1, cfg.Trials)
+				sim := newSim(cfg.trialSeed(trial) + int64(mi))
+				opts := tuner.Options{
+					Budget:    cfg.Budget,
+					EarlyStop: -1, // Fig. 4 plots the full budget
+					PlanSize:  cfg.PlanSize,
+					Seed:      cfg.trialSeed(trial)*31 + int64(mi),
+				}
+				r := NewMethodTuner(mi).Tune(task, sim, opts)
+				trace := padTrace(r.BestTrace(), cfg.Budget)
+				for i := range acc {
+					acc[i] += trace[i]
+				}
+			}
+			for i := range acc {
+				acc[i] /= float64(cfg.Trials)
+			}
+			res.Series = append(res.Series, Fig4Series{Method: Methods[mi], Trace: acc})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// padTrace extends a best-so-far trace to length n with its final value
+// (runs can end early only when the space is exhausted).
+func padTrace(trace []float64, n int) []float64 {
+	out := make([]float64, n)
+	last := 0.0
+	for i := 0; i < n; i++ {
+		if i < len(trace) {
+			last = trace[i]
+		}
+		out[i] = last
+	}
+	return out
+}
+
+// FinalGFLOPS returns each method's end-of-budget value.
+func (r Fig4Result) FinalGFLOPS() map[string]float64 {
+	out := make(map[string]float64, len(r.Series))
+	for _, s := range r.Series {
+		if len(s.Trace) > 0 {
+			out[s.Method] = s.Trace[len(s.Trace)-1]
+		}
+	}
+	return out
+}
+
+// Print renders the panel as a sampled text series (every stride-th point),
+// one row per sample count, one column per method — the data behind the
+// paper's line plot.
+func (r Fig4Result) Print(w io.Writer, stride int) {
+	if stride <= 0 {
+		stride = 64
+	}
+	fprintf(w, "Fig.4 convergence: %s (best-so-far GFLOPS)\n", r.Task)
+	fprintf(w, "%8s", "#configs")
+	for _, s := range r.Series {
+		fprintf(w, " %12s", s.Method)
+	}
+	fprintf(w, "\n")
+	n := 0
+	for _, s := range r.Series {
+		if len(s.Trace) > n {
+			n = len(s.Trace)
+		}
+	}
+	for i := stride - 1; i < n; i += stride {
+		fprintf(w, "%8d", i+1)
+		for _, s := range r.Series {
+			v := 0.0
+			if i < len(s.Trace) {
+				v = s.Trace[i]
+			}
+			fprintf(w, " %12.1f", v)
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// Chart renders the panel as an ASCII line chart.
+func (r Fig4Result) Chart(w io.Writer) {
+	series := make([]plot.Series, len(r.Series))
+	for i, s := range r.Series {
+		series[i] = plot.Series{Name: s.Method, Values: s.Trace}
+	}
+	lc := plot.LineChart{
+		Title:  fmt.Sprintf("Fig.4 %s: best-so-far GFLOPS vs #configs", r.Task),
+		XLabel: fmt.Sprintf("#configs (0..%d)", len(r.Series[0].Trace)),
+	}
+	lc.Render(w, series)
+}
+
+// Fig4Check verifies the qualitative reproduction claim on a result: the
+// advanced methods end at or above AutoTVM's final value (within tol
+// fraction), as in the paper's panels.
+func Fig4Check(r Fig4Result, tol float64) error {
+	final := r.FinalGFLOPS()
+	base := final["AutoTVM"]
+	for _, m := range Methods[1:] {
+		if final[m] < base*(1-tol) {
+			return fmt.Errorf("repro: %s: %s final %.1f below AutoTVM %.1f beyond tolerance",
+				r.Task, m, final[m], base)
+		}
+	}
+	return nil
+}
+
+// fig4SamplesFrom is a test hook: it exposes the per-trial samples of one
+// (task, method) cell so tests can assert trace construction.
+func fig4SamplesFrom(task *tuner.Task, mi int, cfg Config, trial int) []active.Sample {
+	sim := newSim(cfg.trialSeed(trial) + int64(mi))
+	opts := tuner.Options{Budget: cfg.Budget, EarlyStop: -1, PlanSize: cfg.PlanSize,
+		Seed: cfg.trialSeed(trial)*31 + int64(mi)}
+	return NewMethodTuner(mi).Tune(task, sim, opts).Samples
+}

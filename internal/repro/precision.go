@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/hwsim"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+// PrecisionRow is one (device, precision) arm of the mixed-precision study.
+type PrecisionRow struct {
+	Device    string
+	DType     string
+	GFLOPS    float64 // best tuned throughput
+	SpeedupX  float64 // tuned FP16 time / FP32 time advantage (per device)
+	Workloads string
+}
+
+// PrecisionResult is the extension study: retune the same convolution in
+// FP32 and FP16 on devices with native double-rate halves (V100, TX2) and
+// on one with crippled halves (GTX 1080 Ti). The expected shape: FP16
+// roughly doubles throughput where it is native, and *loses* on Pascal
+// despite halving memory traffic — which only auto-tuning reveals, since
+// the best FP16 schedule differs from the best FP32 one.
+type PrecisionResult struct {
+	Rows []PrecisionRow
+}
+
+// Precision runs the study.
+func Precision(cfg Config) (*PrecisionResult, error) {
+	base := tensor.Conv2D(1, 128, 28, 28, 128, 3, 1, 1)
+	fp16 := base
+	fp16.DType = tensor.Float16
+
+	devices := []string{"gtx1080ti", "v100", "jetsontx2"}
+	res := &PrecisionResult{}
+	for di, devName := range devices {
+		dev, ok := hwsim.DeviceByName(devName)
+		if !ok {
+			continue
+		}
+		best := map[tensor.DType]float64{}
+		for wi, w := range []tensor.Workload{base, fp16} {
+			cfg.progress("precision %s %s", devName, w.DType)
+			task, err := tuner.NewTask("precision."+w.DType.String(), w)
+			if err != nil {
+				return nil, err
+			}
+			sim := hwsim.NewSimulator(dev, cfg.Seed+int64(di*10+wi))
+			r := tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+				Budget:    cfg.Budget,
+				EarlyStop: cfg.EarlyStop,
+				PlanSize:  cfg.PlanSize,
+				Seed:      cfg.Seed*3 + int64(di*100+wi),
+			})
+			if !r.Found {
+				continue
+			}
+			best[w.DType] = r.Best.GFLOPS
+		}
+		for _, dt := range []tensor.DType{tensor.Float32, tensor.Float16} {
+			row := PrecisionRow{Device: dev.Name, DType: dt.String(), GFLOPS: best[dt], Workloads: base.Key()}
+			if dt == tensor.Float16 && best[tensor.Float32] > 0 {
+				row.SpeedupX = best[tensor.Float16] / best[tensor.Float32]
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print renders the study.
+func (r *PrecisionResult) Print(w io.Writer) {
+	fprintf(w, "Mixed-precision study (tuned conv2d 128x28x28x128)\n")
+	fprintf(w, "%-22s %-9s %12s %10s\n", "device", "dtype", "GFLOPS", "fp16/fp32")
+	for _, row := range r.Rows {
+		if row.SpeedupX > 0 {
+			fprintf(w, "%-22s %-9s %12.1f %9.2fx\n", row.Device, row.DType, row.GFLOPS, row.SpeedupX)
+		} else {
+			fprintf(w, "%-22s %-9s %12.1f %10s\n", row.Device, row.DType, row.GFLOPS, "-")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation section on the simulated platform: Fig. 4 (convergence curves
+// for the first two MobileNet-v1 layers), Fig. 5 (per-task sampled-config
+// counts and GFLOPS ratios over the 19 MobileNet-v1 tasks), Table I
+// (end-to-end latency and variance for the five models under AutoTVM,
+// BTED, and BTED+BAO), and the ablations of the design choices called out
+// in DESIGN.md.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/tuner"
+)
+
+// Methods are the three experimental arms of the paper, in column order.
+var Methods = []string{"AutoTVM", "BTED", "BTED+BAO"}
+
+// NewMethodTuner builds the tuner of an experimental arm by column index.
+func NewMethodTuner(i int) tuner.Tuner {
+	switch i {
+	case 0:
+		return tuner.NewAutoTVM()
+	case 1:
+		return tuner.NewBTED()
+	default:
+		return tuner.NewBTEDBAO()
+	}
+}
+
+// Config scales an experiment run. The zero value is unusable; start from
+// Quick or Paper.
+type Config struct {
+	Trials    int   // independent repetitions averaged together (paper: 10)
+	Budget    int   // measurement budget per task (paper: 1024)
+	EarlyStop int   // early-stopping threshold (paper: 400; <0 disables)
+	PlanSize  int   // batch/init size (paper: 64)
+	Runs      int   // end-to-end latency runs (paper: 600)
+	Seed      int64 // base seed; trials and tasks derive from it
+	// Progress, when non-nil, receives coarse progress lines.
+	Progress func(string)
+}
+
+// Paper returns the paper's full experimental settings. A complete Table I
+// regeneration at these settings takes on the order of an hour of CPU time;
+// use Quick for smoke runs and benchmarks.
+func Paper() Config {
+	return Config{Trials: 10, Budget: 1024, EarlyStop: 400, PlanSize: 64, Runs: 600, Seed: 2021}
+}
+
+// Quick returns scaled-down settings that preserve the qualitative shape
+// (who wins, by roughly what factor) at a small fraction of the cost.
+func Quick() Config {
+	return Config{Trials: 2, Budget: 224, EarlyStop: 128, PlanSize: 32, Runs: 200, Seed: 2021}
+}
+
+func (c Config) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// trialSeed decorrelates trials deterministically.
+func (c Config) trialSeed(trial int) int64 { return c.Seed + int64(trial)*104729 }
+
+// mobilenetTasks extracts the 19 conv/depthwise tasks of Fig. 4/5.
+func mobilenetTasks() ([]*tuner.Task, error) {
+	g := graph.MobileNetV1()
+	gts := graph.ExtractTasks(g, graph.ConvOnly)
+	out := make([]*tuner.Task, 0, len(gts))
+	for _, gt := range gts {
+		t, err := tuner.FromGraphTask(gt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// newSim builds the measurement environment of one trial.
+func newSim(seed int64) *hwsim.Simulator {
+	return hwsim.NewSimulator(hwsim.GTX1080Ti(), seed)
+}
+
+// meanOf averages a slice, returning 0 for empty input.
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// fprintf writes formatted output, ignoring errors (report writers target
+// in-memory buffers and stdout).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+// Table1Row is one model row of the paper's Table I: end-to-end latency
+// (ms) and run-to-run variance per method, with improvement deltas against
+// AutoTVM in percent.
+type Table1Row struct {
+	Model       string
+	LatencyMS   [3]float64 // AutoTVM, BTED, BTED+BAO
+	Variance    [3]float64
+	DeltaLatPct [3]float64 // [0] is always 0
+	DeltaVarPct [3]float64
+}
+
+// Table1Result is the full table plus the Average row.
+type Table1Result struct {
+	Rows []Table1Row
+	Avg  Table1Row
+}
+
+// Table1 regenerates the end-to-end comparison of Table I over the given
+// models (nil means all five paper models): every tunable task of each
+// model is tuned by each method, the best configurations are deployed
+// together, and the latency statistics over cfg.Runs simulated inferences
+// are averaged across trials.
+func Table1(cfg Config, models []string) (*Table1Result, error) {
+	if len(models) == 0 {
+		models = graph.ModelNames
+	}
+	res := &Table1Result{}
+	for modelIdx, model := range models {
+		row := Table1Row{Model: model}
+		for mi := range Methods {
+			var lats, vars []float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cfg.progress("table1 %s %s trial %d/%d", model, Methods[mi], trial+1, cfg.Trials)
+				sim := newSim(cfg.trialSeed(trial) + int64(mi) + int64(modelIdx)*31)
+				popts := core.PipelineOptions{
+					Tuning: tuner.Options{
+						Budget:    cfg.Budget,
+						EarlyStop: cfg.EarlyStop,
+						PlanSize:  cfg.PlanSize,
+						Seed:      cfg.trialSeed(trial)*17 + int64(mi) + int64(modelIdx)*1543,
+					},
+					Extract:     graph.AllOps,
+					UseTransfer: true,
+					Runs:        cfg.Runs,
+				}
+				dep, err := core.OptimizeModel(model, NewMethodTuner(mi), sim, popts)
+				if err != nil {
+					return nil, err
+				}
+				lats = append(lats, dep.LatencyMS)
+				vars = append(vars, dep.Variance)
+			}
+			row.LatencyMS[mi] = meanOf(lats)
+			row.Variance[mi] = meanOf(vars)
+		}
+		for mi := 1; mi < 3; mi++ {
+			row.DeltaLatPct[mi] = stats.DeltaPercent(row.LatencyMS[0], row.LatencyMS[mi])
+			row.DeltaVarPct[mi] = stats.DeltaPercent(row.Variance[0], row.Variance[mi])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	avg := Table1Row{Model: "Average"}
+	for mi := range Methods {
+		var ls, vs []float64
+		for _, row := range res.Rows {
+			ls = append(ls, row.LatencyMS[mi])
+			vs = append(vs, row.Variance[mi])
+		}
+		avg.LatencyMS[mi] = meanOf(ls)
+		avg.Variance[mi] = meanOf(vs)
+	}
+	for mi := 1; mi < 3; mi++ {
+		avg.DeltaLatPct[mi] = stats.DeltaPercent(avg.LatencyMS[0], avg.LatencyMS[mi])
+		avg.DeltaVarPct[mi] = stats.DeltaPercent(avg.Variance[0], avg.Variance[mi])
+	}
+	res.Avg = avg
+	return res, nil
+}
+
+// Print renders the table in the paper's column layout.
+func (r *Table1Result) Print(w io.Writer) {
+	fprintf(w, "Table I: end-to-end model inference latency and variance\n")
+	fprintf(w, "%-16s | %12s %12s | %12s %8s %12s %8s | %12s %8s %12s %8s\n",
+		"Model", "AutoTVM lat", "variance",
+		"BTED lat", "dLat%", "variance", "dVar%",
+		"B+BAO lat", "dLat%", "variance", "dVar%")
+	rows := append(append([]Table1Row{}, r.Rows...), r.Avg)
+	for _, row := range rows {
+		fprintf(w, "%-16s | %12.4f %12.4g | %12.4f %8.2f %12.4g %8.2f | %12.4f %8.2f %12.4g %8.2f\n",
+			row.Model,
+			row.LatencyMS[0], row.Variance[0],
+			row.LatencyMS[1], row.DeltaLatPct[1], row.Variance[1], row.DeltaVarPct[1],
+			row.LatencyMS[2], row.DeltaLatPct[2], row.Variance[2], row.DeltaVarPct[2])
+	}
+}
+
+// Headline returns the best (most negative) latency and variance deltas of
+// the BTED+BAO column — the numbers the paper's abstract quotes
+// (-28.08% latency, -92.74% variance on MobileNet-v1).
+func (r *Table1Result) Headline() (bestLatDeltaPct, bestVarDeltaPct float64) {
+	bestLat, bestVar := 0.0, 0.0
+	for _, row := range r.Rows {
+		if row.DeltaLatPct[2] < bestLat {
+			bestLat = row.DeltaLatPct[2]
+		}
+		if row.DeltaVarPct[2] < bestVar {
+			bestVar = row.DeltaVarPct[2]
+		}
+	}
+	return bestLat, bestVar
+}

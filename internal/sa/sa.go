@@ -1,0 +1,160 @@
+// Package sa implements the parallel simulated-annealing optimizer AutoTVM
+// uses to maximize its learned cost model over a schedule configuration
+// space: a batch of walkers performs knob-mutation random walks under a
+// decaying temperature while a top-k tracker collects the best unvisited
+// configurations found anywhere along the walk.
+package sa
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"repro/internal/space"
+)
+
+// BatchObjective scores a batch of configurations; higher is better. The
+// tuner backs this with cost-model batch prediction.
+type BatchObjective func([]space.Config) []float64
+
+// Options configures a simulated-annealing search.
+type Options struct {
+	// ParallelSize is the number of concurrent walkers (AutoTVM: 128).
+	ParallelSize int
+	// Iters is the number of annealing steps (AutoTVM: 500; we default
+	// lower because the landscape is smaller-dimensional).
+	Iters int
+	// TempStart/TempEnd bound the linear temperature schedule.
+	TempStart, TempEnd float64
+}
+
+// DefaultOptions mirrors a scaled-down AutoTVM SA configuration.
+func DefaultOptions() Options {
+	return Options{ParallelSize: 96, Iters: 120, TempStart: 1.0, TempEnd: 0.0}
+}
+
+func (o Options) normalized() Options {
+	if o.ParallelSize <= 0 {
+		o.ParallelSize = 96
+	}
+	if o.Iters <= 0 {
+		o.Iters = 120
+	}
+	if o.TempStart <= 0 {
+		o.TempStart = 1.0
+	}
+	if o.TempEnd < 0 {
+		o.TempEnd = 0
+	}
+	return o
+}
+
+// scoredConfig pairs a config with its objective value in the top-k heap.
+type scoredConfig struct {
+	cfg   space.Config
+	score float64
+}
+
+// minHeap keeps the k best entries with the worst on top.
+type minHeap []scoredConfig
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(scoredConfig)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FindMaxima anneals walkers over the space and returns up to k distinct
+// configurations with the highest objective values, excluding flat indices
+// present in exclude (typically the already-measured set). Results are
+// ordered best-first.
+func FindMaxima(sp *space.Space, obj BatchObjective, k int, exclude map[uint64]bool, opts Options, rng *rand.Rand) []space.Config {
+	opts = opts.normalized()
+	if k <= 0 {
+		return nil
+	}
+
+	points := make([]space.Config, opts.ParallelSize)
+	for i := range points {
+		points[i] = sp.Random(rng)
+	}
+	scores := obj(points)
+
+	top := &minHeap{}
+	heap.Init(top)
+	inTop := make(map[uint64]bool, k)
+	offer := func(c space.Config, s float64) {
+		f := c.Flat()
+		if inTop[f] || (exclude != nil && exclude[f]) {
+			return
+		}
+		if top.Len() < k {
+			heap.Push(top, scoredConfig{c, s})
+			inTop[f] = true
+			return
+		}
+		if s > (*top)[0].score {
+			evicted := heap.Pop(top).(scoredConfig)
+			delete(inTop, evicted.cfg.Flat())
+			heap.Push(top, scoredConfig{c, s})
+			inTop[f] = true
+		}
+	}
+	for i, c := range points {
+		offer(c, scores[i])
+	}
+
+	proposals := make([]space.Config, opts.ParallelSize)
+	for it := 0; it < opts.Iters; it++ {
+		frac := float64(it) / float64(opts.Iters)
+		temp := opts.TempStart + (opts.TempEnd-opts.TempStart)*frac
+		for i, c := range points {
+			proposals[i] = mutate(sp, c, rng)
+		}
+		propScores := obj(proposals)
+		for i := range points {
+			accept := propScores[i] >= scores[i]
+			if !accept && temp > 0 {
+				accept = rng.Float64() < math.Exp((propScores[i]-scores[i])/temp)
+			}
+			if accept {
+				points[i] = proposals[i]
+				scores[i] = propScores[i]
+				offer(points[i], scores[i])
+			}
+		}
+	}
+
+	out := make([]space.Config, top.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(top).(scoredConfig).cfg
+	}
+	return out
+}
+
+// mutate returns a copy of c with one random knob reassigned to a random
+// different option (when the knob has more than one option).
+func mutate(sp *space.Space, c space.Config, rng *rand.Rand) space.Config {
+	n := sp.NumKnobs()
+	m := c.Clone()
+	for attempt := 0; attempt < 4; attempt++ {
+		ki := rng.Intn(n)
+		kl := sp.Knob(ki).Len()
+		if kl < 2 {
+			continue
+		}
+		nv := rng.Intn(kl - 1)
+		if nv >= m.Index[ki] {
+			nv++
+		}
+		m.Index[ki] = nv
+		return m
+	}
+	return m
+}

@@ -1,0 +1,111 @@
+// Package space models AutoTVM-style schedule configuration spaces: products
+// of discrete knobs (multi-way tile splits over integer factorizations plus
+// enumerated annotation knobs) addressed by mixed-radix flat indices. Spaces
+// are never materialized; a space with 10^8 points costs a few kilobytes.
+package space
+
+import "sort"
+
+// Divisors returns the positive divisors of n in ascending order.
+// It panics for n <= 0.
+func Divisors(n int) []int {
+	if n <= 0 {
+		panic("space: Divisors requires n > 0")
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Factorizations returns every ordered way to write n as a product of
+// exactly parts positive integers. The result is deterministic: options are
+// generated in lexicographic order of the factor tuples. It panics for
+// n <= 0 or parts <= 0.
+//
+// The count equals prod_over_primes C(e_p + parts - 1, parts - 1), so even
+// n = 4096 with parts = 4 yields only 455 options while the cross product of
+// several such knobs reaches the paper's 10^7..10^8-point spaces.
+func Factorizations(n, parts int) [][]int {
+	if n <= 0 || parts <= 0 {
+		panic("space: Factorizations requires n > 0 and parts > 0")
+	}
+	if parts == 1 {
+		return [][]int{{n}}
+	}
+	var out [][]int
+	cur := make([]int, parts)
+	var rec func(rem, pos int)
+	rec = func(rem, pos int) {
+		if pos == parts-1 {
+			cur[pos] = rem
+			opt := make([]int, parts)
+			copy(opt, cur)
+			out = append(out, opt)
+			return
+		}
+		for _, d := range Divisors(rem) {
+			cur[pos] = d
+			rec(rem/d, pos+1)
+		}
+	}
+	rec(n, 0)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CountFactorizations returns len(Factorizations(n, parts)) without
+// materializing them, via the prime-exponent stars-and-bars product.
+func CountFactorizations(n, parts int) int {
+	if n <= 0 || parts <= 0 {
+		panic("space: CountFactorizations requires n > 0 and parts > 0")
+	}
+	count := 1
+	m := n
+	for p := 2; p*p <= m; p++ {
+		if m%p != 0 {
+			continue
+		}
+		e := 0
+		for m%p == 0 {
+			m /= p
+			e++
+		}
+		count *= binomial(e+parts-1, parts-1)
+	}
+	if m > 1 {
+		count *= binomial(1+parts-1, parts-1)
+	}
+	return count
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

@@ -1,0 +1,147 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDivisors(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, []int{1}},
+		{7, []int{1, 7}},
+		{12, []int{1, 2, 3, 4, 6, 12}},
+		{64, []int{1, 2, 4, 8, 16, 32, 64}},
+	}
+	for _, c := range cases {
+		got := Divisors(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("Divisors(%d) = %v", c.n, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDivisorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Divisors(0)
+}
+
+func TestFactorizationsSmall(t *testing.T) {
+	got := Factorizations(4, 2)
+	want := [][]int{{1, 4}, {2, 2}, {4, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Factorizations(4,2) = %v", got)
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Factorizations(4,2) = %v, want %v", got, want)
+			}
+		}
+	}
+	if len(Factorizations(7, 1)) != 1 {
+		t.Fatal("single-part factorization should be unique")
+	}
+}
+
+func TestFactorizationsProductInvariant(t *testing.T) {
+	for _, n := range []int{12, 56, 64, 100} {
+		for parts := 2; parts <= 4; parts++ {
+			opts := Factorizations(n, parts)
+			seen := make(map[string]bool)
+			for _, o := range opts {
+				p := 1
+				key := ""
+				for _, f := range o {
+					p *= f
+					key += string(rune(f)) + ","
+				}
+				if p != n {
+					t.Fatalf("factorization %v of %d has product %d", o, n, p)
+				}
+				if seen[key] {
+					t.Fatalf("duplicate factorization %v", o)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestCountFactorizationsMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{1, 2, 12, 56, 64, 112, 224, 255, 1000} {
+		for parts := 1; parts <= 4; parts++ {
+			want := len(Factorizations(n, parts))
+			got := CountFactorizations(n, parts)
+			if got != want {
+				t.Fatalf("CountFactorizations(%d,%d) = %d, want %d", n, parts, got, want)
+			}
+		}
+	}
+}
+
+func TestCountFactorizationsKnownValues(t *testing.T) {
+	// 2^6 into 4 parts: C(9,3) = 84.
+	if got := CountFactorizations(64, 4); got != 84 {
+		t.Fatalf("CountFactorizations(64,4) = %d, want 84", got)
+	}
+	// 112 = 2^4 * 7 into 4 parts: C(7,3)*C(4,3) = 35*4 = 140.
+	if got := CountFactorizations(112, 4); got != 140 {
+		t.Fatalf("CountFactorizations(112,4) = %d, want 140", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10}, {9, 3, 84}, {4, 0, 1}, {4, 4, 1}, {3, 5, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// Property: factorizations are sorted lexicographically and each factor
+// divides the extent.
+func TestFactorizationsOrderedProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		parts := int(pRaw%4) + 1
+		opts := Factorizations(n, parts)
+		for i := 1; i < len(opts); i++ {
+			less := false
+			for k := range opts[i] {
+				if opts[i-1][k] != opts[i][k] {
+					less = opts[i-1][k] < opts[i][k]
+					break
+				}
+			}
+			if !less {
+				return false
+			}
+		}
+		for _, o := range opts {
+			for _, fv := range o {
+				if n%fv != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Knob is one tunable dimension of a configuration space. A knob exposes a
+// finite option list; configurations select one option per knob.
+type Knob interface {
+	// Name identifies the knob ("tile_f", "auto_unroll_max_step", ...).
+	Name() string
+	// Len returns the number of options.
+	Len() int
+	// Feature appends the log-scaled value features of option i to dst and
+	// returns the extended slice. These feed the learned cost model.
+	Feature(dst []float64, i int) []float64
+	// FeatureDim returns the number of features Feature appends.
+	FeatureDim() int
+	// Describe renders option i for logs and records.
+	Describe(i int) string
+}
+
+// SplitKnob is a multi-way tile-split knob: each option is an ordered
+// factorization of Extent into Parts factors, mirroring AutoTVM's
+// define_split. For a conv2d CUDA template the four parts of an axis map to
+// (blockIdx, virtual thread, threadIdx, inner-serial).
+type SplitKnob struct {
+	name    string
+	extent  int
+	parts   int
+	options [][]int
+}
+
+// NewSplitKnob builds a split knob over all ordered factorizations.
+//
+// Options are ordered for index-space locality: adjacent option indices
+// differ primarily in the performance-light factors (block count, virtual
+// threads) and only across longer index distances in the heavy ones
+// (thread count, inner serial extent). This makes the Euclidean
+// index-space neighborhoods of the paper's BAO semantically meaningful:
+// a small index move is a small schedule change.
+func NewSplitKnob(name string, extent, parts int) *SplitKnob {
+	opts := Factorizations(extent, parts)
+	prio := localityPriority(parts)
+	sort.SliceStable(opts, func(i, j int) bool {
+		a, b := opts[i], opts[j]
+		for _, p := range prio {
+			if a[p] != b[p] {
+				return a[p] < b[p]
+			}
+		}
+		return false
+	})
+	return &SplitKnob{
+		name:    name,
+		extent:  extent,
+		parts:   parts,
+		options: opts,
+	}
+}
+
+// localityPriority returns the factor positions ordered from most to least
+// performance-critical for the CUDA-style [block, vthread, thread, inner]
+// split convention; sorting options by this key groups similar schedules
+// at nearby indices.
+func localityPriority(parts int) []int {
+	switch parts {
+	case 4:
+		return []int{2, 3, 1, 0} // thread, inner, vthread, block
+	case 3:
+		return []int{1, 2, 0}
+	case 2:
+		return []int{1, 0} // inner, outer
+	default:
+		out := make([]int, parts)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+// Name implements Knob.
+func (k *SplitKnob) Name() string { return k.name }
+
+// Len implements Knob.
+func (k *SplitKnob) Len() int { return len(k.options) }
+
+// Extent returns the axis length being split.
+func (k *SplitKnob) Extent() int { return k.extent }
+
+// Parts returns the number of split factors.
+func (k *SplitKnob) Parts() int { return k.parts }
+
+// Factors returns the factor tuple of option i. The returned slice is owned
+// by the knob and must not be modified.
+func (k *SplitKnob) Factors(i int) []int { return k.options[i] }
+
+// Feature implements Knob: log2 of each factor.
+func (k *SplitKnob) Feature(dst []float64, i int) []float64 {
+	for _, f := range k.options[i] {
+		dst = append(dst, math.Log2(float64(f)))
+	}
+	return dst
+}
+
+// FeatureDim implements Knob.
+func (k *SplitKnob) FeatureDim() int { return k.parts }
+
+// Describe implements Knob.
+func (k *SplitKnob) Describe(i int) string {
+	parts := make([]string, len(k.options[i]))
+	for j, f := range k.options[i] {
+		parts[j] = fmt.Sprintf("%d", f)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// EnumKnob is a knob over an explicit integer value list (unroll depths,
+// boolean flags, vector widths).
+type EnumKnob struct {
+	name   string
+	values []int
+}
+
+// NewEnumKnob builds an enumerated knob; values are used in listed order.
+func NewEnumKnob(name string, values ...int) *EnumKnob {
+	if len(values) == 0 {
+		panic("space: EnumKnob requires at least one value")
+	}
+	v := make([]int, len(values))
+	copy(v, values)
+	return &EnumKnob{name: name, values: v}
+}
+
+// Name implements Knob.
+func (k *EnumKnob) Name() string { return k.name }
+
+// Len implements Knob.
+func (k *EnumKnob) Len() int { return len(k.values) }
+
+// Value returns the integer value of option i.
+func (k *EnumKnob) Value(i int) int { return k.values[i] }
+
+// Feature implements Knob: log2(1+value) keeps 0-valued options finite.
+func (k *EnumKnob) Feature(dst []float64, i int) []float64 {
+	return append(dst, math.Log2(1+float64(k.values[i])))
+}
+
+// FeatureDim implements Knob.
+func (k *EnumKnob) FeatureDim() int { return 1 }
+
+// Describe implements Knob.
+func (k *EnumKnob) Describe(i int) string { return fmt.Sprintf("%d", k.values[i]) }

@@ -1,0 +1,285 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NeighborhoodOpts tunes Neighborhood enumeration.
+type NeighborhoodOpts struct {
+	// MaxCandidates caps the returned set; 0 means DefaultMaxCandidates.
+	// When the exact lattice ball holds more points than the cap, a uniform
+	// subsample of the ball is returned instead of a truncated enumeration.
+	MaxCandidates int
+	// Exclude drops configs whose flat index is present (typically the
+	// already-measured set), keeping BAO from re-proposing known points.
+	Exclude map[uint64]bool
+}
+
+// DefaultMaxCandidates bounds one BAO step's candidate set. 8192 keeps the
+// Γ-fold surrogate evaluation of a step in the low milliseconds.
+const DefaultMaxCandidates = 8192
+
+// Neighborhood returns the configurations whose knob-index vectors lie
+// within Euclidean distance radius of center (excluding center itself),
+// clamped to valid option ranges. This realizes the search scope C_t of the
+// paper's Algorithms 3 and 4.
+//
+// The integer lattice ball is enumerated exactly when its size (computed by
+// dynamic programming, before touching any config) is within the candidate
+// cap; otherwise points are rejection-sampled uniformly from the ball. The
+// result order is deterministic for the enumerated case and rng-determined
+// for the sampled case.
+func (s *Space) Neighborhood(center Config, radius float64, opts NeighborhoodOpts, rng *rand.Rand) []Config {
+	if radius <= 0 {
+		return nil
+	}
+	maxCand := opts.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	r2 := radius * radius
+	dim := len(s.knobs)
+	ballSize := latticeBallCount(dim, r2)
+	// Exact enumeration (with deterministic thinning) is cheaper than
+	// rejection sampling up to fairly large balls, because the rejection
+	// acceptance rate of a ball inside its bounding box collapses with
+	// dimension.
+	enumLimit := int64(maxCand) * 4
+	if enumLimit < 65536 {
+		enumLimit = 65536
+	}
+	if ballSize <= enumLimit {
+		return s.enumerateBall(center, r2, maxCand, opts.Exclude)
+	}
+	return s.sampleBall(center, radius, maxCand, opts.Exclude, rng)
+}
+
+// latticeBallCount counts integer lattice points within squared distance r2
+// of the origin in dim dimensions (including the origin), via the DP
+// N(d, r2) = sum_k N(d-1, r2 - k^2).
+func latticeBallCount(dim int, r2 float64) int64 {
+	rInt := int(math.Floor(math.Sqrt(r2)))
+	// counts[q] = number of (d-dim) lattice vectors with squared norm exactly q.
+	q := int(math.Floor(r2))
+	counts := make([]int64, q+1)
+	counts[0] = 1
+	const cap64 = int64(1) << 40
+	for d := 0; d < dim; d++ {
+		next := make([]int64, q+1)
+		for norm, c := range counts {
+			if c == 0 {
+				continue
+			}
+			for k := -rInt; k <= rInt; k++ {
+				nn := norm + k*k
+				if nn > q {
+					continue
+				}
+				next[nn] += c
+				if next[nn] > cap64 {
+					next[nn] = cap64
+				}
+			}
+		}
+		counts = next
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+		if total > cap64 {
+			return cap64
+		}
+	}
+	return total
+}
+
+// enumerateBall walks the lattice ball exactly, in lexicographic offset
+// order, then uniform-subsamples if the in-range result exceeds maxCand
+// (rare: clamping usually keeps it below the DP bound).
+func (s *Space) enumerateBall(center Config, r2 float64, maxCand int, exclude map[uint64]bool) []Config {
+	dim := len(s.knobs)
+	rInt := int(math.Floor(math.Sqrt(r2)))
+	var out []Config
+	idx := make([]int, dim)
+	var rec func(pos int, used float64)
+	rec = func(pos int, used float64) {
+		if pos == dim {
+			same := true
+			for i := range idx {
+				if idx[i] != center.Index[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return
+			}
+			cp := make([]int, dim)
+			copy(cp, idx)
+			c := Config{space: s, Index: cp}
+			if exclude != nil && exclude[c.Flat()] {
+				return
+			}
+			out = append(out, c)
+			return
+		}
+		kLen := s.knobs[pos].Len()
+		for k := -rInt; k <= rInt; k++ {
+			kk := float64(k * k)
+			if used+kk > r2 {
+				continue
+			}
+			v := center.Index[pos] + k
+			if v < 0 || v >= kLen {
+				continue
+			}
+			idx[pos] = v
+			rec(pos+1, used+kk)
+		}
+	}
+	rec(0, 0)
+	if len(out) > maxCand {
+		// Deterministic uniform thinning: take every stride-th point.
+		stride := float64(len(out)) / float64(maxCand)
+		thin := make([]Config, 0, maxCand)
+		for i := 0; i < maxCand; i++ {
+			thin = append(thin, out[int(float64(i)*stride)])
+		}
+		out = thin
+	}
+	return out
+}
+
+// sampleBall draws offsets exactly uniformly from the lattice ball via the
+// same norm-count dynamic program used by latticeBallCount, then rejects
+// only clamping violations and duplicates. Sampling one offset is
+// O(dim * radius), independent of the ball volume.
+func (s *Space) sampleBall(center Config, radius float64, maxCand int, exclude map[uint64]bool, rng *rand.Rand) []Config {
+	dim := len(s.knobs)
+	bs := newBallSampler(dim, radius)
+	seen := make(map[uint64]bool, maxCand)
+	out := make([]Config, 0, maxCand)
+	// Rejections now come only from clamping at space edges, duplicates and
+	// the excluded set, so a modest trial budget suffices.
+	maxTrials := maxCand * 32
+	offset := make([]int, dim)
+	for t := 0; t < maxTrials && len(out) < maxCand; t++ {
+		bs.sample(offset, rng)
+		idx := make([]int, dim)
+		valid := true
+		zero := true
+		for i, k := range offset {
+			if k != 0 {
+				zero = false
+			}
+			v := center.Index[i] + k
+			if v < 0 || v >= s.knobs[i].Len() {
+				valid = false
+				break
+			}
+			idx[i] = v
+		}
+		if !valid || zero {
+			continue
+		}
+		c := Config{space: s, Index: idx}
+		f := c.Flat()
+		if seen[f] || (exclude != nil && exclude[f]) {
+			continue
+		}
+		seen[f] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// ballSampler samples integer vectors uniformly from the dim-dimensional
+// lattice ball of the given radius. cum[d][q] counts d-dimensional vectors
+// with squared norm <= q; coordinates are drawn sequentially with
+// probability proportional to the count of completions.
+type ballSampler struct {
+	dim  int
+	rInt int
+	q    int
+	cum  [][]int64
+}
+
+func newBallSampler(dim int, radius float64) *ballSampler {
+	q := int(math.Floor(radius * radius))
+	rInt := int(math.Floor(radius))
+	// exact[d][n] = number of d-dim vectors with squared norm exactly n.
+	exact := make([]int64, q+1)
+	exact[0] = 1
+	cum := make([][]int64, dim+1)
+	// Counts are clamped far below overflow; clamping only engages for
+	// balls with >2^50 points, where near-uniformity is indistinguishable
+	// from uniformity for a few thousand draws.
+	const countCap = int64(1) << 50
+	toCum := func(ex []int64) []int64 {
+		c := make([]int64, q+1)
+		var run int64
+		for n := 0; n <= q; n++ {
+			run += ex[n]
+			if run > countCap {
+				run = countCap
+			}
+			c[n] = run
+		}
+		return c
+	}
+	cum[0] = toCum(exact)
+	for d := 1; d <= dim; d++ {
+		next := make([]int64, q+1)
+		for n, c := range exact {
+			if c == 0 {
+				continue
+			}
+			for k := -rInt; k <= rInt; k++ {
+				nn := n + k*k
+				if nn <= q {
+					next[nn] += c
+					if next[nn] > countCap {
+						next[nn] = countCap
+					}
+				}
+			}
+		}
+		exact = next
+		cum[d] = toCum(exact)
+	}
+	return &ballSampler{dim: dim, rInt: rInt, q: q, cum: cum}
+}
+
+// sample fills offset with a uniform draw from the ball (including the
+// origin; callers filter the zero offset).
+func (b *ballSampler) sample(offset []int, rng *rand.Rand) {
+	q := b.q
+	for i := 0; i < b.dim; i++ {
+		rem := b.dim - i - 1
+		// Total completions over all k choices equals cum[rem+1][q]
+		// (exactly, absent count clamping).
+		total := b.cum[rem+1][q]
+		draw := rng.Int63n(total)
+		assigned := false
+		for k := -b.rInt; k <= b.rInt; k++ {
+			nn := q - k*k
+			if nn < 0 {
+				continue
+			}
+			w := b.cum[rem][nn]
+			if draw < w {
+				offset[i] = k
+				q = nn
+				assigned = true
+				break
+			}
+			draw -= w
+		}
+		if !assigned {
+			// Only reachable when count clamping broke the exact identity;
+			// fall back to the always-valid zero offset.
+			offset[i] = 0
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func testSpace() *Space {
+	return New(
+		NewSplitKnob("tile_a", 16, 2), // 5 options
+		NewSplitKnob("tile_b", 8, 2),  // 4 options
+		NewEnumKnob("unroll", 0, 512, 1500),
+		NewEnumKnob("flag", 0, 1),
+	)
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := testSpace()
+	if s.Size() != 5*4*3*2 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if s.NumKnobs() != 4 {
+		t.Fatalf("NumKnobs = %d", s.NumKnobs())
+	}
+	if s.FeatureDim() != 2+2+1+1 {
+		t.Fatalf("FeatureDim = %d", s.FeatureDim())
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	s := testSpace()
+	for f := uint64(0); f < s.Size(); f++ {
+		c := s.FromFlat(f)
+		if c.Flat() != f {
+			t.Fatalf("round trip %d -> %v -> %d", f, c.Index, c.Flat())
+		}
+	}
+	// Modulo wrapping of out-of-range flats.
+	if s.FromFlat(s.Size()).Flat() != 0 {
+		t.Fatal("flat should wrap modulo size")
+	}
+}
+
+func TestFromIndicesValidation(t *testing.T) {
+	s := testSpace()
+	if _, err := s.FromIndices([]int{0, 0, 0}); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+	if _, err := s.FromIndices([]int{5, 0, 0, 0}); err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+	c, err := s.FromIndices([]int{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Flat() != s.Size()-1 {
+		t.Fatalf("last config flat = %d", c.Flat())
+	}
+}
+
+func TestRandomSampleUnique(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(1))
+	got := s.RandomSample(20, rng)
+	if len(got) != 20 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := make(map[uint64]bool)
+	for _, c := range got {
+		if seen[c.Flat()] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[c.Flat()] = true
+	}
+	// Request more than the space: returns every config exactly once.
+	all := s.RandomSample(int(s.Size())*2, rng)
+	if uint64(len(all)) != s.Size() {
+		t.Fatalf("oversized sample returned %d of %d", len(all), s.Size())
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	s := testSpace()
+	c := s.FromFlat(37)
+	if fa := c.SplitFactors("tile_a"); fa == nil || fa[0]*fa[1] != 16 {
+		t.Fatalf("SplitFactors(tile_a) = %v", fa)
+	}
+	if c.SplitFactors("unroll") != nil {
+		t.Fatal("enum knob should yield nil split factors")
+	}
+	if c.SplitFactors("missing") != nil {
+		t.Fatal("missing knob should yield nil")
+	}
+	if v, ok := c.EnumValue("unroll"); !ok || (v != 0 && v != 512 && v != 1500) {
+		t.Fatalf("EnumValue(unroll) = %d, %v", v, ok)
+	}
+	if _, ok := c.EnumValue("tile_a"); ok {
+		t.Fatal("split knob should not yield enum value")
+	}
+	if _, ok := c.EnumValue("missing"); ok {
+		t.Fatal("missing knob should not yield enum value")
+	}
+	if c.String() == "" {
+		t.Fatal("String should render")
+	}
+	d := c.Clone()
+	d.Index[0] = (d.Index[0] + 1) % 5
+	if c.Equal(d) {
+		t.Fatal("mutated clone should differ")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatal("clone should be equal")
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	s := testSpace()
+	c := s.FromFlat(0)
+	f := c.Features()
+	if len(f) != s.FeatureDim() {
+		t.Fatalf("feature len = %d, want %d", len(f), s.FeatureDim())
+	}
+	iv := c.IndexVec()
+	if len(iv) != s.NumKnobs() {
+		t.Fatalf("index vec len = %d", len(iv))
+	}
+	for _, v := range iv {
+		if v != 0 {
+			t.Fatal("flat 0 should be all-zero indices")
+		}
+	}
+}
+
+func TestKnobByName(t *testing.T) {
+	s := testSpace()
+	if s.KnobByName("tile_a") == nil || s.KnobByName("nope") != nil {
+		t.Fatal("KnobByName wrong")
+	}
+	if s.Knob(2).Name() != "unroll" {
+		t.Fatal("Knob(i) wrong")
+	}
+}
+
+func TestSplitKnobAccessors(t *testing.T) {
+	k := NewSplitKnob("k", 12, 3)
+	if k.Extent() != 12 || k.Parts() != 3 {
+		t.Fatal("extent/parts wrong")
+	}
+	if k.Len() != CountFactorizations(12, 3) {
+		t.Fatal("Len mismatch")
+	}
+	if k.Describe(0) == "" {
+		t.Fatal("describe empty")
+	}
+	for i := 0; i < k.Len(); i++ {
+		fs := k.Factors(i)
+		p := 1
+		for _, f := range fs {
+			p *= f
+		}
+		if p != 12 {
+			t.Fatalf("option %d product %d", i, p)
+		}
+	}
+}
+
+func TestEnumKnobPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEnumKnob("empty")
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty knob list")
+		}
+	}()
+	New()
+}
+
+func TestForWorkloadConv(t *testing.T) {
+	w := tensor.Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	s, err := ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumKnobs() != 8 {
+		t.Fatalf("conv knobs = %d", s.NumKnobs())
+	}
+	if s.Size() < 1_000_000 {
+		t.Fatalf("conv space too small: %d", s.Size())
+	}
+	if s.KnobByName(KnobTileF) == nil || s.KnobByName(KnobAutoUnroll) == nil {
+		t.Fatal("expected knob names missing")
+	}
+}
+
+func TestForWorkloadScale(t *testing.T) {
+	// MobileNet conv1: the paper says nodes average >50M configurations.
+	w := tensor.Conv2D(1, 3, 224, 224, 32, 3, 2, 1)
+	s, err := ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() < 10_000_000 {
+		t.Fatalf("MobileNet conv1 space = %d, want >= 10M", s.Size())
+	}
+}
+
+func TestForWorkloadDepthwiseAndDense(t *testing.T) {
+	dw, err := ForWorkload(tensor.DepthwiseConv2D(1, 32, 112, 112, 3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.NumKnobs() != 5 {
+		t.Fatalf("depthwise knobs = %d", dw.NumKnobs())
+	}
+	d, err := ForWorkload(tensor.Dense(1, 4096, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumKnobs() != 4 {
+		t.Fatalf("dense knobs = %d", d.NumKnobs())
+	}
+	if _, err := ForWorkload(tensor.Workload{Op: tensor.OpKind(9), N: 1, C: 1, F: 1}); err == nil {
+		t.Fatal("unknown op should error")
+	}
+	if _, err := ForWorkload(tensor.Conv2D(0, 3, 8, 8, 8, 3, 1, 1)); err == nil {
+		t.Fatal("invalid workload should error")
+	}
+}
+
+// Property: flat round-trip holds for random flats on a realistic space.
+func TestFlatRoundTripProperty(t *testing.T) {
+	s, err := ForWorkload(tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		flat := raw % s.Size()
+		return s.FromFlat(flat).Flat() == flat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Features length always equals FeatureDim and contains no NaN.
+func TestFeaturesWellFormedProperty(t *testing.T) {
+	s, err := ForWorkload(tensor.DepthwiseConv2D(1, 64, 56, 56, 3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		c := s.FromFlat(raw % s.Size())
+		fv := c.Features()
+		if len(fv) != s.FeatureDim() {
+			return false
+		}
+		for _, v := range fv {
+			if v != v || v < 0 { // NaN or negative log2 of factor >= 1
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

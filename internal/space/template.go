@@ -1,0 +1,67 @@
+package space
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Knob names shared by the CUDA-style schedule templates. The hardware
+// simulator interprets configurations through these names, mirroring how
+// TVM's code generator interprets an AutoTVM ConfigEntity.
+const (
+	KnobTileF          = "tile_f"  // output-channel axis: [block, vthread, thread, inner]
+	KnobTileY          = "tile_y"  // output-height axis:  [block, vthread, thread, inner]
+	KnobTileX          = "tile_x"  // output-width axis:   [block, vthread, thread, inner]
+	KnobTileRC         = "tile_rc" // reduction channels:  [outer, inner]
+	KnobTileRY         = "tile_ry" // reduction kernel-h:  [outer, inner]
+	KnobTileRX         = "tile_rx" // reduction kernel-w:  [outer, inner]
+	KnobTileK          = "tile_k"  // dense reduction axis: [outer, inner]
+	KnobAutoUnroll     = "auto_unroll_max_step"
+	KnobUnrollExplicit = "unroll_explicit"
+)
+
+// ForWorkload builds the schedule configuration space of a workload,
+// mirroring TVM v0.6 CUDA templates:
+//
+//   - conv2d direct: 4-way splits of F/Y/X, 2-way splits of RC/RY/RX,
+//     auto_unroll in {0, 512, 1500}, unroll_explicit in {0, 1};
+//   - depthwise_conv2d: 4-way splits of C(=F)/Y/X, unroll knobs;
+//   - dense: 4-way split of F, 2-way split of the reduction axis, unroll.
+//
+// The per-node sizes land in the 10^5..10^8 range the paper reports.
+func ForWorkload(w tensor.Workload) (*Space, error) {
+	if err := w.Valid(); err != nil {
+		return nil, err
+	}
+	switch w.Op {
+	case tensor.OpConv2D:
+		return New(
+			NewSplitKnob(KnobTileF, w.F, 4),
+			NewSplitKnob(KnobTileY, w.OutH(), 4),
+			NewSplitKnob(KnobTileX, w.OutW(), 4),
+			NewSplitKnob(KnobTileRC, w.C, 2),
+			NewSplitKnob(KnobTileRY, w.KH, 2),
+			NewSplitKnob(KnobTileRX, w.KW, 2),
+			NewEnumKnob(KnobAutoUnroll, 0, 512, 1500),
+			NewEnumKnob(KnobUnrollExplicit, 0, 1),
+		), nil
+	case tensor.OpDepthwiseConv2D:
+		return New(
+			NewSplitKnob(KnobTileF, w.C, 4),
+			NewSplitKnob(KnobTileY, w.OutH(), 4),
+			NewSplitKnob(KnobTileX, w.OutW(), 4),
+			NewEnumKnob(KnobAutoUnroll, 0, 256, 1500),
+			NewEnumKnob(KnobUnrollExplicit, 0, 1),
+		), nil
+	case tensor.OpDense:
+		return New(
+			NewSplitKnob(KnobTileF, w.F, 4),
+			NewSplitKnob(KnobTileK, w.C, 2),
+			NewEnumKnob(KnobAutoUnroll, 0, 512, 1500),
+			NewEnumKnob(KnobUnrollExplicit, 0, 1),
+		), nil
+	default:
+		return nil, fmt.Errorf("space: no template for op %v", w.Op)
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats provides the summary statistics used throughout the
+// reproduction: means, variances, bootstrap confidence intervals and the
+// improvement ratios reported in the paper's Table I.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (the paper reports
+// variance over 600 fixed runs, a population quantity). Returns 0 for
+// fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased (n-1) sample variance.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(len(xs)) / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// DeltaPercent returns the paper's Δ(%) improvement of value v over
+// baseline b: 100*(v-b)/b. Negative means improvement for latency-style
+// metrics. Returns 0 when the baseline is 0.
+func DeltaPercent(baseline, v float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (v - baseline) / baseline
+}
+
+// Resample draws a bootstrap resample of xs (with replacement, same size)
+// using rng.
+func Resample(xs []float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(xs))
+	for i := range out {
+		out[i] = xs[rng.Intn(len(xs))]
+	}
+	return out
+}
+
+// ResampleIndices draws n indices uniformly with replacement from [0, n).
+// This is the index-level bootstrap used by the BAO evaluation functions.
+func ResampleIndices(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// BootstrapCI estimates a (1-alpha) percentile confidence interval of the
+// mean of xs from b bootstrap resamples.
+func BootstrapCI(xs []float64, b int, alpha float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 || b <= 0 {
+		return 0, 0
+	}
+	means := make([]float64, b)
+	for i := range means {
+		means[i] = Mean(Resample(xs, rng))
+	}
+	return Percentile(means, 100*alpha/2), Percentile(means, 100*(1-alpha/2))
+}
+
+// Running tracks streaming mean/variance via Welford's algorithm; used by
+// the simulator's 600-run latency sampler to avoid holding all samples.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	wantSample := 4 * 8.0 / 7.0
+	if math.Abs(SampleVariance(xs)-wantSample) > 1e-12 {
+		t.Fatalf("SampleVariance = %v, want %v", SampleVariance(xs), wantSample)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty-slice stats should be zero")
+	}
+	if Variance([]float64{3}) != 0 || SampleVariance([]float64{3}) != 0 {
+		t.Fatal("singleton variance should be zero")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max should be infinities")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("min/max wrong")
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	// Median must not mutate.
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50}, {62.5, 35},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDeltaPercent(t *testing.T) {
+	if DeltaPercent(0, 5) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+	if got := DeltaPercent(2.0, 1.5); math.Abs(got - -25) > 1e-12 {
+		t.Fatalf("DeltaPercent = %v", got)
+	}
+	if got := DeltaPercent(1.0, 1.2); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("DeltaPercent = %v", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := []float64{1, 2, 3, 4, 5}
+	r := Resample(xs, rng)
+	if len(r) != len(xs) {
+		t.Fatal("resample size mismatch")
+	}
+	set := map[float64]bool{1: true, 2: true, 3: true, 4: true, 5: true}
+	for _, v := range r {
+		if !set[v] {
+			t.Fatalf("resample produced foreign value %v", v)
+		}
+	}
+	idx := ResampleIndices(10, rng)
+	for _, i := range idx {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestBootstrapUniqueFraction(t *testing.T) {
+	// Classic bootstrap fact: a resample contains ~63.2% unique items.
+	rng := rand.New(rand.NewSource(42))
+	n := 1000
+	total := 0
+	reps := 200
+	for r := 0; r < reps; r++ {
+		seen := make(map[int]bool)
+		for _, i := range ResampleIndices(n, rng) {
+			seen[i] = true
+		}
+		total += len(seen)
+	}
+	frac := float64(total) / float64(reps*n)
+	if frac < 0.61 || frac > 0.66 {
+		t.Fatalf("unique fraction = %.4f, want ~0.632", frac)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 500, 0.05, rng)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] should cover the true mean 10", lo, hi)
+	}
+	if l, h := BootstrapCI(nil, 10, 0.05, rng); l != 0 || h != 0 {
+		t.Fatal("empty CI should be zero")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 600)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		r.Add(xs[i])
+	}
+	if r.N() != 600 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-10 {
+		t.Fatalf("running mean %v vs %v", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.Variance()-Variance(xs)) > 1e-10 {
+		t.Fatalf("running var %v vs %v", r.Variance(), Variance(xs))
+	}
+	var one Running
+	one.Add(5)
+	if one.Variance() != 0 {
+		t.Fatal("single-sample running variance should be 0")
+	}
+}
+
+// Property: variance is invariant under shift and scales quadratically.
+func TestVarianceProperties(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		zs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i] + shift
+			zs[i] = 3 * xs[i]
+		}
+		v := Variance(xs)
+		return math.Abs(Variance(ys)-v) < 1e-6*(1+math.Abs(v)+shift*shift) &&
+			math.Abs(Variance(zs)-9*v) < 1e-6*(1+v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package tensor provides shape and data-type primitives plus arithmetic
+// accounting (FLOPs, bytes) for the operator workloads used throughout the
+// auto-tuning stack. It deliberately contains no numeric tensor data: the
+// tuner only ever needs shapes and cost accounting, never values.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType identifies an element data type.
+type DType int
+
+// Supported element types.
+const (
+	Float32 DType = iota
+	Float16
+	Int32
+	Int8
+)
+
+// Size returns the size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float16:
+		return 2
+	case Int8:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float16:
+		return "float16"
+	case Int32:
+		return "int32"
+	case Int8:
+		return "int8"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Shape is an immutable-by-convention tensor shape in NCHW-style layouts.
+// A nil Shape is the shape of a scalar.
+type Shape []int
+
+// NewShape copies dims into a fresh Shape.
+func NewShape(dims ...int) Shape {
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Elems returns the total number of elements, 1 for a scalar shape.
+func (s Shape) Elems() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Bytes returns the storage footprint of the shape at the given dtype.
+func (s Shape) Bytes(dt DType) int64 { return s.Elems() * int64(dt.Size()) }
+
+// Equal reports whether s and t have identical rank and dims.
+func (s Shape) Equal(t Shape) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	t := make(Shape, len(s))
+	copy(t, s)
+	return t
+}
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as "(n, c, h, w)".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ConvOutDim computes the output spatial extent of a convolution-style
+// sliding window: floor((in + 2*pad - kernel)/stride) + 1. It returns 0 when
+// the window does not fit.
+func ConvOutDim(in, kernel, stride, pad int) int {
+	if stride <= 0 {
+		return 0
+	}
+	span := in + 2*pad - kernel
+	if span < 0 {
+		return 0
+	}
+	return span/stride + 1
+}
+
+// PoolOutDim computes the output extent of a pooling window with optional
+// ceil-mode rounding (as used by SqueezeNet-v1.1's first max-pool).
+func PoolOutDim(in, kernel, stride, pad int, ceilMode bool) int {
+	if stride <= 0 {
+		return 0
+	}
+	span := in + 2*pad - kernel
+	if span < 0 {
+		return 0
+	}
+	if ceilMode {
+		return (span+stride-1)/stride + 1
+	}
+	return span/stride + 1
+}

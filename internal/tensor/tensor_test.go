@@ -1,0 +1,249 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSize(t *testing.T) {
+	cases := []struct {
+		dt   DType
+		want int
+	}{
+		{Float32, 4}, {Float16, 2}, {Int32, 4}, {Int8, 1}, {DType(99), 4},
+	}
+	for _, c := range cases {
+		if got := c.dt.Size(); got != c.want {
+			t.Errorf("%v.Size() = %d, want %d", c.dt, got, c.want)
+		}
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if Float32.String() != "float32" {
+		t.Errorf("Float32.String() = %q", Float32.String())
+	}
+	if Int8.String() != "int8" {
+		t.Errorf("Int8.String() = %q", Int8.String())
+	}
+	if DType(42).String() == "" {
+		t.Error("unknown dtype should still stringify")
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := NewShape(1, 3, 224, 224)
+	if s.Rank() != 4 {
+		t.Fatalf("Rank = %d, want 4", s.Rank())
+	}
+	if s.Elems() != 1*3*224*224 {
+		t.Fatalf("Elems = %d", s.Elems())
+	}
+	if s.Bytes(Float32) != s.Elems()*4 {
+		t.Fatalf("Bytes = %d", s.Bytes(Float32))
+	}
+	if !s.Valid() {
+		t.Fatal("shape should be valid")
+	}
+	if NewShape(1, 0, 2).Valid() {
+		t.Fatal("zero dim should be invalid")
+	}
+	if s.String() != "(1, 3, 224, 224)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	s := NewShape(2, 3)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c[0] = 7
+	if s.Equal(c) {
+		t.Fatal("mutated clone should differ")
+	}
+	if s.Equal(NewShape(2, 3, 4)) {
+		t.Fatal("different rank should not be equal")
+	}
+}
+
+func TestScalarShape(t *testing.T) {
+	var s Shape
+	if s.Elems() != 1 {
+		t.Fatalf("scalar Elems = %d, want 1", s.Elems())
+	}
+	if s.Rank() != 0 {
+		t.Fatalf("scalar Rank = %d", s.Rank())
+	}
+}
+
+func TestConvOutDim(t *testing.T) {
+	cases := []struct {
+		in, k, s, p, want int
+	}{
+		{224, 3, 1, 1, 224},
+		{224, 3, 2, 1, 112},
+		{224, 7, 2, 3, 112},
+		{224, 11, 4, 2, 55},
+		{5, 7, 1, 0, 0},  // window does not fit
+		{10, 3, 0, 0, 0}, // zero stride guarded
+	}
+	for _, c := range cases {
+		if got := ConvOutDim(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutDim(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPoolOutDimCeilMode(t *testing.T) {
+	// SqueezeNet-v1.1 pool: 111 input, 3x3 stride 2, pad 0, ceil mode -> 55 floor, 56 ceil.
+	if got := PoolOutDim(111, 3, 2, 0, false); got != 55 {
+		t.Errorf("floor pool = %d, want 55", got)
+	}
+	if got := PoolOutDim(111, 3, 2, 0, true); got != 55 {
+		t.Errorf("ceil pool on exact = %d, want 55", got)
+	}
+	if got := PoolOutDim(112, 3, 2, 0, true); got != 56 {
+		t.Errorf("ceil pool = %d, want 56", got)
+	}
+	if got := PoolOutDim(112, 3, 2, 0, false); got != 55 {
+		t.Errorf("floor pool = %d, want 55", got)
+	}
+	if got := PoolOutDim(2, 3, 2, 0, true); got != 0 {
+		t.Errorf("non-fitting pool = %d, want 0", got)
+	}
+}
+
+func TestConv2DWorkload(t *testing.T) {
+	w := Conv2D(1, 3, 224, 224, 64, 3, 1, 1)
+	if err := w.Valid(); err != nil {
+		t.Fatalf("Valid: %v", err)
+	}
+	if w.OutH() != 224 || w.OutW() != 224 {
+		t.Fatalf("out dims = %dx%d", w.OutH(), w.OutW())
+	}
+	want := 2 * int64(64) * 224 * 224 * 3 * 3 * 3
+	if w.FLOPs() != want {
+		t.Fatalf("FLOPs = %d, want %d", w.FLOPs(), want)
+	}
+	if !w.OutShape().Equal(NewShape(1, 64, 224, 224)) {
+		t.Fatalf("OutShape = %v", w.OutShape())
+	}
+}
+
+func TestDepthwiseWorkload(t *testing.T) {
+	w := DepthwiseConv2D(1, 32, 112, 112, 3, 1, 1)
+	if err := w.Valid(); err != nil {
+		t.Fatalf("Valid: %v", err)
+	}
+	want := 2 * int64(32) * 112 * 112 * 3 * 3
+	if w.FLOPs() != want {
+		t.Fatalf("FLOPs = %d, want %d", w.FLOPs(), want)
+	}
+	bad := w
+	bad.F = 64
+	if bad.Valid() == nil {
+		t.Fatal("depthwise with F != C should be invalid")
+	}
+}
+
+func TestDenseWorkload(t *testing.T) {
+	w := Dense(1, 4096, 1000)
+	if err := w.Valid(); err != nil {
+		t.Fatalf("Valid: %v", err)
+	}
+	if w.FLOPs() != 2*4096*1000 {
+		t.Fatalf("FLOPs = %d", w.FLOPs())
+	}
+	if w.OutH() != 1 || w.OutW() != 1 {
+		t.Fatalf("dense out dims = %dx%d", w.OutH(), w.OutW())
+	}
+	if !w.OutShape().Equal(NewShape(1, 1000)) {
+		t.Fatalf("OutShape = %v", w.OutShape())
+	}
+}
+
+func TestWorkloadInvalid(t *testing.T) {
+	bad := Conv2D(1, 3, 5, 5, 8, 7, 1, 0) // kernel larger than padded input
+	if bad.Valid() == nil {
+		t.Fatal("empty-output conv should be invalid")
+	}
+	neg := Conv2D(0, 3, 5, 5, 8, 3, 1, 1)
+	if neg.Valid() == nil {
+		t.Fatal("zero batch should be invalid")
+	}
+	unk := Workload{Op: OpKind(77), N: 1, C: 1, F: 1}
+	if unk.Valid() == nil {
+		t.Fatal("unknown op should be invalid")
+	}
+}
+
+func TestWorkloadKeyIdentity(t *testing.T) {
+	a := Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	b := Conv2D(1, 64, 56, 56, 64, 3, 1, 1)
+	c := Conv2D(1, 64, 56, 56, 64, 3, 2, 1)
+	if a.Key() != b.Key() {
+		t.Fatal("identical workloads must share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different stride must change the key")
+	}
+	d1 := Dense(1, 512, 1000)
+	d2 := Dense(1, 512, 512)
+	if d1.Key() == d2.Key() {
+		t.Fatal("dense keys must distinguish output dims")
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	// A big conv has high intensity; a dense (GEMV) is memory bound.
+	conv := Conv2D(1, 256, 56, 56, 256, 3, 1, 1)
+	fc := Dense(1, 4096, 4096)
+	if conv.ArithmeticIntensity() <= fc.ArithmeticIntensity() {
+		t.Fatalf("conv intensity %.2f should exceed dense %.2f",
+			conv.ArithmeticIntensity(), fc.ArithmeticIntensity())
+	}
+	if fc.ArithmeticIntensity() <= 0 {
+		t.Fatal("intensity must be positive")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpConv2D.String() != "conv2d" || OpDepthwiseConv2D.String() != "depthwise_conv2d" || OpDense.String() != "dense" {
+		t.Fatal("op kind strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown op kind should stringify")
+	}
+}
+
+// Property: ConvOutDim is monotone non-decreasing in input size and the
+// output never exceeds the padded input extent.
+func TestConvOutDimProperties(t *testing.T) {
+	f := func(in, k, s, p uint8) bool {
+		i, kk, ss, pp := int(in)+1, int(k%7)+1, int(s%4)+1, int(p%4)
+		out := ConvOutDim(i, kk, ss, pp)
+		outNext := ConvOutDim(i+1, kk, ss, pp)
+		if outNext < out {
+			return false
+		}
+		return out <= i+2*pp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FLOPs scale linearly with batch size.
+func TestFLOPsBatchLinearity(t *testing.T) {
+	f := func(n uint8) bool {
+		b := int(n%8) + 1
+		w1 := Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+		wb := Conv2D(b, 16, 28, 28, 32, 3, 1, 1)
+		return wb.FLOPs() == int64(b)*w1.FLOPs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package tensor
+
+import "fmt"
+
+// OpKind identifies the operator class of a tunable workload.
+type OpKind int
+
+// Tunable operator classes. These are the node kinds that AutoTVM-style
+// template tuning targets on CUDA backends.
+const (
+	OpConv2D OpKind = iota
+	OpDepthwiseConv2D
+	OpDense
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpConv2D:
+		return "conv2d"
+	case OpDepthwiseConv2D:
+		return "depthwise_conv2d"
+	case OpDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Workload is the canonical description of one tunable computation: the
+// paper's "node" (layer). Two layers with an identical Workload share one
+// tuning task. Fields unused by an OpKind are zero.
+//
+// Conventions (NCHW):
+//   - Conv2D: In (N, C, H, W), Kernel (F, C, KH, KW), stride S, padding P.
+//   - DepthwiseConv2D: In (N, C, H, W), Kernel (C, 1, KH, KW); F == C.
+//   - Dense: In (N, CIn), weight (COut, CIn); H/W/KH/KW are zero.
+type Workload struct {
+	Op     OpKind
+	N      int // batch size
+	C      int // input channels (CIn for dense)
+	H, W   int // input spatial extents
+	F      int // output channels (COut for dense)
+	KH, KW int // kernel extents
+	SH, SW int // strides
+	PH, PW int // paddings
+	DType  DType
+}
+
+// Conv2D builds a square-stride, square-pad conv2d workload.
+func Conv2D(n, c, h, w, f, k, stride, pad int) Workload {
+	return Workload{
+		Op: OpConv2D, N: n, C: c, H: h, W: w, F: f,
+		KH: k, KW: k, SH: stride, SW: stride, PH: pad, PW: pad,
+		DType: Float32,
+	}
+}
+
+// DepthwiseConv2D builds a depthwise conv workload (channel multiplier 1).
+func DepthwiseConv2D(n, c, h, w, k, stride, pad int) Workload {
+	return Workload{
+		Op: OpDepthwiseConv2D, N: n, C: c, H: h, W: w, F: c,
+		KH: k, KW: k, SH: stride, SW: stride, PH: pad, PW: pad,
+		DType: Float32,
+	}
+}
+
+// Dense builds a fully-connected workload computing (N, CIn) x (COut, CIn)^T.
+func Dense(n, cin, cout int) Workload {
+	return Workload{Op: OpDense, N: n, C: cin, F: cout, DType: Float32}
+}
+
+// OutH returns the output height (1 for dense).
+func (w Workload) OutH() int {
+	if w.Op == OpDense {
+		return 1
+	}
+	return ConvOutDim(w.H, w.KH, w.SH, w.PH)
+}
+
+// OutW returns the output width (1 for dense).
+func (w Workload) OutW() int {
+	if w.Op == OpDense {
+		return 1
+	}
+	return ConvOutDim(w.W, w.KW, w.SW, w.PW)
+}
+
+// OutShape returns the NCHW output shape ((N, F) for dense).
+func (w Workload) OutShape() Shape {
+	if w.Op == OpDense {
+		return NewShape(w.N, w.F)
+	}
+	return NewShape(w.N, w.F, w.OutH(), w.OutW())
+}
+
+// FLOPs returns the number of floating-point operations (multiply and add
+// counted separately, the GFLOPS convention AutoTVM reports).
+func (w Workload) FLOPs() int64 {
+	switch w.Op {
+	case OpConv2D:
+		return 2 * int64(w.N) * int64(w.F) * int64(w.OutH()) * int64(w.OutW()) *
+			int64(w.C) * int64(w.KH) * int64(w.KW)
+	case OpDepthwiseConv2D:
+		return 2 * int64(w.N) * int64(w.C) * int64(w.OutH()) * int64(w.OutW()) *
+			int64(w.KH) * int64(w.KW)
+	case OpDense:
+		return 2 * int64(w.N) * int64(w.F) * int64(w.C)
+	default:
+		return 0
+	}
+}
+
+// InputBytes returns the minimum unique bytes read (input + weights).
+func (w Workload) InputBytes() int64 {
+	es := int64(w.DType.Size())
+	switch w.Op {
+	case OpConv2D:
+		in := int64(w.N) * int64(w.C) * int64(w.H) * int64(w.W)
+		wt := int64(w.F) * int64(w.C) * int64(w.KH) * int64(w.KW)
+		return (in + wt) * es
+	case OpDepthwiseConv2D:
+		in := int64(w.N) * int64(w.C) * int64(w.H) * int64(w.W)
+		wt := int64(w.C) * int64(w.KH) * int64(w.KW)
+		return (in + wt) * es
+	case OpDense:
+		return (int64(w.N)*int64(w.C) + int64(w.F)*int64(w.C)) * es
+	default:
+		return 0
+	}
+}
+
+// OutputBytes returns the bytes written by the operator.
+func (w Workload) OutputBytes() int64 { return w.OutShape().Bytes(w.DType) }
+
+// ArithmeticIntensity returns FLOPs per byte of compulsory traffic; the
+// roofline abscissa.
+func (w Workload) ArithmeticIntensity() float64 {
+	b := w.InputBytes() + w.OutputBytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(w.FLOPs()) / float64(b)
+}
+
+// Valid performs basic sanity checks on the workload dimensions.
+func (w Workload) Valid() error {
+	if w.N <= 0 || w.C <= 0 || w.F <= 0 {
+		return fmt.Errorf("tensor: workload %v has non-positive N/C/F", w)
+	}
+	switch w.Op {
+	case OpConv2D, OpDepthwiseConv2D:
+		if w.H <= 0 || w.W <= 0 || w.KH <= 0 || w.KW <= 0 || w.SH <= 0 || w.SW <= 0 {
+			return fmt.Errorf("tensor: workload %v has non-positive spatial dims", w)
+		}
+		if w.OutH() <= 0 || w.OutW() <= 0 {
+			return fmt.Errorf("tensor: workload %v produces empty output", w)
+		}
+		if w.Op == OpDepthwiseConv2D && w.F != w.C {
+			return fmt.Errorf("tensor: depthwise workload must have F == C, got %v", w)
+		}
+	case OpDense:
+		// nothing further
+	default:
+		return fmt.Errorf("tensor: unknown op kind %d", int(w.Op))
+	}
+	return nil
+}
+
+// Key returns a canonical string identity used for task de-duplication and
+// record logging. Identical workloads produce identical keys.
+func (w Workload) Key() string {
+	switch w.Op {
+	case OpDense:
+		return fmt.Sprintf("dense_n%d_ci%d_co%d_%s", w.N, w.C, w.F, w.DType)
+	default:
+		return fmt.Sprintf("%s_n%d_c%d_h%d_w%d_f%d_k%dx%d_s%dx%d_p%dx%d_%s",
+			w.Op, w.N, w.C, w.H, w.W, w.F, w.KH, w.KW, w.SH, w.SW, w.PH, w.PW, w.DType)
+	}
+}
+
+// String implements fmt.Stringer.
+func (w Workload) String() string { return w.Key() }

@@ -1,0 +1,127 @@
+// Package transfer implements the history-based transfer learning that
+// AutoTVM layers onto its cost model: measurements from previously tuned
+// tasks of the same operator class warm-start the surrogate of a new task,
+// so the first model of a fresh task is not trained from scratch.
+//
+// Transferability rests on two facts about the schedule templates: (a) all
+// tasks of one operator class share the same knob structure, hence the same
+// feature dimensionality, and (b) relative preferences (large inner tiles,
+// warp-multiple thread counts) carry across shapes even when absolute
+// GFLOPS do not. Targets are therefore rank-normalized per source task
+// before mixing.
+package transfer
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/active"
+	"repro/internal/tensor"
+)
+
+// entry is one task's contributed history.
+type entry struct {
+	task string
+	op   tensor.OpKind
+	X    [][]float64
+	y    []float64 // rank-normalized to [0, 1]
+}
+
+// History accumulates cross-task knowledge. It is safe for concurrent use.
+type History struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Add contributes the valid samples of a finished tuning run under the
+// given task key. Invalid samples are recorded with target 0 (they teach
+// the model which regions fail to launch).
+func (h *History) Add(task string, op tensor.OpKind, samples []active.Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	X := make([][]float64, 0, len(samples))
+	raw := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		X = append(X, s.Config.Features())
+		if s.Valid {
+			raw = append(raw, s.GFLOPS)
+		} else {
+			raw = append(raw, 0)
+		}
+	}
+	y := rankNormalize(raw)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries = append(h.entries, entry{task: task, op: op, X: X, y: y})
+}
+
+// NumTasks returns how many task histories have been recorded.
+func (h *History) NumTasks() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// WarmStart assembles up to limit transferred training pairs for a new
+// task of the given operator kind, excluding history from excludeTask
+// (usually the task itself on re-tunes). The newest histories contribute
+// first. Returned slices are copies and safe to mutate.
+func (h *History) WarmStart(op tensor.OpKind, excludeTask string, limit int) ([][]float64, []float64) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var X [][]float64
+	var y []float64
+	for i := len(h.entries) - 1; i >= 0 && len(X) < limit; i-- {
+		e := h.entries[i]
+		if e.op != op || e.task == excludeTask {
+			continue
+		}
+		for j := range e.X {
+			if len(X) >= limit {
+				break
+			}
+			row := make([]float64, len(e.X[j]))
+			copy(row, e.X[j])
+			X = append(X, row)
+			y = append(y, e.y[j])
+		}
+	}
+	return X, y
+}
+
+// rankNormalize maps values to their normalized rank in [0, 1] (average
+// rank for ties), making targets comparable across tasks whose absolute
+// GFLOPS differ by orders of magnitude.
+func rankNormalize(vals []float64) []float64 {
+	n := len(vals)
+	if n == 1 {
+		return []float64{0.5}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	out := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		avgRank := float64(i+j) / 2
+		norm := avgRank / float64(n-1)
+		for k := i; k <= j; k++ {
+			out[idx[k]] = norm
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package transfer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/active"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+func makeSamples(t *testing.T, w tensor.Workload, n int, seed int64) []active.Sample {
+	t.Helper()
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]active.Sample, n)
+	for i := range out {
+		c := sp.Random(rng)
+		out[i] = active.Sample{Config: c, GFLOPS: rng.Float64() * 1000, Valid: i%5 != 0}
+	}
+	return out
+}
+
+func TestHistoryWarmStart(t *testing.T) {
+	h := NewHistory()
+	w1 := tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+	w2 := tensor.Conv2D(1, 32, 14, 14, 64, 3, 1, 1)
+	h.Add("t1", tensor.OpConv2D, makeSamples(t, w1, 40, 1))
+	h.Add("t2", tensor.OpConv2D, makeSamples(t, w2, 40, 2))
+	if h.NumTasks() != 2 {
+		t.Fatalf("NumTasks = %d", h.NumTasks())
+	}
+	X, y := h.WarmStart(tensor.OpConv2D, "", 50)
+	if len(X) != 50 || len(y) != 50 {
+		t.Fatalf("warm start returned %d/%d", len(X), len(y))
+	}
+	for _, v := range y {
+		if v < 0 || v > 1 {
+			t.Fatalf("rank-normalized target %v out of [0,1]", v)
+		}
+	}
+	// Newest-first: the first rows must come from t2.
+	X2, _ := h.WarmStart(tensor.OpConv2D, "", 40)
+	if len(X2) != 40 {
+		t.Fatalf("limit not honored: %d", len(X2))
+	}
+}
+
+func TestWarmStartFiltersOpAndTask(t *testing.T) {
+	h := NewHistory()
+	conv := tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+	dw := tensor.DepthwiseConv2D(1, 32, 28, 28, 3, 1, 1)
+	h.Add("conv-task", tensor.OpConv2D, makeSamples(t, conv, 30, 3))
+	h.Add("dw-task", tensor.OpDepthwiseConv2D, makeSamples(t, dw, 30, 4))
+	X, _ := h.WarmStart(tensor.OpDepthwiseConv2D, "", 100)
+	if len(X) != 30 {
+		t.Fatalf("depthwise warm start = %d rows, want 30", len(X))
+	}
+	X, _ = h.WarmStart(tensor.OpConv2D, "conv-task", 100)
+	if len(X) != 0 {
+		t.Fatalf("excluded task leaked %d rows", len(X))
+	}
+	X, _ = h.WarmStart(tensor.OpDense, "", 100)
+	if len(X) != 0 {
+		t.Fatalf("dense history should be empty, got %d", len(X))
+	}
+}
+
+func TestWarmStartEdgeCases(t *testing.T) {
+	h := NewHistory()
+	if x, y := h.WarmStart(tensor.OpConv2D, "", 10); x != nil || y != nil {
+		t.Fatal("empty history should return nil")
+	}
+	if x, _ := h.WarmStart(tensor.OpConv2D, "", 0); x != nil {
+		t.Fatal("zero limit should return nil")
+	}
+	h.Add("empty", tensor.OpConv2D, nil)
+	if h.NumTasks() != 0 {
+		t.Fatal("empty sample set should not be recorded")
+	}
+}
+
+func TestWarmStartCopiesRows(t *testing.T) {
+	h := NewHistory()
+	w := tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+	h.Add("t", tensor.OpConv2D, makeSamples(t, w, 5, 5))
+	X1, _ := h.WarmStart(tensor.OpConv2D, "", 5)
+	X1[0][0] = 12345
+	X2, _ := h.WarmStart(tensor.OpConv2D, "", 5)
+	if X2[0][0] == 12345 {
+		t.Fatal("WarmStart must return copies")
+	}
+}
+
+func TestRankNormalize(t *testing.T) {
+	got := rankNormalize([]float64{30, 10, 20})
+	want := []float64{1, 0, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rankNormalize = %v, want %v", got, want)
+		}
+	}
+	// Ties get the average rank.
+	got = rankNormalize([]float64{5, 5, 10})
+	if got[0] != got[1] || got[0] != 0.25 || got[2] != 1 {
+		t.Fatalf("tied ranks = %v", got)
+	}
+	if got := rankNormalize([]float64{7}); got[0] != 0.5 {
+		t.Fatalf("singleton rank = %v", got)
+	}
+	// All equal: everything at the midpoint.
+	got = rankNormalize([]float64{3, 3, 3, 3})
+	for _, v := range got {
+		if v != 0.5 {
+			t.Fatalf("all-equal ranks = %v", got)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tuner
+
+import (
+	"math/rand"
+
+	"repro/internal/active"
+	"repro/internal/space"
+)
+
+// AdvancedTuner is the paper's full advanced active-learning framework
+// (Fig. 3): BTED builds the diverse initialization set, then BAO performs
+// bootstrap-guided adaptive optimization over incumbent neighborhoods,
+// deploying one configuration per iteration.
+type AdvancedTuner struct {
+	// BTED configures the initialization (zero value = paper defaults).
+	BTED active.BTEDParams
+	// BAO configures the iterative stage (zero value = paper defaults:
+	// eta 0.05, Gamma 2, tau 1.5, R 3). T and EarlyStop are overridden
+	// from the run Options.
+	BAO active.BAOParams
+	// Trainer builds the bootstrap evaluation functions; nil selects the
+	// XGBoost trainer.
+	Trainer active.EvalTrainer
+}
+
+// NewBTEDBAO returns the paper's "BTED + BAO" arm with its experimental
+// settings.
+func NewBTEDBAO() *AdvancedTuner {
+	return &AdvancedTuner{BTED: active.DefaultBTEDParams()}
+}
+
+// Name implements Tuner.
+func (*AdvancedTuner) Name() string { return "bted+bao" }
+
+// Tune implements Tuner.
+func (t *AdvancedTuner) Tune(task *Task, m Measurer, opts Options) Result {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := newSession(task, m, opts)
+
+	// ---- Initialization: BTED (Algorithms 1 & 2) ---------------------------
+	bp := t.BTED
+	bp.M0 = opts.PlanSize
+	for _, c := range active.BTED(task.Space, bp, rng) {
+		s.measure(c)
+	}
+
+	// ---- Iterative optimization: BAO (Algorithms 3 & 4) --------------------
+	trainer := t.Trainer
+	if trainer == nil {
+		trainer = active.NewXGBTrainer()
+	}
+	bao := t.BAO
+	bao.T = opts.Budget - len(s.samples)
+	if opts.EarlyStop > 0 {
+		bao.EarlyStop = opts.EarlyStop
+	} else {
+		bao.EarlyStop = 0
+	}
+	if bao.T > 0 && !s.exhausted() {
+		measure := func(c space.Config) (float64, bool) {
+			before := len(s.samples)
+			s.measure(c)
+			if len(s.samples) == before {
+				// Budget exhausted or config already visited: report an
+				// invalid deployment so BAO's own stopping logic winds down.
+				return 0, false
+			}
+			last := s.samples[len(s.samples)-1]
+			return last.GFLOPS, last.Valid
+		}
+		init := append([]active.Sample(nil), s.knowledge()...)
+		active.BAO(task.Space, trainer, init, measure, bao, rng, nil)
+	}
+	return s.result(t.Name())
+}

@@ -1,0 +1,179 @@
+package tuner
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/active"
+	"repro/internal/space"
+)
+
+// RandomTuner samples configurations uniformly without replacement: the
+// weakest baseline and the sanity floor for every comparison.
+type RandomTuner struct{}
+
+// Name implements Tuner.
+func (RandomTuner) Name() string { return "random" }
+
+// Tune implements Tuner.
+func (RandomTuner) Tune(task *Task, m Measurer, opts Options) Result {
+	opts = opts.normalized()
+	s := newSession(task, m, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for !s.exhausted() {
+		c, ok := s.randomUnvisited(rng)
+		if !ok {
+			break
+		}
+		s.measure(c)
+	}
+	return s.result("random")
+}
+
+// GridTuner sweeps flat indices deterministically with a golden-ratio
+// step: the "enumerate everything" strawman scaled to a finite budget. A
+// plain arithmetic stride would keep the low-order knobs nearly constant
+// and can alias the whole sweep into an infeasible subspace; the
+// low-discrepancy step decorrelates all knob digits while staying fully
+// deterministic (no RNG).
+type GridTuner struct{}
+
+// Name implements Tuner.
+func (GridTuner) Name() string { return "grid" }
+
+// Tune implements Tuner.
+func (GridTuner) Tune(task *Task, m Measurer, opts Options) Result {
+	opts = opts.normalized()
+	s := newSession(task, m, opts)
+	size := task.Space.Size()
+	step := goldenStep(size)
+	for i := uint64(0); i < uint64(opts.Budget) && !s.exhausted(); i++ {
+		s.measure(task.Space.FromFlat((i * step) % size))
+	}
+	return s.result("grid")
+}
+
+// goldenStep returns floor(size/phi) adjusted to be coprime with size, so
+// the sweep i -> (i*step) mod size is a permutation of the space.
+func goldenStep(size uint64) uint64 {
+	if size <= 2 {
+		return 1
+	}
+	step := uint64(float64(size) * 0.6180339887498949)
+	if step == 0 {
+		step = 1
+	}
+	step |= 1
+	for gcd(step, size) != 1 {
+		step += 2
+		if step >= size {
+			step = 1
+			break
+		}
+	}
+	return step
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GATuner is a genetic-algorithm baseline in the spirit of AutoTVM's
+// GATuner: tournament-free elitism with uniform knob crossover and
+// per-knob mutation.
+type GATuner struct {
+	// PopSize is the population size (defaults to PlanSize).
+	PopSize int
+	// EliteFrac is the survivor fraction per generation (default 0.5).
+	EliteFrac float64
+	// MutateProb is the per-knob mutation probability (default 0.1).
+	MutateProb float64
+}
+
+// Name implements Tuner.
+func (GATuner) Name() string { return "ga" }
+
+// Tune implements Tuner.
+func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
+	opts = opts.normalized()
+	if g.PopSize <= 0 {
+		g.PopSize = opts.PlanSize
+	}
+	if g.EliteFrac <= 0 || g.EliteFrac > 1 {
+		g.EliteFrac = 0.5
+	}
+	if g.MutateProb <= 0 || g.MutateProb > 1 {
+		g.MutateProb = 0.1
+	}
+	s := newSession(task, m, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	pop := task.Space.RandomSample(g.PopSize, rng)
+	for _, c := range pop {
+		s.measure(c)
+	}
+	for !s.exhausted() {
+		before := len(s.samples)
+		// Rank all known samples (including resumed ones) by fitness.
+		scored := s.knowledge()
+		sort.SliceStable(scored, func(i, j int) bool { return fitness(scored[i]) > fitness(scored[j]) })
+		eliteN := int(g.EliteFrac * float64(g.PopSize))
+		if eliteN < 2 {
+			eliteN = 2
+		}
+		if eliteN > len(scored) {
+			eliteN = len(scored)
+		}
+		elite := scored[:eliteN]
+
+		for i := 0; i < g.PopSize && !s.exhausted(); i++ {
+			a := elite[rng.Intn(len(elite))].Config
+			b := elite[rng.Intn(len(elite))].Config
+			child := crossover(task.Space, a, b, rng)
+			mutateKnobs(task.Space, child, g.MutateProb, rng)
+			if s.visited[child.Flat()] {
+				if c, ok := s.randomUnvisited(rng); ok {
+					child = c
+				} else {
+					break
+				}
+			}
+			s.measure(child)
+		}
+		if len(s.samples) == before {
+			break // space effectively exhausted; nothing new to measure
+		}
+	}
+	return s.result("ga")
+}
+
+func fitness(s active.Sample) float64 {
+	if !s.Valid {
+		return 0
+	}
+	return s.GFLOPS
+}
+
+// crossover picks each knob uniformly from either parent.
+func crossover(sp *space.Space, a, b space.Config, rng *rand.Rand) space.Config {
+	child := a.Clone()
+	for i := range child.Index {
+		if rng.Intn(2) == 1 {
+			child.Index[i] = b.Index[i]
+		}
+	}
+	_ = sp
+	return child
+}
+
+// mutateKnobs reassigns each knob to a random option with probability p.
+func mutateKnobs(sp *space.Space, c space.Config, p float64, rng *rand.Rand) {
+	for i := range c.Index {
+		if rng.Float64() < p {
+			c.Index[i] = rng.Intn(sp.Knob(i).Len())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package tuner
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// FlakyMeasurer wraps a Measurer and makes a fraction of measurements fail
+// spuriously (as real measurement farms do: board resets, driver timeouts,
+// contention). Tuners must absorb these as invalid results and keep
+// searching; the failure-injection tests rely on this wrapper.
+type FlakyMeasurer struct {
+	Inner Measurer
+	// FailProb is the probability a measurement is dropped.
+	FailProb float64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fails int
+}
+
+// NewFlakyMeasurer wraps inner with the given failure probability.
+func NewFlakyMeasurer(inner Measurer, failProb float64, seed int64) *FlakyMeasurer {
+	return &FlakyMeasurer{Inner: inner, FailProb: failProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Measure implements Measurer.
+func (f *FlakyMeasurer) Measure(w tensor.Workload, c space.Config) hwsim.Measurement {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.FailProb
+	if fail {
+		f.fails++
+	}
+	f.mu.Unlock()
+	if fail {
+		return hwsim.Measurement{Valid: false, Error: "injected measurement failure"}
+	}
+	return f.Inner.Measure(w, c)
+}
+
+// Failures returns how many measurements were dropped.
+func (f *FlakyMeasurer) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}

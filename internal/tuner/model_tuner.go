@@ -1,0 +1,196 @@
+package tuner
+
+import (
+	"math/rand"
+
+	"repro/internal/active"
+	"repro/internal/sa"
+	"repro/internal/space"
+	"repro/internal/xgb"
+)
+
+// InitStrategy produces the initialization set of a model-based tuner.
+type InitStrategy int
+
+// Initialization strategies.
+const (
+	// InitRandom draws PlanSize uniform configurations (AutoTVM default).
+	InitRandom InitStrategy = iota
+	// InitBTED runs batch transductive experimental design (Algorithm 2).
+	InitBTED
+)
+
+// ModelTuner is the AutoTVM-style model-based tuner: an XGBoost cost model
+// trained on all observations ranks candidates, simulated annealing
+// maximizes the model over the space, and a new batch of PlanSize
+// candidates is measured each round, with epsilon-greedy random exploration
+// and optional transfer-learning warm starts.
+//
+// With Init == InitBTED it becomes the paper's "BTED" arm: identical
+// iterative machinery, diversity-optimized initialization.
+type ModelTuner struct {
+	// Init selects the initialization strategy.
+	Init InitStrategy
+	// BTED configures the BTED initialization (zero value = paper
+	// defaults); ignored under InitRandom.
+	BTED active.BTEDParams
+	// XGB configures the cost model; zero value = surrogate defaults.
+	XGB xgb.Params
+	// SA configures the model optimizer; zero value = package defaults.
+	SA sa.Options
+	// Epsilon is the random-exploration fraction per batch (default 0.05).
+	Epsilon float64
+	// RankObjective trains the cost model with the pairwise rank loss
+	// instead of squared error (AutoTVM's actual objective; only relative
+	// order matters to the SA argmax).
+	RankObjective bool
+	// TransferLimit caps warm-start rows mixed into the first model
+	// trainings (default 2*PlanSize).
+	TransferLimit int
+}
+
+// NewAutoTVM returns the baseline configuration of the paper's
+// experiments: XGBoost + SA + transfer learning with random init.
+func NewAutoTVM() *ModelTuner { return &ModelTuner{Init: InitRandom} }
+
+// NewBTED returns AutoTVM with the BTED initialization (the paper's second
+// experimental arm).
+func NewBTED() *ModelTuner { return &ModelTuner{Init: InitBTED, BTED: active.DefaultBTEDParams()} }
+
+// Name implements Tuner.
+func (t *ModelTuner) Name() string {
+	if t.Init == InitBTED {
+		return "bted"
+	}
+	return "autotvm"
+}
+
+func (t *ModelTuner) xgbParams() xgb.Params {
+	p := t.XGB
+	if p.NumRounds == 0 {
+		p = xgb.DefaultParams()
+		p.NumRounds = 24
+		p.MaxDepth = 5
+		p.MaxBins = 24
+	}
+	if t.RankObjective {
+		p.Objective = xgb.ObjPairwiseRank
+	}
+	return p
+}
+
+// Tune implements Tuner.
+func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := newSession(task, m, opts)
+
+	// ---- Initialization stage ---------------------------------------------
+	var init []space.Config
+	if t.Init == InitBTED {
+		p := t.BTED
+		p.M0 = opts.PlanSize
+		init = active.BTED(task.Space, p, rng)
+	} else {
+		init = active.RandomInit(task.Space, opts.PlanSize, rng)
+	}
+	for _, c := range init {
+		s.measure(c)
+	}
+
+	// ---- Iterative optimization stage --------------------------------------
+	eps := t.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	for !s.exhausted() {
+		model := t.trainModel(task, s, rng)
+		var cands []space.Config
+		if model != nil {
+			obj := func(batch []space.Config) []float64 {
+				out := make([]float64, len(batch))
+				for i, c := range batch {
+					out[i] = model.Predict(c.Features())
+				}
+				return out
+			}
+			cands = sa.FindMaxima(task.Space, obj, opts.PlanSize, s.visited, t.SA, rng)
+		}
+		// Epsilon-greedy exploration plus padding when SA under-delivers.
+		batch := make([]space.Config, 0, opts.PlanSize)
+		for _, c := range cands {
+			if len(batch) >= opts.PlanSize {
+				break
+			}
+			if rng.Float64() < eps {
+				if rc, ok := s.randomUnvisited(rng); ok {
+					batch = append(batch, rc)
+					continue
+				}
+			}
+			batch = append(batch, c)
+		}
+		for len(batch) < opts.PlanSize {
+			rc, ok := s.randomUnvisited(rng)
+			if !ok {
+				break
+			}
+			batch = append(batch, rc)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, c := range batch {
+			if s.exhausted() {
+				break
+			}
+			s.measure(c)
+		}
+	}
+	return s.result(t.Name())
+}
+
+// trainModel fits the cost model on all observations (normalized to the
+// best seen), mixing transfer-learning warm-start rows while the task's own
+// data is scarce. Returns nil when training is impossible.
+func (t *ModelTuner) trainModel(task *Task, s *session, rng *rand.Rand) *xgb.Model {
+	data := s.knowledge()
+	if len(data) == 0 {
+		return nil
+	}
+	X := make([][]float64, 0, len(data))
+	y := make([]float64, 0, len(data))
+	yMax := 0.0
+	for _, smp := range data {
+		if smp.Valid && smp.GFLOPS > yMax {
+			yMax = smp.GFLOPS
+		}
+	}
+	for _, smp := range data {
+		X = append(X, smp.Config.Features())
+		if smp.Valid && yMax > 0 {
+			y = append(y, smp.GFLOPS/yMax)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	if s.opts.Transfer != nil {
+		limit := t.TransferLimit
+		if limit <= 0 {
+			limit = 2 * s.opts.PlanSize
+		}
+		// Warm starts matter most early; fade them out as own data grows.
+		if len(data) < 4*s.opts.PlanSize {
+			tx, ty := s.opts.Transfer.WarmStart(task.Workload.Op, task.Name, limit)
+			X = append(X, tx...)
+			y = append(y, ty...)
+		}
+	}
+	p := t.xgbParams()
+	p.Seed = rng.Int63()
+	model, err := xgb.Train(X, y, p)
+	if err != nil {
+		return nil
+	}
+	return model
+}

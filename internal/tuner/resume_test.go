@@ -1,0 +1,128 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/active"
+)
+
+func TestResumeSkipsKnownConfigs(t *testing.T) {
+	task := testTask(t)
+	first := RandomTuner{}.Tune(task, sim(1), quickOpts(40, 3))
+	opts := quickOpts(40, 3) // same seed: would re-propose identical configs
+	opts.Resume = first.Samples
+	second := RandomTuner{}.Tune(task, sim(1), opts)
+	seen := make(map[uint64]bool)
+	for _, s := range first.Samples {
+		seen[s.Config.Flat()] = true
+	}
+	for _, s := range second.Samples {
+		if seen[s.Config.Flat()] {
+			t.Fatal("resumed run re-measured a known config")
+		}
+	}
+	if second.Measurements == 0 {
+		t.Fatal("resumed run measured nothing")
+	}
+}
+
+func TestResumeBestCarriesOver(t *testing.T) {
+	task := testTask(t)
+	first := NewAutoTVM().Tune(task, sim(2), quickOpts(120, 5))
+	if !first.Found {
+		t.Fatal("first run found nothing")
+	}
+	// A tiny resumed run cannot beat the long first run's best, but its
+	// result must still report at least that best.
+	opts := quickOpts(8, 7)
+	opts.Resume = first.Samples
+	second := RandomTuner{}.Tune(task, sim(3), opts)
+	if !second.Found {
+		t.Fatal("resumed run lost the carried best")
+	}
+	if second.Best.GFLOPS < first.Best.GFLOPS {
+		t.Fatalf("resumed best %v below carried %v", second.Best.GFLOPS, first.Best.GFLOPS)
+	}
+	if second.Measurements > 8 {
+		t.Fatalf("resume consumed budget: %d", second.Measurements)
+	}
+}
+
+func TestResumeFeedsModelTuners(t *testing.T) {
+	task := testTask(t)
+	first := RandomTuner{}.Tune(task, sim(4), quickOpts(80, 9))
+	for _, tn := range []Tuner{NewAutoTVM(), NewBTEDBAO()} {
+		opts := quickOpts(40, 11)
+		opts.Resume = first.Samples
+		res := tn.Tune(task, sim(5), opts)
+		if !res.Found {
+			t.Fatalf("%s resumed run found nothing", tn.Name())
+		}
+		if res.Best.GFLOPS < first.Best.GFLOPS {
+			t.Fatalf("%s resumed run regressed below carried best", tn.Name())
+		}
+	}
+}
+
+func TestFlakyMeasurerInjection(t *testing.T) {
+	task := testTask(t)
+	flaky := NewFlakyMeasurer(sim(6), 0.3, 1)
+	res := NewAutoTVM().Tune(task, flaky, quickOpts(100, 13))
+	if flaky.Failures() == 0 {
+		t.Fatal("no failures injected")
+	}
+	if !res.Found {
+		t.Fatal("tuner should survive 30% measurement failures")
+	}
+	invalid := 0
+	for _, s := range res.Samples {
+		if !s.Valid {
+			invalid++
+		}
+	}
+	if invalid < flaky.Failures() {
+		t.Fatalf("invalid samples %d < injected failures %d", invalid, flaky.Failures())
+	}
+}
+
+func TestFlakyMeasurerTotalFailure(t *testing.T) {
+	// 100% failure: no tuner can find anything, but all must terminate and
+	// report Found == false.
+	task := testTask(t)
+	for _, tn := range allTuners() {
+		flaky := NewFlakyMeasurer(sim(7), 1.0, 2)
+		res := tn.Tune(task, flaky, quickOpts(30, 15))
+		if res.Found {
+			t.Fatalf("%s claims success with every measurement failing", tn.Name())
+		}
+		if res.Measurements == 0 {
+			t.Fatalf("%s did not attempt anything", tn.Name())
+		}
+	}
+}
+
+func TestFlakyBAOStillImproves(t *testing.T) {
+	task := testTask(t)
+	flaky := NewFlakyMeasurer(sim(8), 0.2, 3)
+	res := NewBTEDBAO().Tune(task, flaky, quickOpts(120, 17))
+	if !res.Found {
+		t.Fatal("BAO should survive 20% failures")
+	}
+	trace := res.BestTrace()
+	if trace[len(trace)-1] <= trace[16] {
+		t.Log("note: no improvement after init under failures (acceptable but logged)")
+	}
+}
+
+func TestResumeObserverCountsFreshOnly(t *testing.T) {
+	task := testTask(t)
+	first := RandomTuner{}.Tune(task, sim(9), quickOpts(20, 19))
+	count := 0
+	opts := quickOpts(10, 21)
+	opts.Resume = first.Samples
+	opts.Observer = func(step int, s active.Sample) { count++ }
+	res := RandomTuner{}.Tune(task, sim(10), opts)
+	if count != res.Measurements {
+		t.Fatalf("observer saw %d, measurements %d", count, res.Measurements)
+	}
+}

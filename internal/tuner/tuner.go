@@ -1,0 +1,211 @@
+// Package tuner implements the node-wise optimization loop of the general
+// deployment framework: a measurement session with budget accounting and
+// early stopping, plus the search strategies compared in the paper —
+// random/grid/GA baselines, the AutoTVM model-based tuner (XGBoost cost
+// model + simulated annealing + transfer learning), the BTED variant that
+// swaps AutoTVM's random initialization for batch transductive experimental
+// design, and the full BTED+BAO advanced active-learning framework.
+package tuner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/active"
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+	"repro/internal/transfer"
+)
+
+// Task is one node-wise tuning problem: a workload plus its configuration
+// space. Count carries how many fused kernels of the parent model share the
+// task (used by end-to-end latency accounting).
+type Task struct {
+	Name     string
+	Workload tensor.Workload
+	Space    *space.Space
+	Count    int
+}
+
+// NewTask builds a task and its template space from a workload.
+func NewTask(name string, w tensor.Workload) (*Task, error) {
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: task %s: %w", name, err)
+	}
+	return &Task{Name: name, Workload: w, Space: sp, Count: 1}, nil
+}
+
+// FromGraphTask converts an extracted graph task.
+func FromGraphTask(gt graph.Task) (*Task, error) {
+	t, err := NewTask(gt.Name, gt.Workload)
+	if err != nil {
+		return nil, err
+	}
+	t.Count = gt.Count
+	return t, nil
+}
+
+// Measurer abstracts the deployment environment; *hwsim.Simulator
+// implements it.
+type Measurer interface {
+	Measure(w tensor.Workload, c space.Config) hwsim.Measurement
+}
+
+// Observer receives every measurement as it happens (step is 1-based).
+type Observer func(step int, s active.Sample)
+
+// Options controls a tuning run. Zero values select the paper's settings.
+type Options struct {
+	// Budget is the maximum number of measurements (paper Fig. 4: 1024).
+	Budget int
+	// EarlyStop ends the run after this many measurements without
+	// improvement (paper: 400). Negative disables early stopping.
+	EarlyStop int
+	// PlanSize is the batch size of model-based tuners and the
+	// initialization set size (paper: 64).
+	PlanSize int
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Observer, when set, is called after every measurement.
+	Observer Observer
+	// Transfer, when set, warm-starts cost models from other tasks'
+	// histories and receives this run's samples afterwards.
+	Transfer *transfer.History
+	// Resume carries previously measured samples of this task (e.g. loaded
+	// from a record log): they are never re-measured and do not consume
+	// budget, but model-based tuners train on them from the first round.
+	Resume []active.Sample
+}
+
+func (o Options) normalized() Options {
+	if o.Budget <= 0 {
+		o.Budget = 1024
+	}
+	if o.EarlyStop == 0 {
+		o.EarlyStop = 400
+	}
+	if o.PlanSize <= 0 {
+		o.PlanSize = 64
+	}
+	return o
+}
+
+// Result summarizes a tuning run.
+type Result struct {
+	TunerName    string
+	TaskName     string
+	Samples      []active.Sample // in measurement order
+	Best         active.Sample
+	Found        bool // false when every measurement was invalid
+	Measurements int
+}
+
+// BestTrace returns the best-so-far GFLOPS series (Fig. 4 ordinate).
+func (r Result) BestTrace() []float64 { return active.BestTrace(r.Samples) }
+
+// Tuner is a node-wise search strategy.
+type Tuner interface {
+	Name() string
+	Tune(task *Task, m Measurer, opts Options) Result
+}
+
+// session tracks budget, early stopping and the visited set for one run.
+type session struct {
+	task    *Task
+	m       Measurer
+	opts    Options
+	prior   []active.Sample // resumed samples: training data, not budget
+	samples []active.Sample
+	visited map[uint64]bool
+	bestG   float64
+	since   int // measurements since last improvement
+	done    bool
+}
+
+func newSession(task *Task, m Measurer, opts Options) *session {
+	s := &session{task: task, m: m, opts: opts, visited: make(map[uint64]bool, opts.Budget)}
+	for _, p := range opts.Resume {
+		s.visited[p.Config.Flat()] = true
+		s.prior = append(s.prior, p)
+		if p.Valid && p.GFLOPS > s.bestG {
+			s.bestG = p.GFLOPS
+		}
+	}
+	return s
+}
+
+// knowledge returns resumed plus freshly measured samples, the training
+// view of model-based tuners. The returned slice is a fresh copy: callers
+// may sort it without disturbing the measurement-ordered session record.
+func (s *session) knowledge() []active.Sample {
+	out := make([]active.Sample, 0, len(s.prior)+len(s.samples))
+	out = append(out, s.prior...)
+	out = append(out, s.samples...)
+	return out
+}
+
+// exhausted reports whether the run must stop.
+func (s *session) exhausted() bool {
+	return s.done || len(s.samples) >= s.opts.Budget
+}
+
+// measure deploys one configuration, records it, and updates the stopping
+// state. Already-visited configs are skipped silently (no budget cost).
+func (s *session) measure(c space.Config) {
+	if s.exhausted() {
+		return
+	}
+	f := c.Flat()
+	if s.visited[f] {
+		return
+	}
+	s.visited[f] = true
+	mr := s.m.Measure(s.task.Workload, c)
+	sample := active.Sample{Config: c, GFLOPS: mr.GFLOPS, Valid: mr.Valid}
+	s.samples = append(s.samples, sample)
+	if s.opts.Observer != nil {
+		s.opts.Observer(len(s.samples), sample)
+	}
+	if mr.Valid && mr.GFLOPS > s.bestG {
+		s.bestG = mr.GFLOPS
+		s.since = 0
+	} else {
+		s.since++
+	}
+	if s.opts.EarlyStop > 0 && s.since >= s.opts.EarlyStop {
+		s.done = true
+	}
+}
+
+// result finalizes the run summary and feeds the transfer history. The
+// best configuration is taken over resumed and fresh samples together (a
+// resumed run deploys the best it knows), while Samples/Measurements count
+// only this run's work.
+func (s *session) result(tunerName string) Result {
+	best, found := active.Best(s.knowledge())
+	if s.opts.Transfer != nil && len(s.samples) > 0 {
+		s.opts.Transfer.Add(s.task.Name, s.task.Workload.Op, s.samples)
+	}
+	return Result{
+		TunerName:    tunerName,
+		TaskName:     s.task.Name,
+		Samples:      s.samples,
+		Best:         best,
+		Found:        found,
+		Measurements: len(s.samples),
+	}
+}
+
+// randomUnvisited draws a uniform configuration not yet measured.
+func (s *session) randomUnvisited(rng *rand.Rand) (space.Config, bool) {
+	for i := 0; i < 512; i++ {
+		c := s.task.Space.Random(rng)
+		if !s.visited[c.Flat()] {
+			return c, true
+		}
+	}
+	return space.Config{}, false
+}

@@ -1,0 +1,50 @@
+package xgb
+
+// FeatureImportance returns the gain-proxy importance of each feature:
+// how often the feature is used as a split, weighted by the size of the
+// subtree it gates (deeper splits gate fewer predictions). Values are
+// normalized to sum to 1 (all-zero when the ensemble never split).
+//
+// Tuning insight: on schedule spaces the thread-extent features of tile_f
+// and tile_x dominate, matching the simulator's occupancy/coalescing
+// structure — `cmd/compare` users can sanity-check what the cost model
+// latched onto.
+func (m *Model) FeatureImportance() []float64 {
+	imp := make([]float64, m.nfeat)
+	for _, tr := range m.trees {
+		if len(tr.nodes) == 0 {
+			continue
+		}
+		weights := subtreeSizes(&tr)
+		for i, n := range tr.nodes {
+			if n.feature >= 0 {
+				imp[n.feature] += float64(weights[i])
+			}
+		}
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// subtreeSizes returns the node count of each node's subtree.
+func subtreeSizes(t *tree) []int {
+	sizes := make([]int, len(t.nodes))
+	// Nodes are appended parent-before-children, so a reverse pass
+	// accumulates children before parents.
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		sizes[i] = 1
+		if n.feature >= 0 {
+			sizes[i] += sizes[n.left] + sizes[n.right]
+		}
+	}
+	return sizes
+}

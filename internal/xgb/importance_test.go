@@ -1,0 +1,74 @@
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	// Target depends only on feature 0; features 1 and 2 are noise.
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 10 * X[i][0]
+	}
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	// Later boosting rounds fit residual noise with the noise features, so
+	// the signal feature dominates rather than monopolizes.
+	if imp[0] < 0.5 || imp[0] <= imp[1] || imp[0] <= imp[2] {
+		t.Fatalf("informative feature should dominate: %v", imp)
+	}
+}
+
+func TestFeatureImportanceConstantTarget(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []float64{7, 7, 7}
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.FeatureImportance() {
+		if v != 0 {
+			t.Fatalf("constant target should yield zero importance, got %v", v)
+		}
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	// Hand-built tree: root splits, left leaf, right splits into two leaves.
+	tr := tree{nodes: []treeNode{
+		{feature: 0, threshold: 1, left: 1, right: 2},
+		{feature: -1, value: 1},
+		{feature: 1, threshold: 2, left: 3, right: 4},
+		{feature: -1, value: 2},
+		{feature: -1, value: 3},
+	}}
+	sizes := subtreeSizes(&tr)
+	want := []int{5, 1, 3, 1, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package xgb
+
+import (
+	"math"
+	"sort"
+)
+
+// binner quantizes features into at most MaxBins buckets using quantile
+// edges, once per training call. Splits are searched over bin boundaries.
+type binner struct {
+	bins  [][]uint8   // [row][feature] -> bin index
+	edges [][]float64 // [feature][bin] -> upper edge value (split threshold)
+}
+
+func newBinner(X [][]float64, maxBins int) *binner {
+	n := len(X)
+	nfeat := len(X[0])
+	b := &binner{
+		bins:  make([][]uint8, n),
+		edges: make([][]float64, nfeat),
+	}
+	vals := make([]float64, n)
+	thresholds := make([][]float64, nfeat)
+	for f := 0; f < nfeat; f++ {
+		for i := 0; i < n; i++ {
+			vals[i] = X[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Distinct quantile edges.
+		var edges []float64
+		if n <= maxBins {
+			for i := 0; i < n; i++ {
+				if i == 0 || sorted[i] != sorted[i-1] {
+					edges = append(edges, sorted[i])
+				}
+			}
+		} else {
+			prev := math.Inf(-1)
+			for k := 1; k <= maxBins; k++ {
+				v := sorted[k*n/maxBins-1]
+				if v != prev {
+					edges = append(edges, v)
+					prev = v
+				}
+			}
+		}
+		thresholds[f] = edges
+	}
+	for i := 0; i < n; i++ {
+		row := make([]uint8, nfeat)
+		for f := 0; f < nfeat; f++ {
+			row[f] = uint8(binIndex(thresholds[f], X[i][f]))
+		}
+		b.bins[i] = row
+	}
+	b.edges = thresholds
+	return b
+}
+
+// binIndex returns the smallest bin whose upper edge is >= v (the last bin
+// for larger values).
+func binIndex(edges []float64, v float64) int {
+	lo, hi := 0, len(edges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// growTree builds one regression tree on the sampled rows/features using
+// histogram split finding with the XGBoost gain
+//
+//	gain = GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) - gamma.
+func growTree(b *binner, grad, hess []float64, rows []int32, cols []int, p Params) tree {
+	t := tree{}
+	var build func(rows []int32, depth int) int32
+	build = func(rows []int32, depth int) int32 {
+		var G, H float64
+		for _, r := range rows {
+			G += grad[r]
+			H += hess[r]
+		}
+		leafValue := -G / (H + p.Lambda) * p.Eta
+		id := int32(len(t.nodes))
+		t.nodes = append(t.nodes, treeNode{feature: -1, value: leafValue})
+		if depth >= p.MaxDepth || len(rows) < 2 {
+			return id
+		}
+
+		parentScore := G * G / (H + p.Lambda)
+		bestGain := 0.0
+		bestFeat := -1
+		bestBin := 0
+		var gHist, hHist [256]float64
+		for _, f := range cols {
+			nb := len(b.edges[f])
+			if nb < 2 {
+				continue
+			}
+			for i := 0; i < nb; i++ {
+				gHist[i], hHist[i] = 0, 0
+			}
+			for _, r := range rows {
+				bi := b.bins[r][f]
+				gHist[bi] += grad[r]
+				hHist[bi] += hess[r]
+			}
+			var GL, HL float64
+			for bi := 0; bi < nb-1; bi++ {
+				GL += gHist[bi]
+				HL += hHist[bi]
+				GR := G - GL
+				HR := H - HL
+				if HL < p.MinChildWeight || HR < p.MinChildWeight {
+					continue
+				}
+				gain := GL*GL/(HL+p.Lambda) + GR*GR/(HR+p.Lambda) - parentScore - p.Gamma
+				if gain > bestGain {
+					bestGain = gain
+					bestFeat = f
+					bestBin = bi
+				}
+			}
+		}
+		if bestFeat < 0 {
+			return id
+		}
+
+		threshold := b.edges[bestFeat][bestBin]
+		var left, right []int32
+		for _, r := range rows {
+			if int(b.bins[r][bestFeat]) <= bestBin {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return id
+		}
+		l := build(left, depth+1)
+		r := build(right, depth+1)
+		t.nodes[id] = treeNode{feature: bestFeat, threshold: threshold, left: l, right: r}
+		return id
+	}
+	build(rows, 0)
+	return t
+}

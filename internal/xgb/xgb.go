@@ -1,0 +1,295 @@
+// Package xgb implements gradient-boosted regression trees in the style of
+// XGBoost (Chen & Guestrin 2016): second-order boosting with L2-regularized
+// leaf weights, minimum-gain pruning, shrinkage, and row/column
+// subsampling. Split finding uses histogram binning (XGBoost's `hist`
+// method), which keeps training fast enough for the paper's BAO loop, which
+// retrains Γ bootstrap models on every optimization step.
+//
+// The package is the reproduction's stand-in for the XGBoost evaluation
+// function inside AutoTVM; the advanced active-learning framework is
+// explicitly agnostic to the concrete evaluation function, so any
+// Regressor implementation can be swapped in.
+package xgb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective selects the training loss.
+type Objective int
+
+// Training objectives.
+const (
+	// ObjSquaredError is plain least-squares regression.
+	ObjSquaredError Objective = iota
+	// ObjPairwiseRank is a LambdaRank-style pairwise logistic loss: the
+	// model learns to order configurations rather than predict absolute
+	// GFLOPS, which is what AutoTVM's cost model actually optimizes and
+	// is robust to the heavy-tailed scale of throughput values.
+	ObjPairwiseRank
+)
+
+// Params configures training.
+type Params struct {
+	NumRounds      int       // number of boosting rounds (trees)
+	MaxDepth       int       // maximum tree depth
+	Eta            float64   // shrinkage (learning rate)
+	Lambda         float64   // L2 regularization of leaf weights
+	Gamma          float64   // minimum gain to make a split
+	MinChildWeight float64   // minimum hessian sum per child
+	Subsample      float64   // row subsampling per tree, in (0, 1]
+	ColSample      float64   // feature subsampling per tree, in (0, 1]
+	MaxBins        int       // histogram bins per feature
+	Objective      Objective // loss (default squared error)
+	// RankPairs is the number of comparison partners sampled per item and
+	// round under ObjPairwiseRank (default 4).
+	RankPairs int
+	Seed      int64 // RNG seed for subsampling and pair sampling
+}
+
+// DefaultParams mirrors the compact configuration AutoTVM uses for its
+// cost model: shallow-ish trees, mild regularization.
+func DefaultParams() Params {
+	return Params{
+		NumRounds:      30,
+		MaxDepth:       5,
+		Eta:            0.25,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		MinChildWeight: 1.0,
+		Subsample:      1.0,
+		ColSample:      1.0,
+		MaxBins:        32,
+		Seed:           0,
+	}
+}
+
+func (p Params) validate() error {
+	if p.NumRounds <= 0 {
+		return errors.New("xgb: NumRounds must be positive")
+	}
+	if p.MaxDepth <= 0 {
+		return errors.New("xgb: MaxDepth must be positive")
+	}
+	if p.Eta <= 0 || p.Eta > 1 {
+		return errors.New("xgb: Eta must be in (0, 1]")
+	}
+	if p.Lambda < 0 || p.Gamma < 0 || p.MinChildWeight < 0 {
+		return errors.New("xgb: regularization parameters must be non-negative")
+	}
+	if p.Subsample <= 0 || p.Subsample > 1 || p.ColSample <= 0 || p.ColSample > 1 {
+		return errors.New("xgb: Subsample and ColSample must be in (0, 1]")
+	}
+	if p.MaxBins < 2 || p.MaxBins > 256 {
+		return errors.New("xgb: MaxBins must be in [2, 256]")
+	}
+	if p.Objective != ObjSquaredError && p.Objective != ObjPairwiseRank {
+		return errors.New("xgb: unknown objective")
+	}
+	if p.RankPairs < 0 {
+		return errors.New("xgb: RankPairs must be non-negative")
+	}
+	return nil
+}
+
+// treeNode is one node of a regression tree in a flat array layout.
+type treeNode struct {
+	feature   int     // split feature; -1 for leaves
+	threshold float64 // go left when x[feature] <= threshold
+	left      int32
+	right     int32
+	value     float64 // leaf weight
+}
+
+type tree struct{ nodes []treeNode }
+
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	params Params
+	base   float64
+	trees  []tree
+	nfeat  int
+}
+
+// NumTrees returns the ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// NumFeatures returns the feature dimensionality seen at training.
+func (m *Model) NumFeatures() int { return m.nfeat }
+
+// Predict evaluates the ensemble on one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.nfeat {
+		panic(fmt.Sprintf("xgb: predict with %d features, model trained on %d", len(x), m.nfeat))
+	}
+	s := m.base
+	for i := range m.trees {
+		s += m.trees[i].predict(x)
+	}
+	return s
+}
+
+// PredictBatch evaluates the ensemble on each row of X.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Train fits a boosted ensemble to (X, y) with squared-error loss.
+func Train(X [][]float64, y []float64, p Params) (*Model, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(X)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("xgb: need matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	nfeat := len(X[0])
+	if nfeat == 0 {
+		return nil, errors.New("xgb: zero feature dimension")
+	}
+	for i, row := range X {
+		if len(row) != nfeat {
+			return nil, fmt.Errorf("xgb: row %d has %d features, want %d", i, len(row), nfeat)
+		}
+	}
+
+	base := 0.0
+	if p.Objective == ObjSquaredError {
+		for _, v := range y {
+			base += v
+		}
+		base /= float64(n)
+	} // rank scores are relative; a zero base keeps them centered
+
+	b := newBinner(X, p.MaxBins)
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := &Model{params: p, base: base, nfeat: nfeat}
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	for round := 0; round < p.NumRounds; round++ {
+		switch p.Objective {
+		case ObjPairwiseRank:
+			rankGradients(pred, y, grad, hess, p.RankPairs, rng)
+		default:
+			for i := range grad {
+				grad[i] = pred[i] - y[i] // d/dp 0.5*(p-y)^2
+				hess[i] = 1
+			}
+		}
+		rows := sampleRows(n, p.Subsample, rng)
+		cols := sampleCols(nfeat, p.ColSample, rng)
+		tr := growTree(b, grad, hess, rows, cols, p)
+		m.trees = append(m.trees, tr)
+		for i := range pred {
+			pred[i] += tr.predict(X[i])
+		}
+	}
+	return m, nil
+}
+
+// rankGradients accumulates pairwise logistic-rank gradients: for each item
+// i and `pairs` random partners j with y[i] != y[j], the preferred item is
+// pushed up and the other down with LambdaRank's sigmoid weighting. A small
+// hessian floor keeps leaf weights bounded for items whose sampled pairs
+// all tied.
+func rankGradients(pred, y, grad, hess []float64, pairs int, rng *rand.Rand) {
+	n := len(y)
+	if pairs <= 0 {
+		pairs = 4
+	}
+	for i := range grad {
+		grad[i] = 0
+		hess[i] = 1e-3
+	}
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < pairs; k++ {
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if y[i] == y[j] {
+				continue
+			}
+			hi, lo := i, j
+			if y[j] > y[i] {
+				hi, lo = j, i
+			}
+			// P(hi ranked above lo) under the current scores.
+			pHi := 1 / (1 + math.Exp(pred[lo]-pred[hi]))
+			g := pHi - 1 // gradient of -log sigmoid(s_hi - s_lo) wrt s_hi
+			h := pHi * (1 - pHi)
+			if h < 1e-6 {
+				h = 1e-6
+			}
+			grad[hi] += g
+			grad[lo] -= g
+			hess[hi] += h
+			hess[lo] += h
+		}
+	}
+}
+
+func sampleRows(n int, frac float64, rng *rand.Rand) []int32 {
+	if frac >= 1 {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		return rows
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	perm := rng.Perm(n)
+	rows := make([]int32, k)
+	for i := 0; i < k; i++ {
+		rows[i] = int32(perm[i])
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+func sampleCols(nfeat int, frac float64, rng *rand.Rand) []int {
+	if frac >= 1 {
+		cols := make([]int, nfeat)
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols
+	}
+	k := int(math.Ceil(frac * float64(nfeat)))
+	perm := rng.Perm(nfeat)
+	cols := perm[:k]
+	sort.Ints(cols)
+	return cols
+}
