@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt-check verify
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the mutex-guarded measurement types
+# (hwsim.Simulator, transfer.History, tuner.FlakyMeasurer and friends).
+race:
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner
+
+# In-repo static-analysis suite (internal/analysis): determinism,
+# float-safety, lock hygiene, unchecked errors, library panics.
+lint:
+	$(GO) run ./cmd/lint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Everything CI runs, in one command.
+verify: fmt-check build test lint
+	$(GO) vet ./...

@@ -162,10 +162,12 @@ func run(model string, taskIdx int, workloadSpec, deviceName string, budget, pla
 	}
 	if chart {
 		fmt.Println()
-		plot.LineChart{
+		if err := (plot.LineChart{
 			Title:  fmt.Sprintf("best-so-far GFLOPS, %s on %s", task.Name, dev.Name),
 			XLabel: fmt.Sprintf("#configs (1..%d)", budget),
-		}.Render(os.Stdout, series)
+		}).Render(os.Stdout, series); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -41,7 +41,9 @@ func run(model, format string) error {
 	}
 	switch format {
 	case "summary":
-		graph.ComputeStats(g).Print(os.Stdout)
+		if err := graph.ComputeStats(g).Print(os.Stdout); err != nil {
+			return err
+		}
 		fg := graph.Fuse(g)
 		fmt.Println(fg.FusionReport())
 		for _, f := range fg.TunableKernels() {

@@ -47,7 +47,9 @@ func run(model, ops string, samples int, seed int64) error {
 	if ops == "all" {
 		extract = graph.AllOps
 	}
-	graph.ComputeStats(g).Print(os.Stdout)
+	if err := graph.ComputeStats(g).Print(os.Stdout); err != nil {
+		return err
+	}
 	fg := graph.Fuse(g)
 	fmt.Println(fg.FusionReport())
 

@@ -122,7 +122,9 @@ func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, 
 		if len(shares) > 8 {
 			shares = shares[:8]
 		}
-		core.PrintBreakdown(os.Stdout, shares)
+		if err := core.PrintBreakdown(os.Stdout, shares); err != nil {
+			return err
+		}
 	}
 
 	if logPath != "" {

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix and fileIgnorePrefix are the two suppression forms. The
+// reason is mandatory: suppressions without a stated justification defeat
+// the point of running the suite at all.
+const (
+	ignorePrefix     = "//lint:ignore"
+	fileIgnorePrefix = "//lint:file-ignore"
+	// directiveAnalyzer is the pseudo-analyzer name used for diagnostics
+	// about malformed directives themselves.
+	directiveAnalyzer = "lintdirective"
+)
+
+// suppressions records, per file, which (line, analyzer) pairs and which
+// whole-file analyzers are silenced.
+type suppressions struct {
+	// line maps filename -> line -> analyzer names suppressed at that line.
+	line map[string]map[int]map[string]bool
+	// file maps filename -> analyzer names suppressed for the whole file.
+	file map[string]map[string]bool
+}
+
+// suppresses reports whether d is silenced by a directive. A line
+// directive covers the line it appears on and the line directly below it,
+// so both end-of-line and standalone-comment placement work:
+//
+//	x := a.Clone() //lint:ignore mutexcopy deliberate snapshot
+//
+//	//lint:ignore mutexcopy deliberate snapshot
+//	x := a.Clone()
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	if d.Analyzer == directiveAnalyzer {
+		return false
+	}
+	if byFile := s.file[d.Pos.Filename]; byFile[d.Analyzer] {
+		return true
+	}
+	byLine := s.line[d.Pos.Filename]
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if byLine[ln][d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment of the package for lint
+// directives. Malformed directives (unknown form, missing analyzer or
+// reason) are returned as diagnostics so they fail the build instead of
+// silently suppressing nothing.
+func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
+	sup := &suppressions{
+		line: map[string]map[int]map[string]bool{},
+		file: map[string]map[string]bool{},
+	}
+	var diags []Diagnostic
+	bad := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: directiveAnalyzer,
+			Pos:      pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				var rest string
+				var isFile bool
+				switch {
+				case strings.HasPrefix(text, fileIgnorePrefix):
+					rest, isFile = text[len(fileIgnorePrefix):], true
+				case strings.HasPrefix(text, ignorePrefix):
+					rest, isFile = text[len(ignorePrefix):], false
+				case strings.HasPrefix(text, "//lint:"):
+					bad(c.Pos(), "unknown lint directive; expected //lint:ignore or //lint:file-ignore")
+					continue
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "lint directive is missing the analyzer name")
+					continue
+				}
+				if len(fields) < 2 {
+					bad(c.Pos(), "lint directive is missing a reason; write //lint:ignore "+fields[0]+" <why this is safe>")
+					continue
+				}
+				name := fields[0]
+				pos := pkg.Fset.Position(c.Pos())
+				if isFile {
+					byFile := sup.file[pos.Filename]
+					if byFile == nil {
+						byFile = map[string]bool{}
+						sup.file[pos.Filename] = byFile
+					}
+					byFile[name] = true
+					continue
+				}
+				byLine := sup.line[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup.line[pos.Filename] = byLine
+				}
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = map[string]bool{}
+				}
+				byLine[pos.Line][name] = true
+			}
+		}
+	}
+	return sup, diags
+}

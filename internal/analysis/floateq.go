@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between two computed floating-point operands.
+// Latency and GFLOPS values come out of accumulating float pipelines, so
+// exact equality is a correctness trap (0.1+0.2 != 0.3); comparisons
+// should use a tolerance. Comparisons where either side is a compile-time
+// constant are allowed: sentinel checks such as `m.GFLOPS == 0` test a
+// value that was assigned exactly and are deliberate.
+type FloatEq struct{}
+
+// Name implements Analyzer.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (FloatEq) Doc() string {
+	return "flag ==/!= between computed float operands; compare with a tolerance (constant sentinels like x == 0 are allowed)"
+}
+
+// Run implements Analyzer.
+func (FloatEq) Run(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(info.TypeOf(be.X)) || !isFloat(info.TypeOf(be.Y)) {
+			return true
+		}
+		if isConstExpr(info, be.X) || isConstExpr(info, be.Y) {
+			return true
+		}
+		p.Reportf(be.OpPos, "%s between float operands; use a tolerance (math.Abs(a-b) < eps) or compare representations explicitly", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global math/rand generator and
+// time-derived seeds. Every experiment in EXPERIMENTS.md is a claim about
+// seeded runs; a single top-level rand.Intn or rand.New(rand.NewSource(
+// time.Now().UnixNano())) silently breaks run-to-run reproducibility and
+// with it the Fig. 4/5 and Table I comparisons. All randomness must flow
+// through an injected, explicitly seeded *rand.Rand.
+type GlobalRand struct{}
+
+// Name implements Analyzer.
+func (GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Analyzer.
+func (GlobalRand) Doc() string {
+	return "forbid top-level math/rand functions and time.Now()-derived seeds; inject a seeded *rand.Rand instead"
+}
+
+// constructor functions of math/rand that do not touch the global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Run implements Analyzer.
+func (GlobalRand) Run(p *Pass) {
+	inspect(p.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgFuncName(p, call.Fun, "math/rand")
+		if !ok {
+			return true
+		}
+		if !randConstructors[name] {
+			p.Reportf(call.Pos(), "call to global math/rand.%s; all randomness must flow through an injected *rand.Rand", name)
+			return true
+		}
+		if name != "NewSource" {
+			// A wall clock can only become a seed through NewSource, and
+			// checking only there keeps rand.New(rand.NewSource(...)) from
+			// being reported twice.
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, ok := pkgFuncName(p, inner.Fun, "time"); ok && fn == "Now" {
+					p.Reportf(inner.Pos(), "RNG seed derived from time.Now(); seeds must be explicit for reproducible experiments")
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// pkgFuncName reports whether fun is a selector pkg.Name where pkg is an
+// import of pkgPath, returning the selected name.
+func pkgFuncName(p *Pass, fun ast.Expr, pkgPath string) (string, bool) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

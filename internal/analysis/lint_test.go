@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsLintClean is the self-check the tier-1 suite runs: every
+// analyzer over every package of this module, with zero findings allowed.
+// A regression anywhere in the tree — a stray global rand call, a copied
+// mutex, a new unchecked error — fails `go test ./...` with the exact
+// position and message, the same output `go run ./cmd/lint ./...` gives.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate them with //lint:ignore <analyzer> <reason>")
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs usable: names are the tokens
+// written in //lint:ignore directives, so they must be non-empty, unique,
+// and lowercase single words.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		name := a.Name()
+		if name == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T has empty name or doc", a)
+		}
+		if seen[name] {
+			t.Errorf("duplicate analyzer name %q", name)
+		}
+		seen[name] = true
+		for _, r := range name {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+				t.Errorf("analyzer name %q must be a lowercase word (it is used in //lint:ignore directives)", name)
+			}
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}

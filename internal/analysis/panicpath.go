@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPath flags panic calls in library (internal/) packages. A panic in
+// a tuner or simulator hot path takes down the whole serving process; the
+// north-star deployment runs many tuning sessions in one binary, so
+// library code must return errors and let the caller decide. The one
+// sanctioned exception is the graph builder DSL (internal/graph/
+// builder.go), whose chained-call construction API has no room for error
+// returns and which carries a file-level suppression; genuine programmer-
+// error invariants elsewhere must be annotated individually with
+// //lint:ignore panicpath <reason>.
+type PanicPath struct{}
+
+// Name implements Analyzer.
+func (PanicPath) Name() string { return "panicpath" }
+
+// Doc implements Analyzer.
+func (PanicPath) Doc() string {
+	return "flag panic in internal/ library packages; return errors instead (annotated invariants and the builder DSL excepted)"
+}
+
+// Run implements Analyzer.
+func (PanicPath) Run(p *Pass) {
+	if !strings.Contains(p.Pkg.Path, "/internal/") {
+		return
+	}
+	inspect(p.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true // shadowed: a local function named panic
+		}
+		p.Reportf(call.Pos(), "panic in library package %s; return an error, or annotate the invariant with //lint:ignore panicpath <reason>", p.Pkg.Types.Name())
+		return true
+	})
+}

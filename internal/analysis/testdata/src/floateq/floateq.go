@@ -1,0 +1,32 @@
+// Package floateq is a fixture for the floateq analyzer: computed-float
+// comparisons are flagged; constant sentinels and integers are not.
+package floateq
+
+// BadEq compares two computed float expressions exactly.
+func BadEq(a, b float64) bool {
+	return a*3 == b+1
+}
+
+// BadNeq compares two float variables exactly.
+func BadNeq(xs []float64) bool {
+	return xs[0] != xs[1]
+}
+
+// GoodSentinel tests a constant sentinel that was assigned exactly.
+func GoodSentinel(gflops float64) bool {
+	return gflops == 0
+}
+
+// GoodInt compares integers; exact equality is well-defined.
+func GoodInt(a, b int) bool {
+	return a == b
+}
+
+// GoodTolerance compares with an epsilon.
+func GoodTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

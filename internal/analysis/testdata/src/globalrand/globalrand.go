@@ -1,0 +1,28 @@
+// Package globalrand is a fixture for the globalrand analyzer: one global
+// draw, one time-derived seed, and two clean injected-RNG uses.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the process-global generator.
+func Bad() int {
+	return rand.Intn(10)
+}
+
+// BadSeed derives an RNG seed from the wall clock.
+func BadSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Good uses an injected generator.
+func Good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// GoodSeed builds a generator from an explicit seed.
+func GoodSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

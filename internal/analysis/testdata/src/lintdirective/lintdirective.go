@@ -1,0 +1,22 @@
+// Package lintdirective is a fixture for the suppression machinery:
+// malformed directives are themselves diagnosed, and well-formed same-line
+// and previous-line directives silence their analyzer.
+package lintdirective
+
+//lint:ignore floateq
+func missingReason(a, b float64) bool {
+	return a == b
+}
+
+//lint:frobnicate floateq not a real directive
+func unknownDirective() {}
+
+func sameLineSuppression(a, b float64) bool {
+	eq := a == b //lint:ignore floateq fixture: same-line suppression
+	return eq
+}
+
+func previousLineSuppression(a, b float64) bool {
+	//lint:ignore floateq fixture: previous-line suppression
+	return a != b
+}

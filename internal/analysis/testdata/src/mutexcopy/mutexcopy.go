@@ -1,0 +1,59 @@
+// Package mutexcopy is a fixture for the mutexcopy analyzer: by-value
+// receiver, parameter, assignment, and range copies of a lock-holding
+// struct are flagged; pointer access and fresh composite literals are not.
+package mutexcopy
+
+import "sync"
+
+// Counter guards a count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadValueReceiver copies the lock on every method call.
+func (c Counter) BadValueReceiver() int {
+	return c.n
+}
+
+// BadParam copies the lock at every call site.
+func BadParam(c Counter) int {
+	return c.n
+}
+
+// BadAssign copies an existing counter, forking its lock state.
+func BadAssign(c *Counter) int {
+	snapshot := *c
+	return snapshot.n
+}
+
+// BadRange copies each element, lock included.
+func BadRange(cs []Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+// GoodPointer accesses the counter through a pointer.
+func GoodPointer(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GoodInit constructs a fresh value; there is no prior lock state to lose.
+func GoodInit() *Counter {
+	c := Counter{n: 1}
+	return &c
+}
+
+// GoodRange indexes instead of copying elements.
+func GoodRange(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}

@@ -1,0 +1,31 @@
+// Package panicpath is a fixture for the panicpath analyzer: a bare panic
+// in library code is flagged; an annotated invariant and an error return
+// are not.
+package panicpath
+
+import "errors"
+
+// Bad panics on invalid input.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// GoodAnnotated documents the invariant it enforces.
+func GoodAnnotated(n int) int {
+	if n < 0 {
+		//lint:ignore panicpath fixture invariant: a negative n is a programmer error in static test data
+		panic("negative")
+	}
+	return n
+}
+
+// GoodError returns an error instead of panicking.
+func GoodError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}

@@ -1,0 +1,42 @@
+// Package uncheckederr is a fixture for the uncheckederr analyzer: bare
+// and deferred error-returning calls are flagged; handled, explicitly
+// blanked, and safe-writer calls are not.
+package uncheckederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+)
+
+func mayFail() error {
+	return errors.New("boom")
+}
+
+// Bad discards the error of a bare call.
+func Bad() {
+	mayFail()
+}
+
+// BadDefer discards the error of a deferred close.
+func BadDefer(f *os.File) {
+	defer f.Close()
+}
+
+// GoodReturn propagates the error.
+func GoodReturn() error {
+	return mayFail()
+}
+
+// GoodBlank discards deliberately and visibly.
+func GoodBlank() {
+	_ = mayFail() // best-effort cleanup; failure is harmless here
+}
+
+// GoodSafeWriter writes to an in-memory buffer that never fails.
+func GoodSafeWriter() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "n=%d", 1)
+	return buf.String()
+}

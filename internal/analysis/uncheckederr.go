@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr flags calls in internal/ packages whose error result is
+// silently discarded: a call used as a bare statement, deferred, or
+// launched with go, where the function's only or last result is an error.
+// A dropped error from record.Write or bufio.Flush means an experiment
+// "succeeded" with a truncated results file. Explicitly assigning to the
+// blank identifier (`_ = f()`) is allowed — it is a visible, greppable
+// decision rather than an accident.
+//
+// Exempt: fmt.Print/Printf/Println (terminal output), calls on the
+// never-failing in-memory writers bytes.Buffer and strings.Builder, and
+// fmt.Fprint* directed at a never-failing or error-latching writer
+// (bytes.Buffer, strings.Builder, bufio.Writer, tabwriter.Writer — the
+// latter two hold the first error and resurface it at Flush, which this
+// analyzer still requires to be checked).
+type UncheckedErr struct{}
+
+// Name implements Analyzer.
+func (UncheckedErr) Name() string { return "uncheckederr" }
+
+// Doc implements Analyzer.
+func (UncheckedErr) Doc() string {
+	return "flag discarded error returns (bare, deferred, or go'd calls) in internal/ packages; handle, return, or assign to _ deliberately"
+}
+
+// Run implements Analyzer.
+func (UncheckedErr) Run(p *Pass) {
+	if !strings.Contains(p.Pkg.Path, "/internal/") {
+		return
+	}
+	inspect(p.Pkg, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var how string
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, how = asCall(n.X), "call"
+		case *ast.DeferStmt:
+			call, how = n.Call, "deferred call"
+		case *ast.GoStmt:
+			call, how = n.Call, "go'd call"
+		}
+		if call == nil || !returnsError(p.Pkg.Info, call) || isExemptCall(p, call) {
+			return true
+		}
+		p.Reportf(call.Pos(), "%s to %s discards its error; handle it, return it, or assign to _ with a comment", how, renderExpr(p, call.Fun))
+		return true
+	})
+}
+
+func asCall(e ast.Expr) *ast.CallExpr {
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// returnsError reports whether the call's only or last result is error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false // conversion or builtin
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// safeWriterTypes are writer types for which dropping a per-write error is
+// sound: in-memory writers never fail, and the buffered writers latch the
+// first error and return it from Flush (whose own result stays checked).
+var safeWriterTypes = map[[2]string]bool{
+	{"bytes", "Buffer"}:          true,
+	{"strings", "Builder"}:       true,
+	{"bufio", "Writer"}:          true,
+	{"text/tabwriter", "Writer"}: true,
+}
+
+// isExemptCall allows terminal printing, calls on never-failing in-memory
+// writers, and fmt.Fprint* aimed at a safe writer.
+func isExemptCall(p *Pass, call *ast.CallExpr) bool {
+	if name, ok := pkgFuncName(p, call.Fun, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && isSafeWriter(p.Pkg.Info.TypeOf(call.Args[0]))
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isSafeWriter(p.Pkg.Info.TypeOf(sel.X))
+}
+
+func isSafeWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return safeWriterTypes[[2]string{named.Obj().Pkg().Path(), named.Obj().Name()}]
+}
+
+// renderExpr prints an expression (the callee) as source text.
+func renderExpr(p *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Pkg.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

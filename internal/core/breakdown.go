@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -51,14 +52,17 @@ func (d *Deployment) Breakdown(est hwsim.Estimator) ([]NodeShare, error) {
 	return shares, nil
 }
 
-// PrintBreakdown renders the decomposition as a table.
-func PrintBreakdown(w io.Writer, shares []NodeShare) {
-	fmt.Fprintf(w, "%-24s %6s %12s %12s %8s %10s\n",
+// PrintBreakdown renders the decomposition as a table. Writes are buffered
+// and the first write error is returned from the final flush.
+func PrintBreakdown(w io.Writer, shares []NodeShare) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-24s %6s %12s %12s %8s %10s\n",
 		"task", "count", "kernel(ms)", "total(ms)", "share%", "GFLOPS")
 	for _, s := range shares {
-		fmt.Fprintf(w, "%-24s %6d %12.5f %12.5f %8.2f %10.1f\n",
+		fmt.Fprintf(bw, "%-24s %6d %12.5f %12.5f %8.2f %10.1f\n",
 			s.Task, s.Count, s.KernelMS, s.TotalMS, s.SharePct, s.GFLOPS)
 	}
+	return bw.Flush()
 }
 
 // deployedOf returns the deployed config, falling back to the tuner's best

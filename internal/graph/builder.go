@@ -1,5 +1,7 @@
 package graph
 
+//lint:file-ignore panicpath builder DSL: the chained construction API has no room for error returns; model definitions are static code, so shape panics reject programmer errors at graph-build time
+
 import (
 	"fmt"
 

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -58,9 +59,11 @@ func paramCount(n *Node) int64 {
 	}
 }
 
-// Print renders the summary.
-func (s Stats) Print(w io.Writer) {
-	fmt.Fprintf(w, "%s: %.2f GFLOPs, %.2fM params (%.1f MB), max activation %.2f MB\n",
+// Print renders the summary. Writes are buffered and the first write error
+// is returned from the final flush.
+func (s Stats) Print(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s: %.2f GFLOPs, %.2fM params (%.1f MB), max activation %.2f MB\n",
 		s.Name, float64(s.TotalFLOPs)/1e9, float64(s.Params)/1e6,
 		float64(s.ParamBytes)/(1<<20), float64(s.MaxActBytes)/(1<<20))
 	ops := make([]OpType, 0, len(s.OpCounts))
@@ -69,6 +72,7 @@ func (s Stats) Print(w io.Writer) {
 	}
 	sort.Slice(ops, func(i, j int) bool { return s.OpCounts[ops[i]] > s.OpCounts[ops[j]] })
 	for _, op := range ops {
-		fmt.Fprintf(w, "  %-18s %4d\n", op, s.OpCounts[op])
+		fmt.Fprintf(bw, "  %-18s %4d\n", op, s.OpCounts[op])
 	}
+	return bw.Flush()
 }

@@ -1,0 +1,46 @@
+package hwsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// TestSimulatorConcurrentMeasure hammers one Simulator from many
+// goroutines. Under `go test -race` this validates the mutex discipline
+// around the shared noise RNG; in any mode the budget counter must account
+// for every measurement exactly once.
+func TestSimulatorConcurrentMeasure(t *testing.T) {
+	w := tensor.Conv2D(1, 32, 28, 28, 64, 3, 1, 1)
+	sp := convSpace(t, w)
+	sim := NewSimulator(GTX1080Ti(), 7)
+	rng := rand.New(rand.NewSource(3))
+	cfgs := make([]space.Config, 8)
+	for i := range cfgs {
+		cfgs[i] = sp.Random(rng)
+	}
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sim.Measure(w, cfgs[(g+i)%len(cfgs)])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := sim.MeasureCount(); got != workers*perWorker {
+		t.Fatalf("MeasureCount = %d, want %d (a lost update means the budget accounting raced)", got, workers*perWorker)
+	}
+	sim.ResetCount()
+	if got := sim.MeasureCount(); got != 0 {
+		t.Fatalf("MeasureCount after reset = %d, want 0", got)
+	}
+}

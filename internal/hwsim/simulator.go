@@ -35,6 +35,7 @@ type Simulator struct {
 // measurement-noise stream.
 func NewSimulator(dev Device, seed int64) *Simulator {
 	if err := dev.Validate(); err != nil {
+		//lint:ignore panicpath constructor invariant: an invalid Device is a programmer error caught before any experiment runs
 		panic(err)
 	}
 	return &Simulator{est: Estimator{Dev: dev}, rng: rand.New(rand.NewSource(seed))}
@@ -44,6 +45,7 @@ func NewSimulator(dev Device, seed int64) *Simulator {
 // (ruggedness / noise scale), used by ablation experiments.
 func NewSimulatorWith(est Estimator, seed int64) *Simulator {
 	if err := est.Dev.Validate(); err != nil {
+		//lint:ignore panicpath constructor invariant: an invalid Device is a programmer error caught before any experiment runs
 		panic(err)
 	}
 	return &Simulator{est: est, rng: rand.New(rand.NewSource(seed))}

@@ -50,6 +50,7 @@ func NewCholesky(a *Matrix, jitter float64) (*Cholesky, error) {
 // Solve returns x with (L Lᵀ) x = b, overwriting nothing.
 func (c *Cholesky) Solve(b []float64) []float64 {
 	if len(b) != c.n {
+		//lint:ignore panicpath kernel invariant: dimension mismatch is a programmer error, panics like gonum/mat
 		panic("linalg: Cholesky.Solve dimension mismatch")
 	}
 	n := c.n
@@ -78,6 +79,7 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 // predictive-variance computations.
 func (c *Cholesky) SolveVecL(b []float64) []float64 {
 	if len(b) != c.n {
+		//lint:ignore panicpath kernel invariant: dimension mismatch is a programmer error, panics like gonum/mat
 		panic("linalg: Cholesky.SolveVecL dimension mismatch")
 	}
 	n := c.n

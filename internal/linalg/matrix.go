@@ -19,6 +19,7 @@ type Matrix struct {
 // NewMatrix allocates a zeroed r x c matrix.
 func NewMatrix(r, c int) *Matrix {
 	if r < 0 || c < 0 {
+		//lint:ignore panicpath kernel invariant: negative dims are a programmer error, panics like gonum/mat
 		panic(fmt.Sprintf("linalg: negative matrix dims %dx%d", r, c))
 	}
 	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
@@ -68,9 +69,11 @@ func (m *Matrix) ColNorms2() []float64 {
 // It panics if the matrix is not square or denom is not positive.
 func (m *Matrix) Rank1Downdate(x int, denom float64) {
 	if m.Rows != m.Cols {
+		//lint:ignore panicpath kernel invariant: shape misuse is a programmer error, panics like gonum/mat
 		panic("linalg: Rank1Downdate requires a square matrix")
 	}
 	if denom <= 0 {
+		//lint:ignore panicpath kernel invariant: a non-positive denominator means the caller broke the SPD precondition
 		panic("linalg: Rank1Downdate requires positive denominator")
 	}
 	n := m.Rows
@@ -95,6 +98,7 @@ func (m *Matrix) Rank1Downdate(x int, denom float64) {
 // which must have equal length.
 func Dist2(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore panicpath kernel invariant: length mismatch is a programmer error, panics like gonum/mat
 		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d vs %d", len(a), len(b)))
 	}
 	s := 0.0
@@ -111,6 +115,7 @@ func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
 // Dot returns the inner product of a and b.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore panicpath kernel invariant: length mismatch is a programmer error, panics like gonum/mat
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
 	s := 0.0

@@ -29,8 +29,9 @@ type LineChart struct {
 	Markers string // one marker rune per series (default "o*x+#@")
 }
 
-// Render writes the chart.
-func (lc LineChart) Render(w io.Writer, series []Series) {
+// Render writes the chart. The first write error is returned (writes are
+// buffered, so it surfaces from the final flush).
+func (lc LineChart) Render(w io.Writer, series []Series) error {
 	width := lc.Width
 	if width <= 0 {
 		width = 72
@@ -59,10 +60,12 @@ func (lc LineChart) Render(w io.Writer, series []Series) {
 			maxLen = len(s.Values)
 		}
 	}
+	var b strings.Builder
 	if maxLen == 0 || math.IsInf(lo, 1) {
-		fmt.Fprintln(w, "(no data)")
-		return
+		fmt.Fprintln(&b, "(no data)")
+		return flush(w, &b)
 	}
+	//lint:ignore floateq lo and hi are exact copies of input samples; equality detects a degenerate range
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -91,7 +94,7 @@ func (lc LineChart) Render(w io.Writer, series []Series) {
 	}
 
 	if lc.Title != "" {
-		fmt.Fprintln(w, lc.Title)
+		fmt.Fprintln(&b, lc.Title)
 	}
 	yw := 10
 	for i, row := range grid {
@@ -104,17 +107,24 @@ func (lc LineChart) Render(w io.Writer, series []Series) {
 		case height / 2:
 			label = fmt.Sprintf("%.4g", (hi+lo)/2)
 		}
-		fmt.Fprintf(w, "%*s |%s\n", yw, label, string(row))
+		fmt.Fprintf(&b, "%*s |%s\n", yw, label, string(row))
 	}
-	fmt.Fprintf(w, "%*s +%s\n", yw, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s +%s\n", yw, "", strings.Repeat("-", width))
 	if lc.XLabel != "" {
-		fmt.Fprintf(w, "%*s  %s\n", yw, "", lc.XLabel)
+		fmt.Fprintf(&b, "%*s  %s\n", yw, "", lc.XLabel)
 	}
 	var legend []string
 	for si, s := range series {
 		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
 	}
-	fmt.Fprintf(w, "%*s  legend: %s\n", yw, "", strings.Join(legend, "  "))
+	fmt.Fprintf(&b, "%*s  legend: %s\n", yw, "", strings.Join(legend, "  "))
+	return flush(w, &b)
+}
+
+// flush writes an accumulated report in a single checked write.
+func flush(w io.Writer, b *strings.Builder) error {
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // BarChart renders a horizontal bar chart of labeled values.
@@ -123,14 +133,16 @@ type BarChart struct {
 	Width int // maximum bar width (default 50)
 }
 
-// Render writes the chart. Negative values draw leftward annotations.
-func (bc BarChart) Render(w io.Writer, labels []string, values []float64) {
+// Render writes the chart. Negative values draw leftward annotations. The
+// first write error is returned.
+func (bc BarChart) Render(w io.Writer, labels []string, values []float64) error {
 	width := bc.Width
 	if width <= 0 {
 		width = 50
 	}
+	var b strings.Builder
 	if bc.Title != "" {
-		fmt.Fprintln(w, bc.Title)
+		fmt.Fprintln(&b, bc.Title)
 	}
 	maxAbs := 0.0
 	maxLabel := 0
@@ -148,8 +160,9 @@ func (bc BarChart) Render(w io.Writer, labels []string, values []float64) {
 	for i, v := range values {
 		n := int(math.Abs(v) / maxAbs * float64(width))
 		bar := strings.Repeat("#", n)
-		fmt.Fprintf(w, "%-*s %10.3f |%s\n", maxLabel, labels[i], v, bar)
+		fmt.Fprintf(&b, "%-*s %10.3f |%s\n", maxLabel, labels[i], v, bar)
 	}
+	return flush(w, &b)
 }
 
 // Sparkline returns a one-line unicode sparkline of the values.
@@ -167,6 +180,7 @@ func Sparkline(values []float64) string {
 			hi = v
 		}
 	}
+	//lint:ignore floateq lo and hi are exact copies of input samples; equality detects a flat series
 	if hi == lo {
 		return strings.Repeat(string(ramp[0]), len(values))
 	}

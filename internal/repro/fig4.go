@@ -131,7 +131,9 @@ func (r Fig4Result) Chart(w io.Writer) {
 		Title:  fmt.Sprintf("Fig.4 %s: best-so-far GFLOPS vs #configs", r.Task),
 		XLabel: fmt.Sprintf("#configs (0..%d)", len(r.Series[0].Trace)),
 	}
-	lc.Render(w, series)
+	// Chart is a best-effort stdout report; a failed terminal write must
+	// not abort the experiment whose numbers are already computed.
+	_ = lc.Render(w, series)
 }
 
 // Fig4Check verifies the qualitative reproduction claim on a result: the

@@ -98,8 +98,10 @@ func meanOf(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// fprintf writes formatted output, ignoring errors (report writers target
-// in-memory buffers and stdout).
+// fprintf writes formatted output, deliberately dropping the write error:
+// report writers target in-memory buffers and stdout, and a failed
+// terminal write must not abort an experiment whose numbers are already
+// computed.
 func fprintf(w io.Writer, format string, args ...interface{}) {
-	fmt.Fprintf(w, format, args...)
+	_, _ = fmt.Fprintf(w, format, args...)
 }

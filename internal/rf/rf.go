@@ -81,6 +81,7 @@ func (m *Model) NumTrees() int { return len(m.trees) }
 // Predict returns the ensemble-mean prediction at x.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != m.nfeat {
+		//lint:ignore panicpath model invariant: feature-width mismatch means the caller mixed models, not a runtime condition
 		panic(fmt.Sprintf("rf: predict with %d features, model trained on %d", len(x), m.nfeat))
 	}
 	s := 0.0
@@ -191,6 +192,7 @@ func growCART(X [][]float64, y []float64, rows []int, mtry int, p Params, rng *r
 				r := rows[order[i]]
 				sumL += y[r]
 				nL++
+				//lint:ignore floateq comparing stored feature values for ties; a split threshold between bitwise-equal values is meaningless
 				if vals[order[i]] == vals[order[i+1]] {
 					continue // no valid threshold between equal values
 				}

@@ -10,6 +10,7 @@ import "sort"
 // It panics for n <= 0.
 func Divisors(n int) []int {
 	if n <= 0 {
+		//lint:ignore panicpath API precondition on compile-time-known workload dims; panics like stdlib math functions
 		panic("space: Divisors requires n > 0")
 	}
 	var small, large []int
@@ -37,6 +38,7 @@ func Divisors(n int) []int {
 // several such knobs reaches the paper's 10^7..10^8-point spaces.
 func Factorizations(n, parts int) [][]int {
 	if n <= 0 || parts <= 0 {
+		//lint:ignore panicpath API precondition on compile-time-known workload dims; panics like stdlib math functions
 		panic("space: Factorizations requires n > 0 and parts > 0")
 	}
 	if parts == 1 {
@@ -75,6 +77,7 @@ func Factorizations(n, parts int) [][]int {
 // materializing them, via the prime-exponent stars-and-bars product.
 func CountFactorizations(n, parts int) int {
 	if n <= 0 || parts <= 0 {
+		//lint:ignore panicpath API precondition on compile-time-known workload dims; panics like stdlib math functions
 		panic("space: CountFactorizations requires n > 0 and parts > 0")
 	}
 	count := 1

@@ -129,6 +129,7 @@ type EnumKnob struct {
 // NewEnumKnob builds an enumerated knob; values are used in listed order.
 func NewEnumKnob(name string, values ...int) *EnumKnob {
 	if len(values) == 0 {
+		//lint:ignore panicpath space-definition invariant: an empty knob is a programmer error in a template definition
 		panic("space: EnumKnob requires at least one value")
 	}
 	v := make([]int, len(values))

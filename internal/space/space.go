@@ -18,12 +18,14 @@ type Space struct {
 // New builds a space over the given knobs. At least one knob is required.
 func New(knobs ...Knob) *Space {
 	if len(knobs) == 0 {
+		//lint:ignore panicpath space-definition invariant: templates are static code, not runtime input
 		panic("space: New requires at least one knob")
 	}
 	s := &Space{knobs: knobs}
 	s.size = 1
 	for _, k := range knobs {
 		if k.Len() <= 0 {
+			//lint:ignore panicpath space-definition invariant: templates are static code, not runtime input
 			panic(fmt.Sprintf("space: knob %q has no options", k.Name()))
 		}
 		n := uint64(k.Len())

@@ -1,0 +1,44 @@
+package transfer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestHistoryConcurrentAddAndWarmStart mixes writers (Add) and readers
+// (WarmStart, NumTasks) on one History, the sharing pattern of parallel
+// per-task tuning sessions feeding a global transfer store. Under -race
+// this validates the lock; in any mode every contribution must be visible
+// afterwards.
+func TestHistoryConcurrentAddAndWarmStart(t *testing.T) {
+	h := NewHistory()
+	w := tensor.Conv2D(1, 16, 28, 28, 32, 3, 1, 1)
+	samples := makeSamples(t, w, 20, 9)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h.Add(fmt.Sprintf("task-%d", g), tensor.OpConv2D, samples)
+			X, y := h.WarmStart(tensor.OpConv2D, "", 30)
+			if len(X) != len(y) {
+				t.Errorf("warm start returned %d rows but %d targets", len(X), len(y))
+			}
+			_ = h.NumTasks()
+		}(g)
+	}
+	wg.Wait()
+
+	if got := h.NumTasks(); got != workers {
+		t.Fatalf("NumTasks = %d, want %d (a lost entry means Add raced)", got, workers)
+	}
+	X, y := h.WarmStart(tensor.OpConv2D, "", workers*len(samples))
+	if len(X) != workers*len(samples) || len(y) != len(X) {
+		t.Fatalf("final warm start returned %d/%d pairs, want %d", len(X), len(y), workers*len(samples))
+	}
+}

@@ -113,6 +113,7 @@ func rankNormalize(vals []float64) []float64 {
 	i := 0
 	for i < n {
 		j := i
+		//lint:ignore floateq tie grouping over stored GFLOPS values; ranks must treat bitwise-equal measurements identically
 		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
 			j++
 		}

@@ -1,0 +1,69 @@
+package tuner
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// countingMeasurer is a thread-safe stub inner measurer.
+type countingMeasurer struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (m *countingMeasurer) Measure(tensor.Workload, space.Config) hwsim.Measurement {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	return hwsim.Measurement{Valid: true, TimeMS: 1, GFLOPS: 1}
+}
+
+func (m *countingMeasurer) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// TestFlakyMeasurerConcurrent drives one FlakyMeasurer from many
+// goroutines. Under -race this validates the lock around the failure RNG;
+// in any mode injected failures plus forwarded measurements must account
+// for every call exactly once.
+func TestFlakyMeasurerConcurrent(t *testing.T) {
+	inner := &countingMeasurer{}
+	flaky := NewFlakyMeasurer(inner, 0.3, 11)
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	invalid := make([]int, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if m := flaky.Measure(tensor.Workload{}, space.Config{}); !m.Valid {
+					invalid[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := workers * perWorker
+	dropped := 0
+	for _, n := range invalid {
+		dropped += n
+	}
+	if flaky.Failures() != dropped {
+		t.Fatalf("Failures() = %d but callers saw %d invalid results", flaky.Failures(), dropped)
+	}
+	if inner.count()+dropped != total {
+		t.Fatalf("forwarded %d + dropped %d != total %d (a call was lost or double-counted)", inner.count(), dropped, total)
+	}
+	if dropped == 0 || dropped == total {
+		t.Fatalf("dropped %d of %d; failure injection should be partial at p=0.3", dropped, total)
+	}
+}

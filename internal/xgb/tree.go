@@ -31,6 +31,7 @@ func newBinner(X [][]float64, maxBins int) *binner {
 		var edges []float64
 		if n <= maxBins {
 			for i := 0; i < n; i++ {
+				//lint:ignore floateq deduplicating sorted stored values; bin edges must be strictly distinct
 				if i == 0 || sorted[i] != sorted[i-1] {
 					edges = append(edges, sorted[i])
 				}
@@ -39,6 +40,7 @@ func newBinner(X [][]float64, maxBins int) *binner {
 			prev := math.Inf(-1)
 			for k := 1; k <= maxBins; k++ {
 				v := sorted[k*n/maxBins-1]
+				//lint:ignore floateq deduplicating sorted stored values; bin edges must be strictly distinct
 				if v != prev {
 					edges = append(edges, v)
 					prev = v

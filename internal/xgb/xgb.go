@@ -139,6 +139,7 @@ func (m *Model) NumFeatures() int { return m.nfeat }
 // Predict evaluates the ensemble on one feature vector.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != m.nfeat {
+		//lint:ignore panicpath model invariant: feature-width mismatch means the caller mixed models, not a runtime condition
 		panic(fmt.Sprintf("xgb: predict with %d features, model trained on %d", len(x), m.nfeat))
 	}
 	s := m.base
@@ -239,6 +240,7 @@ func rankGradients(pred, y, grad, hess []float64, pairs int, rng *rand.Rand) {
 			if j >= i {
 				j++
 			}
+			//lint:ignore floateq stored targets; a pairwise ranking objective has no gradient on exactly tied labels
 			if y[i] == y[j] {
 				continue
 			}
