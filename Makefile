@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt-check verify
+.PHONY: all build test race determinism bench lint fmt-check verify
 
 all: build test lint
 
@@ -10,10 +10,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the mutex-guarded measurement types
-# (hwsim.Simulator, transfer.History, tuner.FlakyMeasurer and friends).
+# Race-detector pass over the concurrent measurement machinery
+# (hwsim.Simulator, transfer.History, the tuner worker pool, par,
+# parallel bootstrap training and Gram assembly).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par
+
+# Determinism suite under the race detector: same seed, Workers 1/4/8
+# must yield bit-identical samples for every tuner.
+determinism:
+	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed' \
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par
+
+# Serial-vs-parallel wall clock on a fixed 8-task tuning run; also fails
+# if the two legs' samples diverge. Writes BENCH_tune.json.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_tune.json
 
 # In-repo static-analysis suite (internal/analysis): determinism,
 # float-safety, lock hygiene, unchecked errors, library panics.

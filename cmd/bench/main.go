@@ -1,0 +1,206 @@
+// Command bench times the deterministic parallel measurement engine on a
+// fixed 8-task tuning run and writes the serial-vs-parallel wall-clock
+// comparison to a JSON file (the `make bench` artifact BENCH_tune.json).
+//
+// Both legs tune the same tasks with the same seeds: the serial leg runs
+// tasks one after another with a single measurement worker, the parallel leg
+// runs tasks concurrently with a full worker pool per task. Because every
+// measurement's noise derives from (run seed, config), the two legs must
+// produce bit-identical samples; the benchmark verifies that and fails
+// (exit 1) on any divergence, making it a determinism check as much as a
+// speed report. Speedup scales with the cores the host exposes — on a
+// single-core machine both legs time alike while the sample comparison
+// still must hold.
+//
+// Usage:
+//
+//	bench -out BENCH_tune.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/graph"
+	"repro/internal/hwsim"
+	"repro/internal/par"
+	"repro/internal/tuner"
+)
+
+// report is the BENCH_tune.json schema.
+type report struct {
+	Model            string  `json:"model"`
+	Tasks            int     `json:"tasks"`
+	Tuner            string  `json:"tuner"`
+	Budget           int     `json:"budget"`
+	PlanSize         int     `json:"plan_size"`
+	Seed             int64   `json:"seed"`
+	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	SerialMS         float64 `json:"serial_ms"`
+	ParallelMS       float64 `json:"parallel_ms"`
+	Speedup          float64 `json:"speedup"`
+	IdenticalSamples bool    `json:"identical_samples"`
+}
+
+func main() {
+	model := flag.String("model", "mobilenet-v1", "model supplying the benchmark tasks")
+	nTasks := flag.Int("tasks", 8, "number of tasks tuned (taken from the model's conv tasks)")
+	tunerName := flag.String("tuner", "autotvm", "tuner to benchmark")
+	budget := flag.Int("budget", 96, "measurement budget per task")
+	plan := flag.Int("plan", 24, "batch/initialization size")
+	seed := flag.Int64("seed", 2021, "base random seed")
+	workers := flag.Int("workers", 8, "worker count of the parallel leg (pool per task and tasks in flight)")
+	out := flag.String("out", "BENCH_tune.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func benchTasks(model string, n int) ([]*tuner.Task, error) {
+	g, err := graph.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	gts := graph.ExtractTasks(g, graph.ConvOnly)
+	if len(gts) < n {
+		return nil, fmt.Errorf("model %s has %d conv tasks, need %d", model, len(gts), n)
+	}
+	tasks := make([]*tuner.Task, n)
+	for i := range tasks {
+		if tasks[i], err = tuner.FromGraphTask(gts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+// leg tunes every task with the given task-level and measurement-level
+// parallelism and returns the results in task order plus the wall-clock.
+func leg(tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskWorkers, measureWorkers int) ([]tuner.Result, time.Duration, error) {
+	results := make([]tuner.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	start := time.Now()
+	par.For(len(tasks), taskWorkers, func(i int) {
+		tn, err := newTuner(tunerName)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), seed+int64(i))
+		results[i] = tn.Tune(tasks[i], sim, tuner.Options{
+			Budget:    budget,
+			EarlyStop: -1,
+			PlanSize:  plan,
+			Seed:      seed + int64(i)*1000003,
+			Workers:   measureWorkers,
+		})
+	})
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return results, elapsed, nil
+}
+
+func newTuner(name string) (tuner.Tuner, error) {
+	switch name {
+	case "autotvm":
+		return tuner.NewAutoTVM(), nil
+	case "bted":
+		return tuner.NewBTED(), nil
+	case "bted+bao":
+		return tuner.NewBTEDBAO(), nil
+	case "random":
+		return tuner.RandomTuner{}, nil
+	case "grid":
+		return tuner.GridTuner{}, nil
+	case "ga":
+		return tuner.GATuner{}, nil
+	default:
+		return nil, fmt.Errorf("unknown tuner %q", name)
+	}
+}
+
+func sameSamples(a, b []active.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Config.Flat() != b[i].Config.Flat() ||
+			math.Float64bits(a[i].GFLOPS) != math.Float64bits(b[i].GFLOPS) ||
+			a[i].Valid != b[i].Valid {
+			return false
+		}
+	}
+	return true
+}
+
+func run(model, tunerName string, nTasks, budget, plan int, seed int64, workers int, out string) error {
+	tasks, err := benchTasks(model, nTasks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmarking %s on %d %s tasks (budget %d, plan %d, GOMAXPROCS %d)\n",
+		tunerName, nTasks, model, budget, plan, runtime.GOMAXPROCS(0))
+
+	serial, serialDur, err := leg(tasks, tunerName, budget, plan, seed, 1, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serial   (tasks x1, workers 1): %8.1f ms\n", float64(serialDur.Microseconds())/1000)
+
+	parRes, parDur, err := leg(tasks, tunerName, budget, plan, seed, workers, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parallel (tasks x%d, workers %d): %8.1f ms\n", workers, workers, float64(parDur.Microseconds())/1000)
+
+	identical := true
+	for i := range serial {
+		if !sameSamples(serial[i].Samples, parRes[i].Samples) {
+			identical = false
+			fmt.Printf("DIVERGENCE: task %s samples differ between legs\n", tasks[i].Name)
+		}
+	}
+
+	r := report{
+		Model:            model,
+		Tasks:            nTasks,
+		Tuner:            tunerName,
+		Budget:           budget,
+		PlanSize:         plan,
+		Seed:             seed,
+		Workers:          workers,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		SerialMS:         float64(serialDur.Microseconds()) / 1000,
+		ParallelMS:       float64(parDur.Microseconds()) / 1000,
+		IdenticalSamples: identical,
+	}
+	if r.ParallelMS > 0 {
+		r.Speedup = r.SerialMS / r.ParallelMS
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("speedup %.2fx, identical samples: %v; wrote %s\n", r.Speedup, identical, out)
+	if !identical {
+		return fmt.Errorf("parallel leg diverged from serial leg")
+	}
+	return nil
+}

@@ -2,6 +2,11 @@
 // prints their convergence traces side by side — the per-task view behind
 // the paper's Fig. 4.
 //
+// Every (tuner, seed) cell of the grid is an independent run with its own
+// simulator, so the grid executes on a worker pool (-parallel) while the
+// averaged traces are folded in fixed seed order afterwards: the printed
+// numbers are bit-identical for any -parallel value.
+//
 // Usage:
 //
 //	compare -model mobilenet-v1 -task 5 -budget 512 -seeds 3
@@ -17,6 +22,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hwsim"
+	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
@@ -32,9 +38,11 @@ func main() {
 	seeds := flag.Int("seeds", 2, "number of seeds to average")
 	tuners := flag.String("tuners", "random,ga,autotvm,bted,bted+bao", "comma-separated tuner list")
 	chart := flag.Bool("chart", true, "render an ASCII convergence chart")
+	workers := flag.Int("workers", 0, "measurement worker pool per run (<=0: GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "(tuner, seed) runs executed concurrently (<=0: GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*model, *taskIdx, *workload, *device, *budget, *plan, *seeds, *tuners, *chart); err != nil {
+	if err := run(*model, *taskIdx, *workload, *device, *budget, *plan, *seeds, *tuners, *chart, *workers, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)
 		os.Exit(1)
 	}
@@ -95,7 +103,7 @@ func newTuner(name string) (tuner.Tuner, error) {
 	}
 }
 
-func run(model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool) error {
+func run(model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool, workers, parallel int) error {
 	dev, ok := hwsim.DeviceByName(deviceName)
 	if !ok {
 		return fmt.Errorf("unknown device %q", deviceName)
@@ -131,21 +139,50 @@ func run(model string, taskIdx int, workloadSpec, deviceName string, budget, pla
 	fmt.Printf("task %s on %s\nworkload %s\nspace %d configurations\n\n",
 		task.Name, dev.Name, task.Workload.Key(), task.Space.Size())
 
-	var series []plot.Series
-	fmt.Printf("%-10s %12s %12s %12s\n", "tuner", "best GFLOPS", "@25%", "@50%")
+	var names []string
 	for _, name := range strings.Split(tunerList, ",") {
 		name = strings.TrimSpace(name)
-		tn, err := newTuner(name)
-		if err != nil {
+		// Validate every tuner name before spending any compute.
+		if _, err := newTuner(name); err != nil {
 			return err
 		}
+		names = append(names, name)
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	if parallel <= 0 {
+		parallel = par.Workers()
+	}
+
+	// Run the whole (tuner, seed) grid on the pool; each cell is fully
+	// independent (own tuner instance, own simulator, own seed).
+	traces := make([][][]float64, len(names))
+	for ti := range traces {
+		traces[ti] = make([][]float64, seeds)
+	}
+	par.For(len(names)*seeds, parallel, func(k int) {
+		ti, si := k/seeds, k%seeds
+		tn, err := newTuner(names[ti])
+		if err != nil {
+			return // validated above; unreachable
+		}
+		sim := hwsim.NewSimulator(dev, int64(100+si))
+		res := tn.Tune(task, sim, tuner.Options{
+			Budget: budget, EarlyStop: -1, PlanSize: plan, Seed: int64(7 + si*1000),
+			Workers: workers,
+		})
+		traces[ti][si] = res.BestTrace()
+	})
+
+	// Fold in fixed seed order so the averages are independent of pool
+	// scheduling.
+	var series []plot.Series
+	fmt.Printf("%-10s %12s %12s %12s\n", "tuner", "best GFLOPS", "@25%", "@50%")
+	for ti, name := range names {
 		acc := make([]float64, budget)
 		for s := 0; s < seeds; s++ {
-			sim := hwsim.NewSimulator(dev, int64(100+s))
-			res := tn.Tune(task, sim, tuner.Options{
-				Budget: budget, EarlyStop: -1, PlanSize: plan, Seed: int64(7 + s*1000),
-			})
-			trace := res.BestTrace()
+			trace := traces[ti][s]
 			last := 0.0
 			for i := 0; i < budget; i++ {
 				if i < len(trace) {

@@ -1,28 +1,42 @@
-// Command tune optimizes one model's deployment end to end with a chosen
-// search strategy on the simulated GTX 1080 Ti, reporting per-task results
-// and the final latency statistics, and optionally writing the tuning log.
+// Command tune optimizes model deployments end to end with a chosen search
+// strategy on a simulated device, reporting per-task results and the final
+// latency statistics, and optionally writing the tuning log.
 //
 // Usage:
 //
 //	tune -model mobilenet-v1 -tuner bted+bao -budget 512 -log out.jsonl
+//	tune -model all -parallel 5 -workers 8
 //
-// Tuners: autotvm | bted | bted+bao | random | grid | ga.
+// -model accepts one name, a comma-separated list, or "all" (the five paper
+// models). Multiple models tune concurrently on -parallel goroutines, each
+// with its own simulator and transfer history (history updates stay ordered
+// within a model because its tasks tune sequentially); per-model reports are
+// printed in list order when everything finishes. Model i derives its run
+// seed as seed+i*104729, so a multi-model run is reproducible and model
+// results do not depend on -parallel. With -log and several models, each
+// model writes <log>.<model>.
+//
+// Tuners: autotvm | bted | bted+bao | random | grid | ga | chameleon.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
+	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/tuner"
 )
 
 func main() {
-	model := flag.String("model", "mobilenet-v1", "model name (see cmd/space -list)")
+	model := flag.String("model", "mobilenet-v1", "model name, comma-separated list, or \"all\" (see cmd/space -list)")
 	tunerName := flag.String("tuner", "bted+bao", "autotvm | bted | bted+bao | random | grid | ga | chameleon")
 	ops := flag.String("ops", "all", "task extraction: conv or all")
 	budget := flag.Int("budget", 512, "measurement budget per task")
@@ -33,12 +47,50 @@ func main() {
 	logPath := flag.String("log", "", "write tuning records (JSON lines) to this file")
 	resumePath := flag.String("resume", "", "resume from a previous record log (JSON lines)")
 	device := flag.String("device", "gtx1080ti", "simulated device: gtx1080ti | v100 | gtx1060 | jetsontx2")
+	workers := flag.Int("workers", 0, "measurement worker pool per task (<=0: GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "models tuned concurrently (<=0: GOMAXPROCS, capped at model count)")
 	flag.Parse()
 
-	if err := run(*model, *tunerName, *ops, *device, *budget, *earlyStop, *planSize, *runs, *seed, *logPath, *resumePath); err != nil {
+	cfg := runConfig{
+		tuner:     *tunerName,
+		ops:       *ops,
+		device:    *device,
+		budget:    *budget,
+		earlyStop: *earlyStop,
+		planSize:  *planSize,
+		runs:      *runs,
+		workers:   *workers,
+	}
+	if err := run(resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "tune:", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the per-model tuning settings shared by every model of
+// a multi-model run.
+type runConfig struct {
+	tuner     string
+	ops       string
+	device    string
+	budget    int
+	earlyStop int
+	planSize  int
+	runs      int
+	workers   int
+}
+
+func resolveModels(spec string) []string {
+	if spec == "all" {
+		return append([]string(nil), graph.ModelNames...)
+	}
+	var out []string
+	for _, m := range strings.Split(spec, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func newTuner(name string) (tuner.Tuner, error) {
@@ -62,18 +114,9 @@ func newTuner(name string) (tuner.Tuner, error) {
 	}
 }
 
-func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, runs int, seed int64, logPath, resumePath string) error {
-	tn, err := newTuner(tunerName)
-	if err != nil {
-		return err
-	}
-	extract := graph.AllOps
-	if ops == "conv" {
-		extract = graph.ConvOnly
-	}
-	dev, ok := hwsim.DeviceByName(deviceName)
-	if !ok {
-		return fmt.Errorf("unknown device %q", deviceName)
+func run(models []string, cfg runConfig, seed int64, logPath, resumePath string, parallel int) error {
+	if len(models) == 0 {
+		return fmt.Errorf("no models given")
 	}
 	var resume []record.Record
 	if resumePath != "" {
@@ -88,20 +131,73 @@ func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, 
 		}
 		fmt.Printf("resuming from %d records in %s\n", len(resume), resumePath)
 	}
+
+	if len(models) == 1 {
+		return runModel(os.Stdout, models[0], cfg, seed, logPath, resume)
+	}
+
+	if parallel <= 0 {
+		parallel = par.Workers()
+	}
+	if parallel > len(models) {
+		parallel = len(models)
+	}
+	fmt.Printf("tuning %d models, %d concurrently\n", len(models), parallel)
+	// Each model gets a decorrelated seed and buffers its report so the
+	// concurrent runs print cleanly in list order at the end.
+	outs := make([]bytes.Buffer, len(models))
+	errs := make([]error, len(models))
+	par.For(len(models), parallel, func(i int) {
+		lp := logPath
+		if lp != "" {
+			lp = fmt.Sprintf("%s.%s", logPath, models[i])
+		}
+		errs[i] = runModel(&outs[i], models[i], cfg, seed+int64(i)*104729, lp, resume)
+	})
+	var firstErr error
+	for i, m := range models {
+		fmt.Printf("\n===== %s =====\n", m)
+		if _, err := io.Copy(os.Stdout, &outs[i]); err != nil {
+			return err
+		}
+		if errs[i] != nil {
+			fmt.Printf("error: %v\n", errs[i])
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", m, errs[i])
+			}
+		}
+	}
+	return firstErr
+}
+
+func runModel(w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record) error {
+	tn, err := newTuner(cfg.tuner)
+	if err != nil {
+		return err
+	}
+	extract := graph.AllOps
+	if cfg.ops == "conv" {
+		extract = graph.ConvOnly
+	}
+	dev, ok := hwsim.DeviceByName(cfg.device)
+	if !ok {
+		return fmt.Errorf("unknown device %q", cfg.device)
+	}
 	sim := hwsim.NewSimulator(dev, seed)
 	opts := core.PipelineOptions{
 		Tuning: tuner.Options{
-			Budget:    budget,
-			EarlyStop: earlyStop,
-			PlanSize:  planSize,
+			Budget:    cfg.budget,
+			EarlyStop: cfg.earlyStop,
+			PlanSize:  cfg.planSize,
 			Seed:      seed,
+			Workers:   cfg.workers,
 		},
 		Extract:     extract,
 		UseTransfer: true,
 		Resume:      resume,
-		Runs:        runs,
+		Runs:        cfg.runs,
 		Progress: func(i, n int, name string) {
-			fmt.Printf("[%2d/%2d] tuning %s\n", i, n, name)
+			fmt.Fprintf(w, "[%2d/%2d] tuning %s\n", i, n, name)
 		},
 	}
 	dep, err := core.OptimizeModel(model, tn, sim, opts)
@@ -109,20 +205,20 @@ func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, 
 		return err
 	}
 
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, t := range dep.Tasks {
-		fmt.Printf("%-24s best %9.1f GFLOPS after %4d measurements\n",
+		fmt.Fprintf(w, "%-24s best %9.1f GFLOPS after %4d measurements\n",
 			t.Task.Name, t.Result.Best.GFLOPS, t.Result.Measurements)
 	}
-	fmt.Println()
-	fmt.Println(dep.Summary())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, dep.Summary())
 
 	if shares, err := dep.Breakdown(sim.Estimator()); err == nil {
-		fmt.Println("\nlatency breakdown (top tasks):")
+		fmt.Fprintln(w, "\nlatency breakdown (top tasks):")
 		if len(shares) > 8 {
 			shares = shares[:8]
 		}
-		if err := core.PrintBreakdown(os.Stdout, shares); err != nil {
+		if err := core.PrintBreakdown(w, shares); err != nil {
 			return err
 		}
 	}
@@ -136,7 +232,7 @@ func run(model, tunerName, ops, deviceName string, budget, earlyStop, planSize, 
 		if err := record.Write(f, dep.Records()); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d records to %s\n", dep.TotalMeasurements, logPath)
+		fmt.Fprintf(w, "wrote %d records to %s\n", dep.TotalMeasurements, logPath)
 	}
 	return nil
 }

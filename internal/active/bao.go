@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/par"
 	"repro/internal/space"
 	"repro/internal/stats"
 )
@@ -25,8 +26,22 @@ type MeasureFunc func(space.Config) (gflops float64, valid bool)
 // Gamma evaluation functions are trained on bootstrap resamples of the
 // observations, and the candidate maximizing their summed prediction is
 // returned (as an index into cands). It returns an error when no evaluation
-// function can be trained.
+// function can be trained. Training and candidate scoring run on a worker
+// pool sized by par.Workers(); see BootstrapSelectParallel for the
+// determinism argument.
 func BootstrapSelect(tr EvalTrainer, samples []Sample, cands []space.Config, gamma int, rng *rand.Rand) (int, error) {
+	return BootstrapSelectParallel(tr, samples, cands, gamma, par.Workers(), rng)
+}
+
+// BootstrapSelectParallel is BootstrapSelect with an explicit worker count.
+// The result is bit-identical for every workers value: each resample's
+// indices and training seed are drawn from rng up front in the exact order
+// the serial loop used (so the caller's RNG stream is preserved), training
+// and per-candidate scoring write only index-addressed slots, and the
+// argmax scans the pre-drawn tie-breaking permutation serially. The trainer
+// must tolerate concurrent Train calls (all in-repo trainers are pure
+// functions of their arguments).
+func BootstrapSelectParallel(tr EvalTrainer, samples []Sample, cands []space.Config, gamma, workers int, rng *rand.Rand) (int, error) {
 	if len(cands) == 0 {
 		return -1, fmt.Errorf("active: BootstrapSelect needs candidates")
 	}
@@ -53,38 +68,54 @@ func BootstrapSelect(tr EvalTrainer, samples []Sample, cands []space.Config, gam
 		}
 	}
 
-	evals := make([]Evaluator, 0, gamma)
+	// Pre-draw every resample's indices and training seed serially, in the
+	// order the serial implementation consumed them.
+	resampleIdx := make([][]int, gamma)
+	seeds := make([]int64, gamma)
 	for g := 0; g < gamma; g++ {
-		idx := stats.ResampleIndices(len(samples), rng)
+		resampleIdx[g] = stats.ResampleIndices(len(samples), rng)
+		seeds[g] = rng.Int63()
+	}
+	perm := rng.Perm(len(cands))
+
+	evals := make([]Evaluator, gamma)
+	errs := make([]error, gamma)
+	par.For(gamma, workers, func(g int) {
+		idx := resampleIdx[g]
 		Xg := make([][]float64, len(idx))
 		yg := make([]float64, len(idx))
 		for i, j := range idx {
 			Xg[i] = X[j]
 			yg[i] = y[j]
 		}
-		ev, err := tr.Train(Xg, yg, rng.Int63())
+		evals[g], errs[g] = tr.Train(Xg, yg, seeds[g])
+	})
+	for g, err := range errs {
 		if err != nil {
 			return -1, fmt.Errorf("active: training evaluation function %d: %w", g, err)
 		}
-		evals = append(evals, ev)
 	}
 
-	// Tree-based evaluators predict leaf-constant values, so exact score
-	// ties among candidates are common; scanning in a random order breaks
-	// ties uniformly instead of systematically sweeping one corner of the
-	// searching space.
-	perm := rng.Perm(len(cands))
-	best := -1
-	bestScore := math.Inf(-1)
-	for _, i := range perm {
+	// Score all candidates on the pool (index-addressed writes), then take
+	// the argmax serially. Tree-based evaluators predict leaf-constant
+	// values, so exact score ties among candidates are common; scanning in
+	// a random order breaks ties uniformly instead of systematically
+	// sweeping one corner of the searching space.
+	scores := make([]float64, len(cands))
+	par.For(len(cands), workers, func(i int) {
 		feat := cands[i].Features()
 		score := 0.0
 		for _, ev := range evals {
 			score += ev.Predict(feat)
 		}
-		if score > bestScore {
+		scores[i] = score
+	})
+	best := -1
+	bestScore := math.Inf(-1)
+	for _, i := range perm {
+		if scores[i] > bestScore {
 			best = i
-			bestScore = score
+			bestScore = scores[i]
 		}
 	}
 	return best, nil
@@ -223,7 +254,13 @@ func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p 
 			}
 		}
 		if !picked {
-			next = randomUnmeasured(sp, measured, rng)
+			c, ok := randomUnmeasured(sp, measured, rng)
+			if !ok {
+				// The space is effectively exhausted: a re-measurement would
+				// only duplicate a known sample and burn a budget step.
+				break
+			}
+			next = c
 		}
 
 		g, valid := measure(next)
@@ -288,17 +325,19 @@ func globalPool(sp *space.Space, n int, measured map[uint64]bool, rng *rand.Rand
 	return out
 }
 
-// randomUnmeasured draws a uniform configuration not yet measured, giving
-// up after a bounded number of rejections (returning a possibly-measured
-// point only when the space is effectively exhausted).
-func randomUnmeasured(sp *space.Space, measured map[uint64]bool, rng *rand.Rand) space.Config {
+// randomUnmeasured draws a uniform configuration not yet measured. Like
+// session.randomUnvisited it reports ok=false after a bounded number of
+// rejections instead of handing back an already-measured point: the space
+// is then effectively exhausted and the caller must stop rather than append
+// a duplicate sample.
+func randomUnmeasured(sp *space.Space, measured map[uint64]bool, rng *rand.Rand) (space.Config, bool) {
 	for i := 0; i < 256; i++ {
 		c := sp.Random(rng)
 		if !measured[c.Flat()] {
-			return c
+			return c, true
 		}
 	}
-	return sp.Random(rng)
+	return space.Config{}, false
 }
 
 // Best returns the best valid sample of a run, and ok=false when every

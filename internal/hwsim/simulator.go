@@ -74,13 +74,34 @@ func (s *Simulator) ResetCount() {
 
 // Measure deploys (workload, config) once and returns the noisy result.
 // Invalid configurations consume budget and return an error measurement,
-// exactly as failed on-chip compilations do under AutoTVM.
+// exactly as failed on-chip compilations do under AutoTVM. The noise draw
+// comes from the simulator's shared stream, so results depend on the global
+// measurement order; order-independent callers use MeasureSeeded.
 func (s *Simulator) Measure(w tensor.Workload, c space.Config) Measurement {
 	s.mu.Lock()
 	s.count++
 	z := s.rng.NormFloat64()
 	s.mu.Unlock()
+	return s.finish(w, c, z)
+}
 
+// MeasureSeeded deploys (workload, config) once like Measure, but draws the
+// run-to-run noise from the explicit per-call seed instead of the shared
+// stream. Two calls with the same (workload, config, seed) return bit-equal
+// measurements no matter how many other measurements ran in between or on
+// which goroutine — the property the deterministic parallel measurement
+// engine is built on (see DESIGN.md, "Seed splitting"). The measurement
+// counter is still shared and still increments.
+func (s *Simulator) MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) Measurement {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	z := rand.New(rand.NewSource(noiseSeed)).NormFloat64()
+	return s.finish(w, c, z)
+}
+
+// finish layers the noise draw z on the deterministic estimate.
+func (s *Simulator) finish(w tensor.Workload, c space.Config, z float64) Measurement {
 	e := s.est.Estimate(w, c)
 	if !e.Valid {
 		return Measurement{Valid: false, Error: e.Reason}
@@ -91,6 +112,21 @@ func (s *Simulator) Measure(w tensor.Workload, c space.Config) Measurement {
 		TimeMS: t,
 		GFLOPS: float64(w.FLOPs()) / (t * 1e6),
 	}
+}
+
+// NoiseSeed derives the per-measurement noise seed of a configuration from
+// the run seed: a splitmix64-style finalizer over (runSeed, flat). The value
+// depends only on its two inputs — never on measurement order or worker
+// assignment — which makes every seeded measurement of a run reproducible
+// in isolation.
+func NoiseSeed(runSeed int64, flat uint64) int64 {
+	x := uint64(runSeed) ^ (flat * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Deployment binds one tuned task to the number of graph nodes that share

@@ -8,6 +8,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -164,17 +166,39 @@ func (DistanceKernel) Eval(a, b []float64) float64 { return Dist(a, b) }
 // Name implements Kernel.
 func (DistanceKernel) Name() string { return "euclidean" }
 
+// gramParallelThreshold is the matrix order below which GramMatrix stays
+// serial: the O(n²) kernel evaluations of a small matrix cost less than
+// spinning up the pool.
+const gramParallelThreshold = 128
+
 // GramMatrix builds the |V| x |V| kernel matrix over the given vectors.
 // The result is symmetric; only the upper triangle is computed directly.
+// Large matrices (the TED/BTED batches) are computed with a row-block
+// worker pool; see GramMatrixParallel.
 func GramMatrix(vecs [][]float64, k Kernel) *Matrix {
+	workers := 1
+	if len(vecs) >= gramParallelThreshold {
+		workers = par.Workers()
+	}
+	return GramMatrixParallel(vecs, k, workers)
+}
+
+// GramMatrixParallel is GramMatrix with an explicit worker count. Rows of
+// the upper triangle are distributed over the pool; each (i, j) pair is
+// evaluated exactly once and written to its two mirror slots by exactly one
+// worker, so the result is bit-identical for every workers value. The
+// kernel must be safe for concurrent Eval calls (all in-repo kernels are
+// stateless value types).
+func GramMatrixParallel(vecs [][]float64, k Kernel, workers int) *Matrix {
 	n := len(vecs)
 	m := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	par.For(n, workers, func(i int) {
+		vi := vecs[i]
 		for j := i; j < n; j++ {
-			v := k.Eval(vecs[i], vecs[j])
+			v := k.Eval(vi, vecs[j])
 			m.Set(i, j, v)
 			m.Set(j, i, v)
 		}
-	}
+	})
 	return m
 }

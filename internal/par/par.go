@@ -1,0 +1,58 @@
+// Package par provides the tiny deterministic-parallelism primitives shared
+// by the measurement engine, the active-learning core and the linear-algebra
+// kernels: a bounded worker pool over an index range.
+//
+// The package enforces no determinism by itself; callers get bit-identical
+// results for any worker count by following two rules that every user in
+// this repository obeys:
+//
+//  1. the work function f(i) writes only to index-addressed slots (results[i],
+//     matrix rows) and reads only immutable inputs, so no result depends on
+//     scheduling order, and
+//  2. any randomness f needs is drawn (or seeded) serially before the pool
+//     starts, so the caller's RNG stream is identical to a serial run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker-pool size: GOMAXPROCS at call time.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs f(0), f(1), ..., f(n-1) across at most workers goroutines and
+// returns when all calls have finished. workers <= 1 (or n <= 1) degrades to
+// a plain serial loop on the calling goroutine. Work is distributed by an
+// atomic counter, so uneven per-index costs self-balance.
+func For(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

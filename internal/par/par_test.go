@@ -1,0 +1,53 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 8, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("f called for empty range")
+	}
+}
+
+func TestForIndexAddressedWritesAreDeterministic(t *testing.T) {
+	// The usage contract: writes to out[i] only. Any worker count must
+	// produce the identical slice.
+	build := func(workers int) []int {
+		out := make([]int, 1000)
+		For(len(out), workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	ref := build(1)
+	for _, w := range []int{2, 7, 16} {
+		got := build(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -37,26 +37,57 @@ type History struct {
 func NewHistory() *History { return &History{} }
 
 // Add contributes the valid samples of a finished tuning run under the
-// given task key. Invalid samples are recorded with target 0 (they teach
-// the model which regions fail to launch).
+// given task key. Invalid samples are recorded with target exactly 0 (they
+// teach the model which regions fail to launch); valid samples get their
+// rank among the valid set mapped to (0, 1] with the best at 1 — the scale
+// contract of transferTargets.
 func (h *History) Add(task string, op tensor.OpKind, samples []active.Sample) {
 	if len(samples) == 0 {
 		return
 	}
 	X := make([][]float64, 0, len(samples))
-	raw := make([]float64, 0, len(samples))
 	for _, s := range samples {
 		X = append(X, s.Config.Features())
-		if s.Valid {
-			raw = append(raw, s.GFLOPS)
-		} else {
-			raw = append(raw, 0)
-		}
 	}
-	y := rankNormalize(raw)
+	y := transferTargets(samples)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.entries = append(h.entries, entry{task: task, op: op, X: X, y: y})
+}
+
+// transferTargets maps samples onto the target scale cost models use for
+// their own observations (GFLOPS normalized by the task best: invalid = 0,
+// valid in (0, 1] with the best at 1). Absolute GFLOPS do not transfer
+// across shapes, so valid samples contribute their average rank among the
+// valid set, mapped to (0, 1]; invalid samples contribute exactly 0 rather
+// than a tied low rank — previously a run with many failures assigned
+// failing regions a strictly positive averaged rank (e.g. 0.25 with half
+// the samples invalid), teaching warm-started models that launch failures
+// were mediocre rather than worthless.
+func transferTargets(samples []active.Sample) []float64 {
+	validVals := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.Valid {
+			validVals = append(validVals, s.GFLOPS)
+		}
+	}
+	out := make([]float64, len(samples))
+	if len(validVals) == 0 {
+		return out
+	}
+	// rankNormalize spans [0, 1]; shift to (0, 1] so the worst valid sample
+	// still outranks a launch failure.
+	ranks := rankNormalize(validVals)
+	nv := float64(len(validVals))
+	vi := 0
+	for i, s := range samples {
+		if !s.Valid {
+			continue
+		}
+		out[i] = (ranks[vi]*(nv-1) + 1) / nv
+		vi++
+	}
+	return out
 }
 
 // NumTasks returns how many task histories have been recorded.

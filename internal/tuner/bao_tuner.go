@@ -39,11 +39,13 @@ func (t *AdvancedTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	s := newSession(task, m, opts)
 
 	// ---- Initialization: BTED (Algorithms 1 & 2) ---------------------------
+	// The initialization set is measured as one deterministic parallel
+	// batch; the BAO stage below is inherently sequential (each step's
+	// neighborhood depends on the previous measurement), so it deploys one
+	// configuration at a time regardless of Workers.
 	bp := t.BTED
 	bp.M0 = opts.PlanSize
-	for _, c := range active.BTED(task.Space, bp, rng) {
-		s.measure(c)
-	}
+	s.measureBatch(active.BTED(task.Space, bp, rng))
 
 	// ---- Iterative optimization: BAO (Algorithms 3 & 4) --------------------
 	trainer := t.Trainer

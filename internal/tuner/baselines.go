@@ -21,11 +21,15 @@ func (RandomTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	s := newSession(task, m, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for !s.exhausted() {
-		c, ok := s.randomUnvisited(rng)
-		if !ok {
+		n := opts.Budget - len(s.samples)
+		if n > opts.PlanSize {
+			n = opts.PlanSize
+		}
+		batch := s.randomBatch(rng, n)
+		if len(batch) == 0 {
 			break
 		}
-		s.measure(c)
+		s.measureBatch(batch)
 	}
 	return s.result("random")
 }
@@ -47,9 +51,23 @@ func (GridTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	s := newSession(task, m, opts)
 	size := task.Space.Size()
 	step := goldenStep(size)
-	for i := uint64(0); i < uint64(opts.Budget) && !s.exhausted(); i++ {
-		s.measure(task.Space.FromFlat((i * step) % size))
+	// The golden-ratio sweep is a permutation of the space: after Size()
+	// iterations every flat index has been visited once and further
+	// iterations would only revisit configs as silent no-ops, so the sweep
+	// is capped at the space size, not just the budget.
+	limit := uint64(opts.Budget)
+	if size < limit {
+		limit = size
 	}
+	batch := make([]space.Config, 0, opts.PlanSize)
+	for i := uint64(0); i < limit && !s.exhausted(); i++ {
+		batch = append(batch, task.Space.FromFlat((i*step)%size))
+		if len(batch) == opts.PlanSize {
+			s.measureBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	s.measureBatch(batch)
 	return s.result("grid")
 }
 
@@ -111,10 +129,7 @@ func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
 	s := newSession(task, m, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	pop := task.Space.RandomSample(g.PopSize, rng)
-	for _, c := range pop {
-		s.measure(c)
-	}
+	s.measureBatch(task.Space.RandomSample(g.PopSize, rng))
 	for !s.exhausted() {
 		before := len(s.samples)
 		// Rank all known samples (including resumed ones) by fitness.
@@ -129,20 +144,26 @@ func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
 		}
 		elite := scored[:eliteN]
 
-		for i := 0; i < g.PopSize && !s.exhausted(); i++ {
+		// Plan the whole generation serially, then measure it as one batch.
+		batch := make([]space.Config, 0, g.PopSize)
+		planned := make(map[uint64]bool, g.PopSize)
+		for i := 0; i < g.PopSize; i++ {
 			a := elite[rng.Intn(len(elite))].Config
 			b := elite[rng.Intn(len(elite))].Config
 			child := crossover(task.Space, a, b, rng)
 			mutateKnobs(task.Space, child, g.MutateProb, rng)
-			if s.visited[child.Flat()] {
-				if c, ok := s.randomUnvisited(rng); ok {
-					child = c
-				} else {
+			f := child.Flat()
+			if s.visited[f] || planned[f] {
+				c, ok := s.randomUnvisited(rng, planned)
+				if !ok {
 					break
 				}
+				child, f = c, c.Flat()
 			}
-			s.measure(child)
+			planned[f] = true
+			batch = append(batch, child)
 		}
+		s.measureBatch(batch)
 		if len(s.samples) == before {
 			break // space effectively exhausted; nothing new to measure
 		}

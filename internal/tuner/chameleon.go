@@ -54,9 +54,7 @@ func (t *ChameleonTuner) Tune(task *Task, m Measurer, opts Options) Result {
 		mf = 0.5
 	}
 
-	for _, c := range active.RandomInit(task.Space, opts.PlanSize, rng) {
-		s.measure(c)
-	}
+	s.measureBatch(active.RandomInit(task.Space, opts.PlanSize, rng))
 	for !s.exhausted() {
 		before := len(s.samples)
 		model := t.Inner.trainModel(task, s, rng)
@@ -72,19 +70,19 @@ func (t *ChameleonTuner) Tune(task *Task, m Measurer, opts Options) Result {
 			proposals := sa.FindMaxima(task.Space, obj, pf*opts.PlanSize, s.visited, t.Inner.SA, rng)
 			batch = adaptiveSample(proposals, int(mf*float64(opts.PlanSize)), rng)
 		}
+		planned := make(map[uint64]bool, len(batch))
+		for _, c := range batch {
+			planned[c.Flat()] = true
+		}
 		for len(batch) < int(mf*float64(opts.PlanSize)) {
-			rc, ok := s.randomUnvisited(rng)
+			rc, ok := s.randomUnvisited(rng, planned)
 			if !ok {
 				break
 			}
+			planned[rc.Flat()] = true
 			batch = append(batch, rc)
 		}
-		for _, c := range batch {
-			if s.exhausted() {
-				break
-			}
-			s.measure(c)
-		}
+		s.measureBatch(batch)
 		if len(s.samples) == before {
 			break
 		}

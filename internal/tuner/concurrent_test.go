@@ -28,6 +28,45 @@ func (m *countingMeasurer) count() int {
 	return m.n
 }
 
+// TestMeasurementPoolConcurrent runs the real tuners with a wide worker
+// pool against the simulator. Under -race this validates the whole seeded
+// batch path: plan-time visited marking, pooled MeasureSeeded calls and the
+// ordered fold-back into session state.
+func TestMeasurementPoolConcurrent(t *testing.T) {
+	task := testTask(t)
+	for _, tn := range allTuners() {
+		opts := quickOpts(64, 37)
+		opts.Workers = 8
+		res := tn.Tune(task, sim(9), opts)
+		if res.Measurements == 0 || len(res.Samples) != res.Measurements {
+			t.Fatalf("%s: inconsistent result under workers=8: %d measurements, %d samples",
+				tn.Name(), res.Measurements, len(res.Samples))
+		}
+	}
+}
+
+// TestMeasurementPoolConcurrentFlaky layers failure injection on top of the
+// pool so the flaky seeded path also runs under -race.
+func TestMeasurementPoolConcurrentFlaky(t *testing.T) {
+	task := testTask(t)
+	opts := quickOpts(64, 41)
+	opts.Workers = 8
+	flaky := NewFlakyMeasurer(sim(10), 0.2, 5)
+	res := NewAutoTVM().Tune(task, flaky, opts)
+	if res.Measurements == 0 {
+		t.Fatal("no measurements under flaky pool")
+	}
+	invalid := 0
+	for _, s := range res.Samples {
+		if !s.Valid {
+			invalid++
+		}
+	}
+	if invalid < flaky.Failures() {
+		t.Fatalf("recorded %d invalid samples but injected %d failures", invalid, flaky.Failures())
+	}
+}
+
 // TestFlakyMeasurerConcurrent drives one FlakyMeasurer from many
 // goroutines. Under -race this validates the lock around the failure RNG;
 // in any mode injected failures plus forwarded measurements must account

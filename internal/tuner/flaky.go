@@ -42,6 +42,25 @@ func (f *FlakyMeasurer) Measure(w tensor.Workload, c space.Config) hwsim.Measure
 	return f.Inner.Measure(w, c)
 }
 
+// MeasureSeeded implements SeededMeasurer: the failure decision derives
+// from the per-call seed (not the wrapper's shared stream), so injection is
+// order- and worker-count-independent. The seed is remixed before the draw
+// so the failure coin is decorrelated from the measurement-noise draw that
+// shares the same seed downstream. The forwarded measurement is
+// order-independent only when Inner is itself a SeededMeasurer.
+func (f *FlakyMeasurer) MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement {
+	if rand.New(rand.NewSource(noiseSeed^0x5DEECE66D)).Float64() < f.FailProb {
+		f.mu.Lock()
+		f.fails++
+		f.mu.Unlock()
+		return hwsim.Measurement{Valid: false, Error: "injected measurement failure"}
+	}
+	if sm, ok := f.Inner.(SeededMeasurer); ok {
+		return sm.MeasureSeeded(w, c, noiseSeed)
+	}
+	return f.Inner.Measure(w, c)
+}
+
 // Failures returns how many measurements were dropped.
 func (f *FlakyMeasurer) Failures() int {
 	f.mu.Lock()

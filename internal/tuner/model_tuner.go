@@ -94,9 +94,7 @@ func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	} else {
 		init = active.RandomInit(task.Space, opts.PlanSize, rng)
 	}
-	for _, c := range init {
-		s.measure(c)
-	}
+	s.measureBatch(init)
 
 	// ---- Iterative optimization stage --------------------------------------
 	eps := t.Epsilon
@@ -117,35 +115,41 @@ func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
 			cands = sa.FindMaxima(task.Space, obj, opts.PlanSize, s.visited, t.SA, rng)
 		}
 		// Epsilon-greedy exploration plus padding when SA under-delivers.
+		// The batch is planned serially (all RNG draws happen here), then
+		// measured as one deterministic parallel batch.
 		batch := make([]space.Config, 0, opts.PlanSize)
+		planned := make(map[uint64]bool, opts.PlanSize)
+		add := func(c space.Config) {
+			f := c.Flat()
+			if s.visited[f] || planned[f] {
+				return
+			}
+			planned[f] = true
+			batch = append(batch, c)
+		}
 		for _, c := range cands {
 			if len(batch) >= opts.PlanSize {
 				break
 			}
 			if rng.Float64() < eps {
-				if rc, ok := s.randomUnvisited(rng); ok {
-					batch = append(batch, rc)
+				if rc, ok := s.randomUnvisited(rng, planned); ok {
+					add(rc)
 					continue
 				}
 			}
-			batch = append(batch, c)
+			add(c)
 		}
 		for len(batch) < opts.PlanSize {
-			rc, ok := s.randomUnvisited(rng)
+			rc, ok := s.randomUnvisited(rng, planned)
 			if !ok {
 				break
 			}
-			batch = append(batch, rc)
+			add(rc)
 		}
 		if len(batch) == 0 {
 			break
 		}
-		for _, c := range batch {
-			if s.exhausted() {
-				break
-			}
-			s.measure(c)
-		}
+		s.measureBatch(batch)
 	}
 	return s.result(t.Name())
 }

@@ -1,7 +1,11 @@
 package tuner
 
 import (
+	"math/rand"
 	"testing"
+
+	"repro/internal/active"
+	"repro/internal/transfer"
 )
 
 func TestModelTunerRankObjective(t *testing.T) {
@@ -24,6 +28,53 @@ func TestModelTunerRankObjective(t *testing.T) {
 	}
 	if same {
 		t.Fatal("rank objective should change the search trajectory")
+	}
+}
+
+// TestTransferWarmStartScaleContract pins the scale on which transfer rows
+// reach trainModel. The tuner normalizes its own observations to
+// GFLOPS/yMax — invalid exactly 0, valid in (0, 1] with the task best at 1 —
+// and warm-start targets must live on the same scale, rank-preserving:
+// mixing the two training sets is only sound if a "good" transferred row
+// cannot outrank the task's own best or sit below a launch failure.
+func TestTransferWarmStartScaleContract(t *testing.T) {
+	task := testTask(t)
+	rng := rand.New(rand.NewSource(1))
+	cfgs := task.Space.RandomSample(6, rng)
+	samples := []active.Sample{
+		{Config: cfgs[0], GFLOPS: 100, Valid: true},
+		{Config: cfgs[1], GFLOPS: 0, Valid: false},
+		{Config: cfgs[2], GFLOPS: 300, Valid: true},
+		{Config: cfgs[3], GFLOPS: 200, Valid: true},
+		{Config: cfgs[4], GFLOPS: 0, Valid: false},
+		{Config: cfgs[5], GFLOPS: 400, Valid: true},
+	}
+	h := transfer.NewHistory()
+	h.Add("src", task.Workload.Op, samples)
+	_, y := h.WarmStart(task.Workload.Op, "other-task", 100)
+	if len(y) != len(samples) {
+		t.Fatalf("WarmStart returned %d targets, want %d", len(y), len(samples))
+	}
+	// Invalid samples must contribute exactly 0 — the regression this pins:
+	// averaged tied ranks previously gave launch failures strictly positive
+	// targets, teaching warm-started models that failures were mediocre.
+	for _, i := range []int{1, 4} {
+		if y[i] != 0 {
+			t.Fatalf("invalid sample %d got target %v, want exactly 0", i, y[i])
+		}
+	}
+	// Valid samples must land in (0, 1] with the best at exactly 1 and rank
+	// order preserved, matching the tuner's own GFLOPS/yMax target scale.
+	for _, i := range []int{0, 2, 3, 5} {
+		if y[i] <= 0 || y[i] > 1 {
+			t.Fatalf("valid sample %d got target %v outside (0, 1]", i, y[i])
+		}
+	}
+	if y[5] != 1 {
+		t.Fatalf("best valid sample got target %v, want exactly 1", y[5])
+	}
+	if !(y[0] < y[3] && y[3] < y[2] && y[2] < y[5]) {
+		t.Fatalf("targets %v do not preserve the GFLOPS rank order 100<200<300<400", y)
 	}
 }
 

@@ -10,10 +10,12 @@ package tuner
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/active"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
+	"repro/internal/par"
 	"repro/internal/space"
 	"repro/internal/tensor"
 	"repro/internal/transfer"
@@ -54,6 +56,19 @@ type Measurer interface {
 	Measure(w tensor.Workload, c space.Config) hwsim.Measurement
 }
 
+// SeededMeasurer is the contract of the deterministic parallel measurement
+// engine: MeasureSeeded must return a result that depends only on
+// (workload, config, noiseSeed) — never on call order or the calling
+// goroutine — and must be safe for concurrent use. When a session's Measurer
+// implements it, every measurement's seed is derived from
+// hwsim.NoiseSeed(Options.Seed, config.Flat()), so a batch measured by any
+// number of workers folds back into exactly the samples a serial run
+// records. *hwsim.Simulator and *FlakyMeasurer implement it.
+type SeededMeasurer interface {
+	Measurer
+	MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement
+}
+
 // Observer receives every measurement as it happens (step is 1-based).
 type Observer func(step int, s active.Sample)
 
@@ -78,6 +93,12 @@ type Options struct {
 	// from a record log): they are never re-measured and do not consume
 	// budget, but model-based tuners train on them from the first round.
 	Resume []active.Sample
+	// Workers sizes the measurement worker pool used for planned batches
+	// (default GOMAXPROCS). When the Measurer implements SeededMeasurer,
+	// Result.Samples are bit-identical for every Workers value under the
+	// same Seed; with a plain Measurer batches fall back to serial
+	// measurement so the shared noise stream keeps its order.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -89,6 +110,9 @@ func (o Options) normalized() Options {
 	}
 	if o.PlanSize <= 0 {
 		o.PlanSize = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -116,6 +140,7 @@ type Tuner interface {
 type session struct {
 	task    *Task
 	m       Measurer
+	seeded  SeededMeasurer // non-nil when m supports per-call noise seeds
 	opts    Options
 	prior   []active.Sample // resumed samples: training data, not budget
 	samples []active.Sample
@@ -127,6 +152,9 @@ type session struct {
 
 func newSession(task *Task, m Measurer, opts Options) *session {
 	s := &session{task: task, m: m, opts: opts, visited: make(map[uint64]bool, opts.Budget)}
+	if sm, ok := m.(SeededMeasurer); ok {
+		s.seeded = sm
+	}
 	for _, p := range opts.Resume {
 		s.visited[p.Config.Flat()] = true
 		s.prior = append(s.prior, p)
@@ -152,18 +180,23 @@ func (s *session) exhausted() bool {
 	return s.done || len(s.samples) >= s.opts.Budget
 }
 
-// measure deploys one configuration, records it, and updates the stopping
-// state. Already-visited configs are skipped silently (no budget cost).
-func (s *session) measure(c space.Config) {
-	if s.exhausted() {
+// measureRaw deploys one configuration without touching session state,
+// preferring the order-independent seeded path when the measurer offers it.
+// It is the only method of the session safe to call from pool goroutines.
+func (s *session) measureRaw(c space.Config) hwsim.Measurement {
+	if s.seeded != nil {
+		return s.seeded.MeasureSeeded(s.task.Workload, c, hwsim.NoiseSeed(s.opts.Seed, c.Flat()))
+	}
+	return s.m.Measure(s.task.Workload, c)
+}
+
+// record appends one finished measurement and updates the stopping state.
+// Calls after early stopping are dropped, so a batch that trips the
+// threshold mid-fold never records its tail.
+func (s *session) record(c space.Config, mr hwsim.Measurement) {
+	if s.done {
 		return
 	}
-	f := c.Flat()
-	if s.visited[f] {
-		return
-	}
-	s.visited[f] = true
-	mr := s.m.Measure(s.task.Workload, c)
 	sample := active.Sample{Config: c, GFLOPS: mr.GFLOPS, Valid: mr.Valid}
 	s.samples = append(s.samples, sample)
 	if s.opts.Observer != nil {
@@ -177,6 +210,72 @@ func (s *session) measure(c space.Config) {
 	}
 	if s.opts.EarlyStop > 0 && s.since >= s.opts.EarlyStop {
 		s.done = true
+	}
+}
+
+// measure deploys one configuration, records it, and updates the stopping
+// state. Already-visited configs are skipped silently (no budget cost).
+func (s *session) measure(c space.Config) {
+	if s.exhausted() {
+		return
+	}
+	f := c.Flat()
+	if s.visited[f] {
+		return
+	}
+	s.visited[f] = true
+	s.record(c, s.measureRaw(c))
+}
+
+// measureBatch deploys a planned batch, concurrently when the measurer
+// supports per-call seeds, and folds the results back in submission order:
+// samples, observer callbacks and early-stopping decisions are exactly those
+// of a serial sweep over the same plan, for any Workers value. The plan is
+// deduplicated against the visited set (and within itself) and capped at the
+// remaining budget before any measurement is issued, mirroring how a
+// measurement farm deploys a planned AutoTVM batch.
+func (s *session) measureBatch(batch []space.Config) {
+	if s.exhausted() || len(batch) == 0 {
+		return
+	}
+	plan := make([]space.Config, 0, len(batch))
+	for _, c := range batch {
+		if len(s.samples)+len(plan) >= s.opts.Budget {
+			break
+		}
+		f := c.Flat()
+		if s.visited[f] {
+			continue
+		}
+		s.visited[f] = true
+		plan = append(plan, c)
+	}
+	if len(plan) == 0 {
+		return
+	}
+	if s.seeded == nil {
+		// Shared-stream measurer: noise depends on global order, so the
+		// batch must stay serial (and stop measuring once early-stopped).
+		for _, c := range plan {
+			if s.done {
+				return
+			}
+			s.record(c, s.m.Measure(s.task.Workload, c))
+		}
+		return
+	}
+	// Seeded path: every planned config is measured — matching what a farm
+	// already has in flight when early stopping trips — and the fold below
+	// discards anything past the stopping point.
+	results := make([]hwsim.Measurement, len(plan))
+	par.For(len(plan), s.opts.Workers, func(i int) {
+		results[i] = s.measureRaw(plan[i])
+	})
+	for i, c := range plan {
+		if s.done {
+			return
+		}
+		s.record(c, results[i])
 	}
 }
 
@@ -199,13 +298,32 @@ func (s *session) result(tunerName string) Result {
 	}
 }
 
-// randomUnvisited draws a uniform configuration not yet measured.
-func (s *session) randomUnvisited(rng *rand.Rand) (space.Config, bool) {
+// randomUnvisited draws a uniform configuration not yet measured and not in
+// planned (the current batch under construction; nil is fine).
+func (s *session) randomUnvisited(rng *rand.Rand, planned map[uint64]bool) (space.Config, bool) {
 	for i := 0; i < 512; i++ {
 		c := s.task.Space.Random(rng)
-		if !s.visited[c.Flat()] {
+		f := c.Flat()
+		if !s.visited[f] && !planned[f] {
 			return c, true
 		}
 	}
 	return space.Config{}, false
+}
+
+// randomBatch plans up to n distinct unvisited configurations. The draw is
+// serial on the caller's RNG, so the plan — and therefore the whole run —
+// does not depend on how many workers later measure it.
+func (s *session) randomBatch(rng *rand.Rand, n int) []space.Config {
+	out := make([]space.Config, 0, n)
+	planned := make(map[uint64]bool, n)
+	for len(out) < n {
+		c, ok := s.randomUnvisited(rng, planned)
+		if !ok {
+			break
+		}
+		planned[c.Flat()] = true
+		out = append(out, c)
+	}
+	return out
 }

@@ -247,6 +247,28 @@ func TestTinySpaceExhaustion(t *testing.T) {
 	}
 }
 
+// TestGridTunerExhaustsSmallSpace is the regression test for the
+// budget-accounting bug where GridTuner looped Budget times on a space
+// smaller than the budget, silently revisiting configurations as no-ops.
+// The sweep must now cap at Space.Size(): every config measured exactly
+// once, then stop.
+func TestGridTunerExhaustsSmallSpace(t *testing.T) {
+	sp := space.New(space.NewEnumKnob("a", 0, 1, 2), space.NewEnumKnob("b", 0, 1))
+	task := &Task{Name: "tiny", Workload: tensor.Conv2D(1, 4, 8, 8, 4, 3, 1, 1), Space: sp, Count: 1}
+	res := GridTuner{}.Tune(task, sim(15), quickOpts(100, 1))
+	if res.Measurements != 6 {
+		t.Fatalf("grid measured %d configs in a 6-point space, want exactly 6", res.Measurements)
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range res.Samples {
+		f := s.Config.Flat()
+		if seen[f] {
+			t.Fatalf("grid measured config %d twice", f)
+		}
+		seen[f] = true
+	}
+}
+
 func TestBTEDTunerUsesBTEDInit(t *testing.T) {
 	// BTED and AutoTVM differ only in initialization: with the same seed
 	// their first PlanSize samples must differ (BTED selects, random draws).
