@@ -12,15 +12,16 @@ test:
 
 # Race-detector pass over the concurrent measurement machinery
 # (hwsim.Simulator, transfer.History, the tuner worker pool, par,
-# parallel bootstrap training and Gram assembly).
+# the backend wrappers, parallel bootstrap training and Gram assembly).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
-# must yield bit-identical samples for every tuner.
+# must yield bit-identical samples for every tuner, and a cancelled or
+# deadline-expired run must return a bit-identical prefix of them.
 determinism:
-	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par
+	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext' \
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend
 
 # Serial-vs-parallel wall clock on a fixed 8-task tuning run; also fails
 # if the two legs' samples diverge. Writes BENCH_tune.json.

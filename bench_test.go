@@ -10,10 +10,12 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/repro"
@@ -33,7 +35,7 @@ func benchmarkFig4(b *testing.B, panel int) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(2021 + i))
 		cfg.EarlyStop = -1
-		results, err := repro.Fig4(cfg)
+		results, err := repro.Fig4(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func Benchmark_Fig4_T2(b *testing.B) { benchmarkFig4(b, 1) }
 func Benchmark_Fig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(77 + i))
-		res, err := repro.Fig5(cfg)
+		res, err := repro.Fig5(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +71,7 @@ func Benchmark_Fig5(b *testing.B) {
 func benchmarkTable1(b *testing.B, model string) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(11 + i))
-		res, err := repro.Table1(cfg, []string{model})
+		res, err := repro.Table1(context.Background(), cfg, []string{model})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +96,7 @@ func Benchmark_Ablation_Gamma(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(5 + i))
 		cfg.Budget = 96
-		res, err := repro.AblationGamma(cfg)
+		res, err := repro.AblationGamma(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func Benchmark_Ablation_Init(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(int64(6 + i))
 		cfg.Budget = 96
-		res, err := repro.AblationInit(cfg)
+		res, err := repro.AblationInit(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,10 +228,13 @@ func Benchmark_EndToEnd_Quickstart(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), int64(i))
-		res := tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+		bk := backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), int64(i)))
+		res, err := tuner.NewBTEDBAO().Tune(context.Background(), task, bk, tuner.Options{
 			Budget: 96, EarlyStop: -1, PlanSize: 24, Seed: int64(i),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.Found {
 			b.Fatal("nothing found")
 		}

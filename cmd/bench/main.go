@@ -18,18 +18,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/par"
+	"repro/internal/record"
 	"repro/internal/tuner"
 )
 
@@ -60,7 +64,10 @@ func main() {
 	out := flag.String("out", "BENCH_tune.json", "output JSON path")
 	flag.Parse()
 
-	if err := run(*model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *out); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -86,18 +93,22 @@ func benchTasks(model string, n int) ([]*tuner.Task, error) {
 
 // leg tunes every task with the given task-level and measurement-level
 // parallelism and returns the results in task order plus the wall-clock.
-func leg(tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskWorkers, measureWorkers int) ([]tuner.Result, time.Duration, error) {
+func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskWorkers, measureWorkers int) ([]tuner.Result, time.Duration, error) {
 	results := make([]tuner.Result, len(tasks))
 	errs := make([]error, len(tasks))
 	start := time.Now()
-	par.For(len(tasks), taskWorkers, func(i int) {
+	done := par.ForContext(ctx, len(tasks), taskWorkers, func(i int) {
 		tn, err := newTuner(tunerName)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), seed+int64(i))
-		results[i] = tn.Tune(tasks[i], sim, tuner.Options{
+		b, err := backend.New("gtx1080ti", seed+int64(i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = tn.Tune(ctx, tasks[i], b, tuner.Options{
 			Budget:    budget,
 			EarlyStop: -1,
 			PlanSize:  plan,
@@ -106,6 +117,9 @@ func leg(tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, ta
 		})
 	})
 	elapsed := time.Since(start)
+	if done < len(tasks) {
+		return nil, 0, ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, 0, err
@@ -147,7 +161,7 @@ func sameSamples(a, b []active.Sample) bool {
 	return true
 }
 
-func run(model, tunerName string, nTasks, budget, plan int, seed int64, workers int, out string) error {
+func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers int, out string) error {
 	tasks, err := benchTasks(model, nTasks)
 	if err != nil {
 		return err
@@ -155,13 +169,13 @@ func run(model, tunerName string, nTasks, budget, plan int, seed int64, workers 
 	fmt.Printf("benchmarking %s on %d %s tasks (budget %d, plan %d, GOMAXPROCS %d)\n",
 		tunerName, nTasks, model, budget, plan, runtime.GOMAXPROCS(0))
 
-	serial, serialDur, err := leg(tasks, tunerName, budget, plan, seed, 1, 1)
+	serial, serialDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, 1, 1)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serial   (tasks x1, workers 1): %8.1f ms\n", float64(serialDur.Microseconds())/1000)
 
-	parRes, parDur, err := leg(tasks, tunerName, budget, plan, seed, workers, workers)
+	parRes, parDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, workers, workers)
 	if err != nil {
 		return err
 	}
@@ -195,7 +209,9 @@ func run(model, tunerName string, nTasks, budget, plan int, seed int64, workers 
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+	// Atomic rename: a reader (or an interrupted run) never sees a partial
+	// report file.
+	if err := record.WriteFileAtomic(out, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("speedup %.2fx, identical samples: %v; wrote %s\n", r.Speedup, identical, out)

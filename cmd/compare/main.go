@@ -3,9 +3,13 @@
 // the paper's Fig. 4.
 //
 // Every (tuner, seed) cell of the grid is an independent run with its own
-// simulator, so the grid executes on a worker pool (-parallel) while the
+// run seed, so the grid executes on a worker pool (-parallel) while the
 // averaged traces are folded in fixed seed order afterwards: the printed
-// numbers are bit-identical for any -parallel value.
+// numbers are bit-identical for any -parallel value. All cells share one
+// memoizing measurement backend: a configuration measured by one tuner at a
+// given seed is never re-simulated when another tuner visits it (the BTED
+// and BTED+BAO arms share their entire initialization set, for instance),
+// which the final cache line quantifies.
 //
 // Usage:
 //
@@ -14,14 +18,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/backend"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/tensor"
@@ -32,7 +40,7 @@ func main() {
 	model := flag.String("model", "mobilenet-v1", "model to extract the task from")
 	taskIdx := flag.Int("task", 1, "1-based task index within the model")
 	workload := flag.String("workload", "", "explicit workload instead of -model/-task: conv2d:N,C,H,W,F,K,S,P | depthwise:N,C,H,W,K,S,P | dense:N,CIn,COut")
-	device := flag.String("device", "gtx1080ti", "simulated device: gtx1080ti | v100 | gtx1060 | jetsontx2")
+	device := flag.String("device", "gtx1080ti", "simulated device: "+strings.Join(backend.Devices(), " | "))
 	budget := flag.Int("budget", 512, "measurement budget")
 	plan := flag.Int("plan", 32, "batch/init size")
 	seeds := flag.Int("seeds", 2, "number of seeds to average")
@@ -42,7 +50,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "(tuner, seed) runs executed concurrently (<=0: GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*model, *taskIdx, *workload, *device, *budget, *plan, *seeds, *tuners, *chart, *workers, *parallel); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *model, *taskIdx, *workload, *device, *budget, *plan, *seeds, *tuners, *chart, *workers, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)
 		os.Exit(1)
 	}
@@ -103,12 +114,7 @@ func newTuner(name string) (tuner.Tuner, error) {
 	}
 }
 
-func run(model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool, workers, parallel int) error {
-	dev, ok := hwsim.DeviceByName(deviceName)
-	if !ok {
-		return fmt.Errorf("unknown device %q", deviceName)
-	}
-
+func run(ctx context.Context, model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool, workers, parallel int) error {
 	var task *tuner.Task
 	if workloadSpec != "" {
 		w, err := parseWorkload(workloadSpec)
@@ -136,8 +142,17 @@ func run(model string, taskIdx int, workloadSpec, deviceName string, budget, pla
 		task = t
 	}
 
+	// One memoizing backend serves the whole grid: seeded measurement is a
+	// pure function of (workload, config, noise seed), so revisits across
+	// tuners and rounds hit the cache instead of the simulator.
+	sim, err := backend.New(deviceName, 0)
+	if err != nil {
+		return err
+	}
+	cache := backend.NewCache(sim)
+
 	fmt.Printf("task %s on %s\nworkload %s\nspace %d configurations\n\n",
-		task.Name, dev.Name, task.Workload.Key(), task.Space.Size())
+		task.Name, deviceName, task.Workload.Key(), task.Space.Size())
 
 	var names []string
 	for _, name := range strings.Split(tunerList, ",") {
@@ -156,24 +171,39 @@ func run(model string, taskIdx int, workloadSpec, deviceName string, budget, pla
 	}
 
 	// Run the whole (tuner, seed) grid on the pool; each cell is fully
-	// independent (own tuner instance, own simulator, own seed).
+	// independent (own tuner instance, own run seed). The pool stops
+	// dispatching cells once ctx is cancelled.
 	traces := make([][][]float64, len(names))
 	for ti := range traces {
 		traces[ti] = make([][]float64, seeds)
 	}
-	par.For(len(names)*seeds, parallel, func(k int) {
+	cellErrs := make([]error, len(names)*seeds)
+	par.ForContext(ctx, len(names)*seeds, parallel, func(k int) {
 		ti, si := k/seeds, k%seeds
 		tn, err := newTuner(names[ti])
 		if err != nil {
 			return // validated above; unreachable
 		}
-		sim := hwsim.NewSimulator(dev, int64(100+si))
-		res := tn.Tune(task, sim, tuner.Options{
+		res, err := tn.Tune(ctx, task, cache, tuner.Options{
 			Budget: budget, EarlyStop: -1, PlanSize: plan, Seed: int64(7 + si*1000),
 			Workers: workers,
 		})
+		// An all-invalid run still has a (flat-zero) trace worth printing;
+		// everything else, including cancellation, aborts the comparison.
+		if err != nil && !errors.Is(err, tuner.ErrNoValidConfig) {
+			cellErrs[k] = err
+			return
+		}
 		traces[ti][si] = res.BestTrace()
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, cerr := range cellErrs {
+		if cerr != nil {
+			return cerr
+		}
+	}
 
 	// Fold in fixed seed order so the averages are independent of pool
 	// scheduling.
@@ -197,10 +227,12 @@ func run(model string, taskIdx int, workloadSpec, deviceName string, budget, pla
 		fmt.Printf("%-10s %12.1f %12.1f %12.1f\n", name, acc[budget-1], acc[budget/4-1], acc[budget/2-1])
 		series = append(series, plot.Series{Name: name, Values: acc})
 	}
+	fmt.Printf("\nbackend cache: %d simulator calls, %d deduplicated revisits\n",
+		cache.Misses(), cache.Hits())
 	if chart {
 		fmt.Println()
 		if err := (plot.LineChart{
-			Title:  fmt.Sprintf("best-so-far GFLOPS, %s on %s", task.Name, dev.Name),
+			Title:  fmt.Sprintf("best-so-far GFLOPS, %s on %s", task.Name, deviceName),
 			XLabel: fmt.Sprintf("#configs (1..%d)", budget),
 		}).Render(os.Stdout, series); err != nil {
 			return err

@@ -16,10 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/repro"
 )
@@ -56,19 +60,28 @@ func main() {
 		modelList = strings.Split(*models, ",")
 	}
 
-	if err := run(*exp, cfg, modelList); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
+	// Ctrl-C cancels the experiment context; partially-computed studies are
+	// abandoned (their numbers would be misleading) and the exit is nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *exp, cfg, modelList); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "repro: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg repro.Config, models []string) error {
+func run(ctx context.Context, exp string, cfg repro.Config, models []string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
 	if want("fig4") {
 		ran = true
-		results, err := repro.Fig4(cfg)
+		results, err := repro.Fig4(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -81,7 +94,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("fig5") {
 		ran = true
-		res, err := repro.Fig5(cfg)
+		res, err := repro.Fig5(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -91,7 +104,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("table1") {
 		ran = true
-		res, err := repro.Table1(cfg, models)
+		res, err := repro.Table1(ctx, cfg, models)
 		if err != nil {
 			return err
 		}
@@ -101,7 +114,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("batch") {
 		ran = true
-		res, err := repro.Batch(cfg)
+		res, err := repro.Batch(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -110,7 +123,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("precision") {
 		ran = true
-		res, err := repro.Precision(cfg)
+		res, err := repro.Precision(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -119,7 +132,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("baselines") {
 		ran = true
-		res, err := repro.Baselines(cfg)
+		res, err := repro.Baselines(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -128,7 +141,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("crossdev") {
 		ran = true
-		res, err := repro.CrossDevice(cfg, nil)
+		res, err := repro.CrossDevice(ctx, cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -137,7 +150,7 @@ func run(exp string, cfg repro.Config, models []string) error {
 	}
 	if want("ablation") {
 		ran = true
-		results, err := repro.AllAblations(cfg)
+		results, err := repro.AllAblations(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -16,20 +16,29 @@
 // results do not depend on -parallel. With -log and several models, each
 // model writes <log>.<model>.
 //
+// The record log streams: every measurement is appended as one JSON line
+// and flushed at batch boundaries, so an interrupt (Ctrl-C) leaves a clean
+// checkpoint that -resume can pick up. Interrupted runs exit nonzero.
+//
 // Tuners: autotvm | bted | bted+bao | random | grid | ga | chameleon.
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/tuner"
@@ -44,12 +53,19 @@ func main() {
 	planSize := flag.Int("plan", 64, "batch/initialization size")
 	runs := flag.Int("runs", 600, "end-to-end latency runs")
 	seed := flag.Int64("seed", 2021, "random seed")
-	logPath := flag.String("log", "", "write tuning records (JSON lines) to this file")
+	logPath := flag.String("log", "", "stream tuning records (JSON lines) to this file")
 	resumePath := flag.String("resume", "", "resume from a previous record log (JSON lines)")
-	device := flag.String("device", "gtx1080ti", "simulated device: gtx1080ti | v100 | gtx1060 | jetsontx2")
+	device := flag.String("device", "gtx1080ti", "simulated device: "+strings.Join(backend.Devices(), " | "))
 	workers := flag.Int("workers", 0, "measurement worker pool per task (<=0: GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "models tuned concurrently (<=0: GOMAXPROCS, capped at model count)")
+	timeout := flag.Duration("task-timeout", 0, "per-task wall-clock deadline (0 disables); expiry deploys the best found so far")
 	flag.Parse()
+
+	// Ctrl-C (or SIGTERM) cancels the run context: in-flight measurements
+	// finish, the record log flushes its checkpoint, and the command exits
+	// nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := runConfig{
 		tuner:     *tunerName,
@@ -60,9 +76,14 @@ func main() {
 		planSize:  *planSize,
 		runs:      *runs,
 		workers:   *workers,
+		timeout:   *timeout,
 	}
-	if err := run(resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel); err != nil {
-		fmt.Fprintln(os.Stderr, "tune:", err)
+	if err := run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tune: interrupted; record log checkpointed:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "tune:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -78,6 +99,7 @@ type runConfig struct {
 	planSize  int
 	runs      int
 	workers   int
+	timeout   time.Duration
 }
 
 func resolveModels(spec string) []string {
@@ -114,7 +136,7 @@ func newTuner(name string) (tuner.Tuner, error) {
 	}
 }
 
-func run(models []string, cfg runConfig, seed int64, logPath, resumePath string, parallel int) error {
+func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPath, resumePath string, parallel int) error {
 	if len(models) == 0 {
 		return fmt.Errorf("no models given")
 	}
@@ -133,7 +155,7 @@ func run(models []string, cfg runConfig, seed int64, logPath, resumePath string,
 	}
 
 	if len(models) == 1 {
-		return runModel(os.Stdout, models[0], cfg, seed, logPath, resume)
+		return runModel(ctx, os.Stdout, models[0], cfg, seed, logPath, resume)
 	}
 
 	if parallel <= 0 {
@@ -144,21 +166,26 @@ func run(models []string, cfg runConfig, seed int64, logPath, resumePath string,
 	}
 	fmt.Printf("tuning %d models, %d concurrently\n", len(models), parallel)
 	// Each model gets a decorrelated seed and buffers its report so the
-	// concurrent runs print cleanly in list order at the end.
+	// concurrent runs print cleanly in list order at the end. The ctx-aware
+	// pool stops dispatching new models once the run is cancelled; models
+	// already running checkpoint themselves.
 	outs := make([]bytes.Buffer, len(models))
 	errs := make([]error, len(models))
-	par.For(len(models), parallel, func(i int) {
+	started := par.ForContext(ctx, len(models), parallel, func(i int) {
 		lp := logPath
 		if lp != "" {
 			lp = fmt.Sprintf("%s.%s", logPath, models[i])
 		}
-		errs[i] = runModel(&outs[i], models[i], cfg, seed+int64(i)*104729, lp, resume)
+		errs[i] = runModel(ctx, &outs[i], models[i], cfg, seed+int64(i)*104729, lp, resume)
 	})
 	var firstErr error
 	for i, m := range models {
 		fmt.Printf("\n===== %s =====\n", m)
 		if _, err := io.Copy(os.Stdout, &outs[i]); err != nil {
 			return err
+		}
+		if i >= started && errs[i] == nil {
+			errs[i] = ctx.Err()
 		}
 		if errs[i] != nil {
 			fmt.Printf("error: %v\n", errs[i])
@@ -170,7 +197,7 @@ func run(models []string, cfg runConfig, seed int64, logPath, resumePath string,
 	return firstErr
 }
 
-func runModel(w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record) error {
+func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record) (err error) {
 	tn, err := newTuner(cfg.tuner)
 	if err != nil {
 		return err
@@ -179,11 +206,10 @@ func runModel(w io.Writer, model string, cfg runConfig, seed int64, logPath stri
 	if cfg.ops == "conv" {
 		extract = graph.ConvOnly
 	}
-	dev, ok := hwsim.DeviceByName(cfg.device)
-	if !ok {
-		return fmt.Errorf("unknown device %q", cfg.device)
+	b, err := backend.New(cfg.device, seed)
+	if err != nil {
+		return err
 	}
-	sim := hwsim.NewSimulator(dev, seed)
 	opts := core.PipelineOptions{
 		Tuning: tuner.Options{
 			Budget:    cfg.budget,
@@ -192,17 +218,49 @@ func runModel(w io.Writer, model string, cfg runConfig, seed int64, logPath stri
 			Seed:      seed,
 			Workers:   cfg.workers,
 		},
-		Extract:     extract,
-		UseTransfer: true,
-		Resume:      resume,
-		Runs:        cfg.runs,
+		Extract:      extract,
+		UseTransfer:  true,
+		Resume:       resume,
+		Runs:         cfg.runs,
+		TaskDeadline: cfg.timeout,
 		Progress: func(i, n int, name string) {
 			fmt.Fprintf(w, "[%2d/%2d] tuning %s\n", i, n, name)
 		},
 	}
-	dep, err := core.OptimizeModel(model, tn, sim, opts)
-	if err != nil {
-		return err
+
+	// Stream the record log: one JSON line per measurement, flushed at each
+	// batch boundary so an interrupt loses at most one in-progress batch.
+	var sw *record.StreamWriter
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		sw = record.NewStreamWriter(f)
+		opts.OnRecord = func(rec record.Record) {
+			if aerr := sw.Append(rec); aerr != nil {
+				return // latched; reported at the final Flush below
+			}
+			if sw.Count()%cfg.planSize == 0 {
+				_ = sw.Flush() // latched too; per-batch checkpoint is best-effort
+			}
+		}
+	}
+
+	dep, derr := core.OptimizeModel(ctx, model, tn, b, opts)
+	if sw != nil {
+		if ferr := sw.Flush(); ferr != nil && derr == nil {
+			return ferr
+		}
+		fmt.Fprintf(w, "streamed %d records to %s\n", sw.Count(), logPath)
+	}
+	if derr != nil {
+		return derr
 	}
 
 	fmt.Fprintln(w)
@@ -213,26 +271,14 @@ func runModel(w io.Writer, model string, cfg runConfig, seed int64, logPath stri
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, dep.Summary())
 
-	if shares, err := dep.Breakdown(sim.Estimator()); err == nil {
+	if shares, berr := dep.Breakdown(b.Simulator().Estimator()); berr == nil {
 		fmt.Fprintln(w, "\nlatency breakdown (top tasks):")
 		if len(shares) > 8 {
 			shares = shares[:8]
 		}
-		if err := core.PrintBreakdown(w, shares); err != nil {
-			return err
+		if perr := core.PrintBreakdown(w, shares); perr != nil {
+			return perr
 		}
-	}
-
-	if logPath != "" {
-		f, err := os.Create(logPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := record.Write(f, dep.Records()); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "wrote %d records to %s\n", dep.TotalMeasurements, logPath)
 	}
 	return nil
 }

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/hwsim"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
@@ -28,11 +30,16 @@ func main() {
 	fmt.Printf("workload %s\n\n", w.Key())
 	best := make(map[string]tuner.Result, len(deviceNames))
 	for i, name := range deviceNames {
-		dev, _ := hwsim.DeviceByName(name)
-		sim := hwsim.NewSimulator(dev, int64(10+i))
-		res := tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+		b, err := backend.New(name, int64(10+i))
+		if err != nil {
+			panic(err)
+		}
+		res, err := tuner.NewBTEDBAO().Tune(context.Background(), task, b, tuner.Options{
 			Budget: 256, EarlyStop: 128, PlanSize: 32, Seed: int64(100 + i),
 		})
+		if err != nil {
+			panic(err)
+		}
 		best[name] = res
 		fmt.Printf("%-10s best %8.1f GFLOPS  (%s)\n", name, res.Best.GFLOPS, res.Best.Config)
 	}

@@ -15,7 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/active"
-	"repro/internal/hwsim"
+	"repro/internal/backend"
 	"repro/internal/space"
 	"repro/internal/tensor"
 	"repro/internal/xgb"
@@ -36,9 +36,14 @@ func main() {
 	)
 	fmt.Printf("custom space: %d configurations\n", sp.Size())
 
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 3)
+	// Measurement goes through the backend layer; the shared-stream Measure
+	// path is fine here because this example is strictly sequential.
+	b, err := backend.New("gtx1080ti", 3)
+	if err != nil {
+		panic(err)
+	}
 	measure := func(c space.Config) (float64, bool) {
-		m := sim.Measure(w, c)
+		m := b.Measure(w, c)
 		return m.GFLOPS, m.Valid
 	}
 

@@ -10,11 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/stats"
 	"repro/internal/tuner"
 )
@@ -31,8 +32,11 @@ func main() {
 	arms := []arm{{tn: tuner.NewAutoTVM()}, {tn: tuner.NewBTEDBAO()}}
 
 	for i := range arms {
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), int64(11+i))
-		dep, err := core.OptimizeModel(model, arms[i].tn, sim, core.PipelineOptions{
+		b, err := backend.New("gtx1080ti", int64(11+i))
+		if err != nil {
+			panic(err)
+		}
+		dep, err := core.OptimizeModel(context.Background(), model, arms[i].tn, b, core.PipelineOptions{
 			Tuning: tuner.Options{
 				Budget:    128,
 				EarlyStop: 64,

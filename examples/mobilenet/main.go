@@ -9,10 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/tuner"
 )
 
@@ -37,13 +38,19 @@ func main() {
 		var configs [3]int
 		var gflops [3]float64
 		for mi, tn := range tuners {
-			sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), int64(1000+ti*10+mi))
-			res := tn.Tune(task, sim, tuner.Options{
+			b, err := backend.New("gtx1080ti", int64(1000+ti*10+mi))
+			if err != nil {
+				panic(err)
+			}
+			res, err := tn.Tune(context.Background(), task, b, tuner.Options{
 				Budget:    192,
 				EarlyStop: 96,
 				PlanSize:  32,
 				Seed:      int64(500 + ti*100 + mi),
 			})
+			if err != nil {
+				panic(err)
+			}
 			configs[mi] = res.Measurements
 			gflops[mi] = res.Best.GFLOPS
 		}

@@ -8,9 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/hwsim"
+	"repro/internal/backend"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
 )
@@ -33,11 +34,18 @@ func main() {
 		Seed:      42,
 	}
 
+	ctx := context.Background()
 	for _, tn := range []tuner.Tuner{tuner.NewAutoTVM(), tuner.NewBTEDBAO()} {
-		// Each tuner gets its own simulator so measurement noise streams
-		// are independent but reproducible.
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 7)
-		res := tn.Tune(task, sim, opts)
+		// Both tuners measure through the named-device backend registry;
+		// seeded measurement makes their runs reproducible and independent.
+		b, err := backend.New("gtx1080ti", 7)
+		if err != nil {
+			panic(err)
+		}
+		res, err := tn.Tune(ctx, task, b, opts)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-9s best %8.1f GFLOPS in %d measurements\n",
 			tn.Name(), res.Best.GFLOPS, res.Measurements)
 		trace := res.BestTrace()

@@ -5,8 +5,10 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
@@ -27,8 +29,8 @@ func TestIntegration_TuneDeployResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tunes a real model")
 	}
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 1)
-	dep, err := core.OptimizeModel("squeezenet-v1.1", tuner.RandomTuner{}, sim, fastOpts(16, 7))
+	b := backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), 1))
+	dep, err := core.OptimizeModel(context.Background(), "squeezenet-v1.1", tuner.RandomTuner{}, b, fastOpts(16, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestIntegration_TuneDeployResume(t *testing.T) {
 	// best on every task.
 	opts := fastOpts(8, 99)
 	opts.Resume = recs
-	dep2, err := core.OptimizeModel("squeezenet-v1.1", tuner.RandomTuner{}, sim, opts)
+	dep2, err := core.OptimizeModel(context.Background(), "squeezenet-v1.1", tuner.RandomTuner{}, b, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestIntegration_TuneDeployResume(t *testing.T) {
 	// Applying the combined records reproduces a latency in the same
 	// ballpark as the resumed deployment's own measurement.
 	allRecs := append(recs, dep2.Records()...)
-	lat, variance, err := core.ApplyRecords("squeezenet-v1.1", allRecs, sim, graph.ConvOnly, 100)
+	lat, variance, err := core.ApplyRecords("squeezenet-v1.1", allRecs, b, graph.ConvOnly, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +106,14 @@ func TestIntegration_GraphSerializationFeedsPipeline(t *testing.T) {
 		t.Fatal("space changed across serialization")
 	}
 	opts := tuner.Options{Budget: 20, EarlyStop: -1, PlanSize: 8, Seed: 5}
-	r1 := tuner.NewAutoTVM().Tune(task1, hwsim.NewSimulator(hwsim.GTX1080Ti(), 3), opts)
-	r2 := tuner.NewAutoTVM().Tune(task2, hwsim.NewSimulator(hwsim.GTX1080Ti(), 3), opts)
+	r1, err := tuner.NewAutoTVM().Tune(context.Background(), task1, backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), 3)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tuner.NewAutoTVM().Tune(context.Background(), task2, backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), 3)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r1.Best.GFLOPS != r2.Best.GFLOPS {
 		t.Fatalf("deserialized graph tunes differently: %.3f vs %.3f", r1.Best.GFLOPS, r2.Best.GFLOPS)
 	}
@@ -116,8 +124,8 @@ func TestIntegration_DeterministicPipeline(t *testing.T) {
 		t.Skip("tunes a real model twice")
 	}
 	run := func() *core.Deployment {
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 11)
-		dep, err := core.OptimizeModel("alexnet", tuner.NewAutoTVM(), sim, core.PipelineOptions{
+		b := backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), 11))
+		dep, err := core.OptimizeModel(context.Background(), "alexnet", tuner.NewAutoTVM(), b, core.PipelineOptions{
 			Tuning:  tuner.Options{Budget: 24, EarlyStop: -1, PlanSize: 8, Seed: 13},
 			Extract: graph.AllOps,
 			Runs:    100,
@@ -141,8 +149,8 @@ func TestIntegration_CrossDeviceDeployments(t *testing.T) {
 	// The same model deploys on every simulated device; the embedded board
 	// must be slower than the desktop card.
 	latency := func(dev hwsim.Device) float64 {
-		sim := hwsim.NewSimulator(dev, 2)
-		dep, err := core.OptimizeModel("squeezenet-v1.1", tuner.RandomTuner{}, sim, fastOpts(12, 3))
+		b := backend.Wrap(dev.Name, hwsim.NewSimulator(dev, 2))
+		dep, err := core.OptimizeModel(context.Background(), "squeezenet-v1.1", tuner.RandomTuner{}, b, fastOpts(12, 3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,8 +177,8 @@ func TestIntegration_AllTunersOnAllOpKinds(t *testing.T) {
 		tuner.NewAutoTVM(), tuner.NewBTED(), tuner.NewBTEDBAO(),
 	}
 	for _, tn := range tuners {
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 4)
-		dep, err := core.OptimizeGraph(g, tn, sim, core.PipelineOptions{
+		bk := backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), 4))
+		dep, err := core.OptimizeGraph(context.Background(), g, tn, bk, core.PipelineOptions{
 			Tuning:  tuner.Options{Budget: 16, EarlyStop: -1, PlanSize: 8, Seed: 5},
 			Extract: graph.AllOps,
 			Runs:    50,

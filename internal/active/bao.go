@@ -148,6 +148,11 @@ type BAOParams struct {
 	// LiteralCeil applies the ceiling of the paper's Eq. (1) verbatim
 	// instead of the plain relative improvement (ablation; see DESIGN.md).
 	LiteralCeil bool
+	// Stop, when non-nil, is polled before every iteration; a true return
+	// ends the loop immediately. The tuning engine uses it for cooperative
+	// cancellation, so BAO's expensive per-step bootstrap trainings never
+	// run on after the session's context is done.
+	Stop func() bool
 }
 
 // DefaultBAOParams returns the paper's experimental settings.
@@ -229,6 +234,9 @@ func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p 
 
 	sinceImprove := 0
 	for t := 1; t <= p.T; t++ {
+		if p.Stop != nil && p.Stop() {
+			break
+		}
 		radius := p.R
 		if t >= 2 {
 			rt := relativeImprovement(bestTrace, p.LiteralCeil)

@@ -82,6 +82,7 @@ func All() []Analyzer {
 		MutexCopy{},
 		UncheckedErr{},
 		PanicPath{},
+		CtxArg{},
 	}
 }
 

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxArg enforces the repository's context conventions, the ones the
+// cancellable tuning engine depends on: an exported function or method
+// (including interface methods) that takes a context.Context must take it
+// as its first parameter, and no struct may store a context.Context in a
+// field. A stored context outlives the call it was scoped to, hiding the
+// cancellation point; the session type instead latches ctx.Err() into a
+// plain error field, and everything else threads ctx explicitly.
+type CtxArg struct{}
+
+// Name implements Analyzer.
+func (CtxArg) Name() string { return "ctxarg" }
+
+// Doc implements Analyzer.
+func (CtxArg) Doc() string {
+	return "flag exported functions taking context.Context anywhere but first, and structs storing a context.Context field"
+}
+
+// Run implements Analyzer.
+func (CtxArg) Run(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Name.IsExported() {
+				checkCtxParams(p, n.Name.Name, n.Type)
+			}
+		case *ast.InterfaceType:
+			for _, m := range n.Methods.List {
+				ft, ok := m.Type.(*ast.FuncType)
+				if !ok || len(m.Names) == 0 {
+					continue // embedded interface
+				}
+				for _, name := range m.Names {
+					if name.IsExported() {
+						checkCtxParams(p, name.Name, ft)
+					}
+				}
+			}
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				if isContextType(info.TypeOf(f.Type)) {
+					p.Reportf(f.Type.Pos(), "struct field stores a context.Context; thread ctx through calls instead (contexts are call-scoped, not object-scoped)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxParams reports context.Context parameters at any flattened
+// position other than the first.
+func checkCtxParams(p *Pass, funcName string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, f := range ft.Params.List {
+		width := len(f.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContextType(p.Pkg.Info.TypeOf(f.Type)) {
+			// A name group shares one type, so every name past the first
+			// parameter slot violates individually.
+			for i := 0; i < width; i++ {
+				if pos+i != 0 {
+					p.Reportf(f.Type.Pos(), "%s takes context.Context at parameter %d; context must be the first parameter", funcName, pos+i+1)
+					break
+				}
+			}
+		}
+		pos += width
+	}
+}
+
+// isContextType reports whether t is context.Context (through aliases).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

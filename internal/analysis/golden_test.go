@@ -20,6 +20,7 @@ var fixturePkgs = []string{
 	"mutexcopy",
 	"uncheckederr",
 	"panicpath",
+	"ctxarg",
 	"lintdirective",
 }
 

@@ -1,0 +1,62 @@
+// Package ctxarg is a fixture for the ctxarg analyzer: exported functions
+// and interface methods taking context.Context anywhere but first are
+// flagged, as is any struct field storing a context.Context; ctx-first
+// signatures, unexported functions, and latched error fields are not.
+package ctxarg
+
+import "context"
+
+// BadMiddle takes ctx in the middle of the parameter list.
+func BadMiddle(name string, ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// BadLast takes ctx last.
+func BadLast(n int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// BadStore keeps a request-scoped context alive inside a long-lived object.
+type BadStore struct {
+	ctx  context.Context
+	name string
+}
+
+// Runner is an interface whose exported method misplaces ctx.
+type Runner interface {
+	BadRun(n int, ctx context.Context) error
+	GoodRun(ctx context.Context, n int) error
+}
+
+// GoodFirst takes ctx first.
+func GoodFirst(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// GoodNone takes no context at all.
+func GoodNone(name string) string { return name }
+
+// goodUnexported is out of scope: internal helpers may order params freely
+// (the repo still keeps ctx first by convention).
+func goodUnexported(n int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// GoodLatched holds a latched error instead of the context itself.
+type GoodLatched struct {
+	err error
+}
+
+// Observe latches cancellation the way session does.
+func (g *GoodLatched) Observe(ctx context.Context) bool {
+	if g.err != nil {
+		return true
+	}
+	if err := ctx.Err(); err != nil {
+		g.err = err
+		return true
+	}
+	return false
+}
+
+var _ = BadStore{ctx: context.Background(), name: "x"}

@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// cacheKey identifies one seeded measurement. The device name is part of
+// the key so a cache accidentally shared across backends can never serve a
+// measurement from the wrong device.
+type cacheKey struct {
+	device   string
+	workload string
+	flat     uint64
+	seed     int64
+}
+
+// Cache memoizes the seeded measurements of an inner backend. Because
+// MeasureSeeded is pure in (workload, config, noiseSeed), serving a repeat
+// call from the cache is bit-identical to re-measuring — the cache changes
+// how many raw simulator calls are issued (re-measure-top-K, multi-trial
+// comparison grids) but never what any caller observes. Unseeded Measure
+// calls depend on the shared noise stream and pass through uncached.
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	inner Backend
+
+	mu     sync.Mutex
+	m      map[cacheKey]hwsim.Measurement
+	hits   int64
+	misses int64
+}
+
+// NewCache wraps inner with a seeded-measurement memo.
+func NewCache(inner Backend) *Cache {
+	return &Cache{inner: inner, m: make(map[cacheKey]hwsim.Measurement)}
+}
+
+// Name implements Backend.
+func (c *Cache) Name() string { return "cache(" + c.inner.Name() + ")" }
+
+// Seeded implements Backend.
+func (c *Cache) Seeded() bool { return c.inner.Seeded() }
+
+// Measure implements Backend: shared-stream measurements are
+// order-dependent and therefore uncacheable; they pass straight through.
+func (c *Cache) Measure(w tensor.Workload, cfg space.Config) hwsim.Measurement {
+	return c.inner.Measure(w, cfg)
+}
+
+// MeasureSeeded implements Backend, serving repeats from the memo.
+func (c *Cache) MeasureSeeded(w tensor.Workload, cfg space.Config, noiseSeed int64) hwsim.Measurement {
+	key := cacheKey{device: c.inner.Name(), workload: w.Key(), flat: cfg.Flat(), seed: noiseSeed}
+	c.mu.Lock()
+	if mr, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return mr
+	}
+	c.misses++
+	c.mu.Unlock()
+	// Measure outside the lock: concurrent misses on the same key both
+	// compute the same pure result, and the second store is a no-op.
+	mr := c.inner.MeasureSeeded(w, cfg, noiseSeed)
+	c.mu.Lock()
+	c.m[key] = mr
+	c.mu.Unlock()
+	return mr
+}
+
+// NetworkLatency implements Backend.
+func (c *Cache) NetworkLatency(deps []hwsim.Deployment, runs int) (float64, float64, error) {
+	return c.inner.NetworkLatency(deps, runs)
+}
+
+// Hits returns how many seeded measurements were served from the memo.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns how many seeded measurements went through to the inner
+// backend.
+func (c *Cache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len returns the number of memoized measurements.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

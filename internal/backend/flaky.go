@@ -1,0 +1,78 @@
+package backend
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// Flaky wraps a backend and makes a fraction of measurements fail
+// spuriously (as real measurement farms do: board resets, driver timeouts,
+// contention). Tuners must absorb these as invalid results and keep
+// searching; the failure-injection tests rely on this wrapper.
+type Flaky struct {
+	inner Backend
+	// FailProb is the probability a measurement is dropped.
+	FailProb float64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fails int
+}
+
+// NewFlaky wraps inner with the given failure probability.
+func NewFlaky(inner Backend, failProb float64, seed int64) *Flaky {
+	return &Flaky{inner: inner, FailProb: failProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Backend.
+func (f *Flaky) Name() string { return "flaky(" + f.inner.Name() + ")" }
+
+// Seeded implements Backend.
+func (f *Flaky) Seeded() bool { return f.inner.Seeded() }
+
+// Measure implements Backend: the failure coin comes from the wrapper's
+// shared stream, so it depends on global measurement order (like the inner
+// unseeded path).
+func (f *Flaky) Measure(w tensor.Workload, c space.Config) hwsim.Measurement {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.FailProb
+	if fail {
+		f.fails++
+	}
+	f.mu.Unlock()
+	if fail {
+		return hwsim.Measurement{Valid: false, Error: "injected measurement failure"}
+	}
+	return f.inner.Measure(w, c)
+}
+
+// MeasureSeeded implements Backend: the failure decision derives from the
+// per-call seed (not the wrapper's shared stream), so injection is order-
+// and worker-count-independent. The seed is remixed before the draw so the
+// failure coin is decorrelated from the measurement-noise draw that shares
+// the same seed downstream.
+func (f *Flaky) MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement {
+	if rand.New(rand.NewSource(noiseSeed^0x5DEECE66D)).Float64() < f.FailProb {
+		f.mu.Lock()
+		f.fails++
+		f.mu.Unlock()
+		return hwsim.Measurement{Valid: false, Error: "injected measurement failure"}
+	}
+	return f.inner.MeasureSeeded(w, c, noiseSeed)
+}
+
+// NetworkLatency implements Backend.
+func (f *Flaky) NetworkLatency(deps []hwsim.Deployment, runs int) (float64, float64, error) {
+	return f.inner.NetworkLatency(deps, runs)
+}
+
+// Failures returns how many measurements were dropped.
+func (f *Flaky) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}

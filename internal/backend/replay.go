@@ -1,0 +1,138 @@
+package backend
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/record"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// errReplayNoInner reports an end-to-end latency request against a
+// replay-only backend: logs carry per-measurement throughput, not the
+// run-to-run noise model latency simulation needs.
+var errReplayNoInner = errors.New("backend: replay-only backend cannot simulate end-to-end latency")
+
+// replayKey identifies a logged measurement: logs carry no noise seed, so a
+// replayed configuration returns the logged value for every seed.
+type replayKey struct {
+	workload string
+	flat     uint64
+}
+
+// Replay serves measurements from a previously written record log, turning
+// resume into just another backend layer: a measurement that is in the log
+// costs nothing and returns exactly what was logged, and anything else
+// forwards to the inner backend (or fails as unmeasured when there is
+// none). The last log entry for a (workload, config) pair wins, matching
+// how a resumed run would overwrite its knowledge.
+//
+// Replay is safe for concurrent use.
+type Replay struct {
+	inner Backend // may be nil: replay-only, misses fail
+
+	mu     sync.Mutex
+	m      map[replayKey]hwsim.Measurement
+	spaces map[string]*space.Space
+	hits   int64
+	misses int64
+}
+
+// NewReplay indexes the records for the given tasks' spaces. Records whose
+// config does not fit any provided space are skipped. inner may be nil.
+func NewReplay(recs []record.Record, spaces map[string]*space.Space, inner Backend) *Replay {
+	r := &Replay{inner: inner, m: make(map[replayKey]hwsim.Measurement, len(recs)), spaces: spaces}
+	for _, rec := range recs {
+		sp, ok := spaces[rec.Workload]
+		if !ok {
+			continue
+		}
+		cfg, err := rec.ToConfig(sp)
+		if err != nil {
+			continue
+		}
+		mr := hwsim.Measurement{Valid: rec.Valid, GFLOPS: rec.GFLOPS}
+		if !rec.Valid {
+			mr.Error = "replayed invalid measurement"
+		}
+		r.m[replayKey{workload: rec.Workload, flat: cfg.Flat()}] = mr
+	}
+	return r
+}
+
+// Name implements Backend.
+func (r *Replay) Name() string {
+	if r.inner == nil {
+		return "replay"
+	}
+	return "replay(" + r.inner.Name() + ")"
+}
+
+// Seeded implements Backend: replayed values are position-independent, and
+// misses follow the inner backend's contract (a replay-only backend is
+// trivially order-independent).
+func (r *Replay) Seeded() bool { return r.inner == nil || r.inner.Seeded() }
+
+// lookup returns the logged measurement, reconstructing TimeMS from the
+// logged throughput so replayed measurements are internally consistent.
+func (r *Replay) lookup(w tensor.Workload, c space.Config) (hwsim.Measurement, bool) {
+	r.mu.Lock()
+	mr, ok := r.m[replayKey{workload: w.Key(), flat: c.Flat()}]
+	if ok {
+		r.hits++
+	} else {
+		r.misses++
+	}
+	r.mu.Unlock()
+	if ok && mr.Valid && mr.GFLOPS > 0 {
+		mr.TimeMS = float64(w.FLOPs()) / (mr.GFLOPS * 1e6)
+	}
+	return mr, ok
+}
+
+// Measure implements Backend.
+func (r *Replay) Measure(w tensor.Workload, c space.Config) hwsim.Measurement {
+	if mr, ok := r.lookup(w, c); ok {
+		return mr
+	}
+	if r.inner == nil {
+		return hwsim.Measurement{Valid: false, Error: "replay: configuration not in record log"}
+	}
+	return r.inner.Measure(w, c)
+}
+
+// MeasureSeeded implements Backend.
+func (r *Replay) MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement {
+	if mr, ok := r.lookup(w, c); ok {
+		return mr
+	}
+	if r.inner == nil {
+		return hwsim.Measurement{Valid: false, Error: "replay: configuration not in record log"}
+	}
+	return r.inner.MeasureSeeded(w, c, noiseSeed)
+}
+
+// NetworkLatency implements Backend. A replay-only backend cannot simulate
+// end-to-end runs.
+func (r *Replay) NetworkLatency(deps []hwsim.Deployment, runs int) (float64, float64, error) {
+	if r.inner == nil {
+		return 0, 0, errReplayNoInner
+	}
+	return r.inner.NetworkLatency(deps, runs)
+}
+
+// Hits returns how many measurements were served from the log.
+func (r *Replay) Hits() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
+
+// Misses returns how many measurements were not in the log.
+func (r *Replay) Misses() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.misses
+}

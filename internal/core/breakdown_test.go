@@ -2,21 +2,23 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/hwsim"
 	"repro/internal/tuner"
 )
 
 func TestBreakdown(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 21)
-	dep, err := OptimizeGraph(tinyGraph(), tuner.RandomTuner{}, sim, quickPipelineOpts(20))
+	b := testBackend(t, 21)
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, b, quickPipelineOpts(20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	shares, err := dep.Breakdown(sim.Estimator())
+	shares, err := dep.Breakdown(b.(*backend.Sim).Simulator().Estimator())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,13 +4,22 @@
 // per-node configurations are combined into a model deployment whose
 // inference latency (mean and variance over repeated runs) is the final
 // metric of Table I.
+//
+// The pipeline is context-aware: cancelling ctx aborts it between
+// measurements with an error, a per-task deadline bounds each task's
+// search, and OnRecord streams every measurement out the moment it lands,
+// so a run that dies loses nothing that was already measured.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/record"
@@ -45,6 +54,16 @@ type PipelineOptions struct {
 	// ReMeasureTopK < 0 disables re-measurement.
 	ReMeasureTopK    int
 	ReMeasureRepeats int
+	// TaskDeadline bounds each task's tuning wall clock. When it expires
+	// the task stops searching and deploys the best configuration found
+	// within the deadline; a task that found nothing valid is an error.
+	// Zero means no per-task deadline.
+	TaskDeadline time.Duration
+	// OnRecord, when non-nil, receives every measurement of every task as
+	// a log record the moment the session records it (step-ordered within
+	// each task). This is the streaming path cmd/tune uses to keep its
+	// record log crash-safe instead of flattening Records() at the end.
+	OnRecord func(record.Record)
 	// Progress, when non-nil, is called before each task is tuned.
 	Progress func(taskIdx, taskTotal int, name string)
 }
@@ -104,18 +123,18 @@ func (d *Deployment) Records() []record.Record {
 }
 
 // OptimizeModel runs the full pipeline for one model and tuner on the
-// simulator. It returns an error when the model is unknown or when any task
-// finishes without a single valid configuration.
-func OptimizeModel(model string, tn tuner.Tuner, sim *hwsim.Simulator, opts PipelineOptions) (*Deployment, error) {
+// backend. It returns an error when the model is unknown, ctx is cancelled,
+// or any task finishes without a single valid configuration.
+func OptimizeModel(ctx context.Context, model string, tn tuner.Tuner, b backend.Backend, opts PipelineOptions) (*Deployment, error) {
 	g, err := graph.Model(model)
 	if err != nil {
 		return nil, err
 	}
-	return OptimizeGraph(g, tn, sim, opts)
+	return OptimizeGraph(ctx, g, tn, b, opts)
 }
 
 // OptimizeGraph is OptimizeModel over an already-built graph.
-func OptimizeGraph(g *graph.Graph, tn tuner.Tuner, sim *hwsim.Simulator, opts PipelineOptions) (*Deployment, error) {
+func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backend.Backend, opts PipelineOptions) (*Deployment, error) {
 	if opts.Runs <= 0 {
 		opts.Runs = 600
 	}
@@ -144,18 +163,34 @@ func OptimizeGraph(g *graph.Graph, tn tuner.Tuner, sim *hwsim.Simulator, opts Pi
 		if len(opts.Resume) > 0 {
 			topts.Resume = resumeSamples(opts.Resume, task)
 		}
-		res := tn.Tune(task, sim, topts)
-		if !res.Found {
-			return nil, fmt.Errorf("core: task %s found no valid configuration in %d measurements",
-				task.Name, res.Measurements)
+		topts.Observer = streamObserver(opts, topts.Observer, task, tn.Name())
+
+		// The per-task deadline is layered under the caller's ctx: either
+		// can end the search, and the engine returns the samples measured
+		// so far in both cases.
+		tctx := ctx
+		cancel := func() {}
+		if opts.TaskDeadline > 0 {
+			tctx, cancel = context.WithTimeout(ctx, opts.TaskDeadline)
 		}
-		deployed := selectDeployConfig(task, res, sim, opts.ReMeasureTopK, opts.ReMeasureRepeats)
+		res, terr := tn.Tune(tctx, task, b, topts)
+		cancel()
+		if terr != nil {
+			// A parent cancellation aborts the whole pipeline. A per-task
+			// deadline only ends that task's search: the best found within
+			// the budgeted time is deployed, and only an empty-handed task
+			// is an error.
+			if ctx.Err() != nil || !errors.Is(terr, context.DeadlineExceeded) || !res.Found {
+				return nil, fmt.Errorf("core: tuning task %s: %w", task.Name, terr)
+			}
+		}
+		deployed := selectDeployConfig(task, res, b, topts.Seed, opts.ReMeasureTopK, opts.ReMeasureRepeats)
 		dep.Tasks = append(dep.Tasks, TaskOutcome{Task: task, Result: res, Deployed: deployed})
 		dep.TotalMeasurements += res.Measurements
 		deps = append(deps, hwsim.Deployment{Workload: task.Workload, Config: deployed, Count: task.Count})
 	}
 
-	mean, variance, err := sim.NetworkLatency(deps, opts.Runs)
+	mean, variance, err := b.NetworkLatency(deps, opts.Runs)
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring end-to-end latency of %s: %w", g.Name, err)
 	}
@@ -164,10 +199,33 @@ func OptimizeGraph(g *graph.Graph, tn tuner.Tuner, sim *hwsim.Simulator, opts Pi
 	return dep, nil
 }
 
+// streamObserver chains the caller's observer with the OnRecord stream so
+// every measurement leaves the pipeline the moment it is recorded.
+func streamObserver(opts PipelineOptions, inner tuner.Observer, task *tuner.Task, tunerName string) tuner.Observer {
+	if opts.OnRecord == nil {
+		return inner
+	}
+	name, wkey := task.Name, task.Workload.Key()
+	return func(step int, s active.Sample) {
+		if inner != nil {
+			inner(step, s)
+		}
+		opts.OnRecord(record.Record{
+			Task:     name,
+			Workload: wkey,
+			Tuner:    tunerName,
+			Step:     step,
+			Config:   s.Config.Index,
+			GFLOPS:   s.GFLOPS,
+			Valid:    s.Valid,
+		})
+	}
+}
+
 // ApplyRecords rebuilds a Deployment's latency from previously logged best
 // records (e.g. loaded from disk) instead of re-tuning. Tasks without a
 // matching record are an error.
-func ApplyRecords(model string, recs []record.Record, sim *hwsim.Simulator, extract graph.ExtractOpts, runs int) (latencyMS, variance float64, err error) {
+func ApplyRecords(model string, recs []record.Record, b backend.Backend, extract graph.ExtractOpts, runs int) (latencyMS, variance float64, err error) {
 	g, err := graph.Model(model)
 	if err != nil {
 		return 0, 0, err
@@ -193,13 +251,17 @@ func ApplyRecords(model string, recs []record.Record, sim *hwsim.Simulator, extr
 		}
 		deps = append(deps, hwsim.Deployment{Workload: task.Workload, Config: cfg, Count: task.Count})
 	}
-	return sim.NetworkLatency(deps, runs)
+	return b.NetworkLatency(deps, runs)
 }
 
 // selectDeployConfig re-measures the task's top-K distinct configurations
 // `repeats` times each and returns the one with the best mean GFLOPS. With
 // topK < 0 (or degenerate parameters) it returns the tuner's raw best.
-func selectDeployConfig(task *tuner.Task, res tuner.Result, m tuner.Measurer, topK, repeats int) space.Config {
+// On a seeded backend the repeats draw deterministic per-repeat noise
+// seeds, with repeat 0 reusing the tuning run's own seed for the config —
+// so a memoizing cache serves it without a fresh simulator call and the
+// whole re-measurement is worker- and order-independent.
+func selectDeployConfig(task *tuner.Task, res tuner.Result, b backend.Backend, runSeed int64, topK, repeats int) space.Config {
 	if topK < 0 {
 		return res.Best.Config
 	}
@@ -231,7 +293,12 @@ func selectDeployConfig(task *tuner.Task, res tuner.Result, m tuner.Measurer, to
 		taken++
 		total, valid := 0.0, 0
 		for r := 0; r < repeats; r++ {
-			mr := m.Measure(task.Workload, s.Config)
+			var mr hwsim.Measurement
+			if b.Seeded() {
+				mr = b.MeasureSeeded(task.Workload, s.Config, remeasureSeed(runSeed, f, r))
+			} else {
+				mr = b.Measure(task.Workload, s.Config)
+			}
 			if mr.Valid {
 				total += mr.GFLOPS
 				valid++
@@ -246,6 +313,17 @@ func selectDeployConfig(task *tuner.Task, res tuner.Result, m tuner.Measurer, to
 		}
 	}
 	return best
+}
+
+// remeasureSeed derives the noise seed of re-measurement repeat r. Repeat 0
+// reuses the tuning run's seed for the configuration (a guaranteed cache
+// hit on a memoizing backend); later repeats remix the run seed so each is
+// an independent fresh draw.
+func remeasureSeed(runSeed int64, flat uint64, repeat int) int64 {
+	if repeat == 0 {
+		return hwsim.NoiseSeed(runSeed, flat)
+	}
+	return hwsim.NoiseSeed(runSeed+int64(repeat)*0x9E3779B9, flat)
 }
 
 // resumeSamples rebuilds the samples of a task from matching log records,

@@ -2,10 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/graph"
-	"repro/internal/hwsim"
 	"repro/internal/record"
 	"repro/internal/tuner"
 )
@@ -22,6 +23,17 @@ func tinyGraph() *graph.Graph {
 	return b.Finish(b.Softmax("prob", x))
 }
 
+// testBackend builds the standard single-device backend used across the
+// pipeline tests.
+func testBackend(t *testing.T, seed int64) backend.Backend {
+	t.Helper()
+	b, err := backend.New("gtx1080ti", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func quickPipelineOpts(budget int) PipelineOptions {
 	return PipelineOptions{
 		Tuning:  tuner.Options{Budget: budget, EarlyStop: -1, PlanSize: 8, Seed: 1},
@@ -31,8 +43,7 @@ func quickPipelineOpts(budget int) PipelineOptions {
 }
 
 func TestOptimizeGraphEndToEnd(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 1)
-	dep, err := OptimizeGraph(tinyGraph(), tuner.RandomTuner{}, sim, quickPipelineOpts(30))
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, testBackend(t, 1), quickPipelineOpts(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +66,12 @@ func TestOptimizeGraphEndToEnd(t *testing.T) {
 }
 
 func TestOptimizeModelUnknown(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 1)
-	if _, err := OptimizeModel("nope", tuner.RandomTuner{}, sim, quickPipelineOpts(10)); err == nil {
+	if _, err := OptimizeModel(context.Background(), "nope", tuner.RandomTuner{}, testBackend(t, 1), quickPipelineOpts(10)); err == nil {
 		t.Fatal("unknown model should error")
 	}
 }
 
 func TestProgressCallback(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 2)
 	opts := quickPipelineOpts(20)
 	var seen []string
 	opts.Progress = func(i, n int, name string) {
@@ -71,7 +80,7 @@ func TestProgressCallback(t *testing.T) {
 		}
 		seen = append(seen, name)
 	}
-	if _, err := OptimizeGraph(tinyGraph(), tuner.RandomTuner{}, sim, opts); err != nil {
+	if _, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, testBackend(t, 2), opts); err != nil {
 		t.Fatal(err)
 	}
 	if len(seen) != 3 {
@@ -80,9 +89,9 @@ func TestProgressCallback(t *testing.T) {
 }
 
 func TestRecordsRoundTripThroughApply(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 3)
+	b := testBackend(t, 3)
 	g := tinyGraph()
-	dep, err := OptimizeGraph(g, tuner.RandomTuner{}, sim, quickPipelineOpts(25))
+	dep, err := OptimizeGraph(context.Background(), g, tuner.RandomTuner{}, b, quickPipelineOpts(25))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +109,11 @@ func TestRecordsRoundTripThroughApply(t *testing.T) {
 	}
 	// ApplyRecords only works for registered models; use mobilenet tasks
 	// indirectly by checking the error path first.
-	if _, _, err := ApplyRecords("nope", loaded, sim, graph.AllOps, 50); err == nil {
+	if _, _, err := ApplyRecords("nope", loaded, b, graph.AllOps, 50); err == nil {
 		t.Fatal("unknown model should error")
 	}
 	// Missing records for a real model also error.
-	if _, _, err := ApplyRecords("mobilenet-v1", nil, sim, graph.ConvOnly, 50); err == nil {
+	if _, _, err := ApplyRecords("mobilenet-v1", nil, b, graph.ConvOnly, 50); err == nil {
 		t.Fatal("missing records should error")
 	}
 }
@@ -113,17 +122,17 @@ func TestApplyRecordsRealModel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tunes a real model")
 	}
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 4)
+	b := testBackend(t, 4)
 	opts := PipelineOptions{
 		Tuning:  tuner.Options{Budget: 12, EarlyStop: -1, PlanSize: 8, Seed: 9},
 		Extract: graph.ConvOnly,
 		Runs:    50,
 	}
-	dep, err := OptimizeModel("squeezenet-v1.1", tuner.RandomTuner{}, sim, opts)
+	dep, err := OptimizeModel(context.Background(), "squeezenet-v1.1", tuner.RandomTuner{}, b, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, variance, err := ApplyRecords("squeezenet-v1.1", dep.Records(), sim, graph.ConvOnly, 50)
+	lat, variance, err := ApplyRecords("squeezenet-v1.1", dep.Records(), b, graph.ConvOnly, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +142,7 @@ func TestApplyRecordsRealModel(t *testing.T) {
 }
 
 func TestSortedTaskNames(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 5)
-	dep, err := OptimizeGraph(tinyGraph(), tuner.RandomTuner{}, sim, quickPipelineOpts(15))
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, testBackend(t, 5), quickPipelineOpts(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +172,9 @@ func TestTaskIndexParsing(t *testing.T) {
 }
 
 func TestUseTransferPipeline(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 6)
 	opts := quickPipelineOpts(24)
 	opts.UseTransfer = true
-	dep, err := OptimizeGraph(tinyGraph(), tuner.NewAutoTVM(), sim, opts)
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.NewAutoTVM(), testBackend(t, 6), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,12 +184,14 @@ func TestUseTransferPipeline(t *testing.T) {
 }
 
 func TestInitSamplesOf(t *testing.T) {
-	sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), 7)
 	task, err := tuner.NewTask("x", tinyGraph().TunableNodes()[0].Workload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := tuner.RandomTuner{}.Tune(task, sim, tuner.Options{Budget: 10, EarlyStop: -1, PlanSize: 4, Seed: 1})
+	res, err := tuner.RandomTuner{}.Tune(context.Background(), task, testBackend(t, 7), tuner.Options{Budget: 10, EarlyStop: -1, PlanSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := InitSamplesOf(res, 4); len(got) != 4 {
 		t.Fatalf("init samples = %d", len(got))
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/hwsim"
+	"repro/internal/record"
+	"repro/internal/space"
+	"repro/internal/tensor"
+	"repro/internal/tuner"
+)
+
+// slowBackend delays every measurement so deadline and cancellation tests
+// have wall-clock behaviour to race against.
+type slowBackend struct {
+	inner backend.Backend
+	delay time.Duration
+}
+
+func (s slowBackend) Name() string { return "slow(" + s.inner.Name() + ")" }
+
+func (s slowBackend) Seeded() bool { return s.inner.Seeded() }
+
+func (s slowBackend) Measure(w tensor.Workload, c space.Config) hwsim.Measurement {
+	time.Sleep(s.delay)
+	return s.inner.Measure(w, c)
+}
+
+func (s slowBackend) MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement {
+	time.Sleep(s.delay)
+	return s.inner.MeasureSeeded(w, c, noiseSeed)
+}
+
+func (s slowBackend) NetworkLatency(deps []hwsim.Deployment, runs int) (float64, float64, error) {
+	return s.inner.NetworkLatency(deps, runs)
+}
+
+// TestTaskDeadlineDeploysBestFound: a per-task deadline ends each task's
+// search early but the pipeline still completes, deploying the best each
+// truncated search found.
+func TestTaskDeadlineDeploysBestFound(t *testing.T) {
+	slow := slowBackend{inner: testBackend(t, 41), delay: time.Millisecond}
+	opts := quickPipelineOpts(4096) // far more than the deadline allows
+	opts.TaskDeadline = 60 * time.Millisecond
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, slow, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range dep.Tasks {
+		if !task.Result.Found {
+			t.Fatalf("task %s deployed nothing", task.Task.Name)
+		}
+		if task.Result.Measurements >= opts.Tuning.Budget {
+			t.Fatalf("task %s exhausted the budget despite the deadline", task.Task.Name)
+		}
+	}
+	if dep.LatencyMS <= 0 {
+		t.Fatal("no end-to-end latency")
+	}
+}
+
+// TestParentCancellationAbortsPipeline: cancelling the caller's ctx mid-run
+// aborts the whole pipeline with an error wrapping context.Canceled, unlike
+// a per-task deadline.
+func TestParentCancellationAbortsPipeline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := quickPipelineOpts(4096)
+	n := 0
+	opts.OnRecord = func(record.Record) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+	}
+	slow := slowBackend{inner: testBackend(t, 43), delay: 100 * time.Microsecond}
+	_, err := OptimizeGraph(ctx, tinyGraph(), tuner.RandomTuner{}, slow, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOnRecordStreamsEveryMeasurement: the OnRecord hook sees exactly the
+// measurements the deployment accounts for, as they happen.
+func TestOnRecordStreamsEveryMeasurement(t *testing.T) {
+	var recs []record.Record
+	opts := quickPipelineOpts(12)
+	opts.OnRecord = func(r record.Record) { recs = append(recs, r) }
+	dep, err := OptimizeGraph(context.Background(), tinyGraph(), tuner.RandomTuner{}, testBackend(t, 44), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != dep.TotalMeasurements {
+		t.Fatalf("streamed %d records, deployment accounts %d", len(recs), dep.TotalMeasurements)
+	}
+	for i, r := range recs {
+		if r.Step <= 0 || r.Task == "" || r.Tuner == "" {
+			t.Fatalf("record %d incomplete: %+v", i, r)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,4 +56,51 @@ func For(n, workers int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForContext is For with cooperative cancellation: each worker checks ctx
+// before claiming the next index and stops dispatching once ctx is done,
+// while every already-claimed index runs to completion (an in-flight
+// measurement is never abandoned mid-call). Indices are claimed strictly in
+// order with no gaps, so the executed calls are exactly f(0) .. f(k-1) for
+// the returned k — the prefix property the cancellation-determinism
+// guarantee of the tuning engine is built on. An undone ctx executes all n
+// calls and returns n.
+func ForContext(ctx context.Context, n, workers int, f func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return i
+			}
+			f(i)
+		}
+		return n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	claimed := int(next.Load())
+	if claimed > n {
+		claimed = n
+	}
+	return claimed
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -49,5 +50,66 @@ func TestForIndexAddressedWritesAreDeterministic(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+func TestForContextCompletesWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 4, 100} {
+		const n = 123
+		counts := make([]int32, n)
+		k := ForContext(context.Background(), n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		if k != n {
+			t.Fatalf("workers=%d: completed run returned %d, want %d", workers, k, n)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForContextExecutesExactPrefix is the cancellation contract the
+// deterministic fold relies on: ForContext returns k such that exactly
+// f(0)..f(k-1) ran — claimed indices are contiguous from zero, with no gaps
+// and no execution past k.
+func TestForContextExecutesExactPrefix(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		const n = 500
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed [n]int32
+		var calls atomic.Int32
+		k := ForContext(ctx, n, workers, func(i int) {
+			atomic.AddInt32(&executed[i], 1)
+			if calls.Add(1) == 40 {
+				cancel()
+			}
+		})
+		cancel()
+		if k >= n {
+			t.Fatalf("workers=%d: cancellation did not shorten the run (k=%d)", workers, k)
+		}
+		for i := 0; i < k; i++ {
+			if atomic.LoadInt32(&executed[i]) != 1 {
+				t.Fatalf("workers=%d: index %d inside prefix executed %d times", workers, i, executed[i])
+			}
+		}
+		for i := k; i < n; i++ {
+			if atomic.LoadInt32(&executed[i]) != 0 {
+				t.Fatalf("workers=%d: index %d beyond returned prefix %d executed", workers, i, k)
+			}
+		}
+	}
+}
+
+func TestForContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	if k := ForContext(ctx, 10, 4, func(int) { called = true }); k != 0 {
+		t.Fatalf("pre-cancelled run returned %d", k)
+	}
+	if called {
+		t.Fatal("f called on a dead context")
 	}
 }

@@ -1,0 +1,102 @@
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StreamWriter appends records to a log incrementally, one JSON line per
+// measurement, so an interrupted run keeps everything flushed so far. It is
+// safe for concurrent use: pipeline observers may fire from whichever
+// goroutine folds a batch.
+type StreamWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	count int
+	err   error
+}
+
+// NewStreamWriter wraps w. The caller owns w's lifetime (closing files,
+// etc.); Flush forces buffered lines down to it.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	bw := bufio.NewWriter(w)
+	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append encodes one record. After the first failure every later call
+// returns the same error, so callers may checkpoint per batch and report
+// once.
+func (s *StreamWriter) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.enc.Encode(&rec); err != nil {
+		s.err = fmt.Errorf("record: streaming entry %d: %w", s.count+1, err)
+		return s.err
+	}
+	s.count++
+	return nil
+}
+
+// Flush pushes buffered lines to the underlying writer — the checkpoint
+// boundary an interrupted run recovers to.
+func (s *StreamWriter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = fmt.Errorf("record: flushing stream: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// Count returns how many records were appended successfully.
+func (s *StreamWriter) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory plus rename, so readers never observe a partially-written
+// summary even when the writer is interrupted.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("record: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		// Best-effort cleanup of the error paths below; after a successful
+		// rename the temp file no longer exists and this is a no-op.
+		_ = os.Remove(tmpName)
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		if closeErr := tmp.Close(); closeErr != nil {
+			err = fmt.Errorf("%w (and closing: %v)", err, closeErr)
+		}
+		return fmt.Errorf("record: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("record: closing %s: %w", tmpName, err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return fmt.Errorf("record: chmod %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("record: renaming %s to %s: %w", tmpName, path, err)
+	}
+	return nil
+}

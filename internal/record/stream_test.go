@@ -1,0 +1,115 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	recs := []Record{
+		{Task: "t", Workload: "w", Tuner: "random", Step: 1, Config: []int{0, 1}, GFLOPS: 10, Valid: true},
+		{Task: "t", Workload: "w", Tuner: "random", Step: 2, Config: []int{1, 0}, Valid: false},
+	}
+	for _, r := range recs {
+		if err := sw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != 2 {
+		t.Fatalf("count = %d", sw.Count())
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded[0].GFLOPS != 10 || loaded[1].Valid {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ left int }
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errSink
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errSink
+	}
+	return n, nil
+}
+
+func TestStreamWriterLatchesFirstError(t *testing.T) {
+	sw := NewStreamWriter(&failWriter{left: 4})
+	rec := Record{Task: "t", Workload: "w", Step: 1, Config: []int{0}}
+	var first error
+	// Keep appending until the tiny sink overflows; buffering may absorb a
+	// few records before the error surfaces.
+	for i := 0; i < 10_000 && first == nil; i++ {
+		if err := sw.Append(rec); err != nil {
+			first = err
+		} else if err := sw.Flush(); err != nil {
+			first = err
+		}
+	}
+	if !errors.Is(first, errSink) {
+		t.Fatalf("sink error never surfaced: %v", first)
+	}
+	if err := sw.Append(rec); !errors.Is(err, errSink) {
+		t.Fatalf("later append must return the latched error, got %v", err)
+	}
+	if err := sw.Flush(); !errors.Is(err, errSink) {
+		t.Fatalf("later flush must return the latched error, got %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.txt")
+	if err := WriteFileAtomic(path, []byte("first\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second\n" {
+		t.Fatalf("content = %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") || e.Name() != "summary.txt" {
+			t.Fatalf("temp file left behind: %q", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "f.txt"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory must error")
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,25 +48,28 @@ func ablationTasks(n int) ([]*tuner.Task, error) {
 }
 
 // runAblationArm evaluates one tuner variant over the task subset.
-func runAblationArm(cfg Config, tasks []*tuner.Task, tn tuner.Tuner, armIdx int) (gflops, configs float64) {
+func runAblationArm(ctx context.Context, cfg Config, tasks []*tuner.Task, tn tuner.Tuner, armIdx int) (gflops, configs float64, err error) {
 	var gs, cs []float64
 	for ti, task := range tasks {
 		for trial := 0; trial < cfg.Trials; trial++ {
-			sim := newSim(cfg.trialSeed(trial) + int64(ti)*131 + int64(armIdx)*7)
+			b := newBackend(cfg.trialSeed(trial) + int64(ti)*131 + int64(armIdx)*7)
 			opts := tuner.Options{
 				Budget:    cfg.Budget,
 				EarlyStop: cfg.EarlyStop,
 				PlanSize:  cfg.PlanSize,
 				Seed:      cfg.trialSeed(trial)*13 + int64(ti)*431 + int64(armIdx),
 			}
-			r := tn.Tune(task, sim, opts)
+			r, err := tuneTrial(ctx, tn, task, b, opts)
+			if err != nil {
+				return 0, 0, err
+			}
 			cs = append(cs, float64(r.Measurements))
 			if r.Found {
 				gs = append(gs, r.Best.GFLOPS/1000) // TFLOPS-ish scale per task
 			}
 		}
 	}
-	return meanOf(gs), meanOf(cs)
+	return meanOf(gs), meanOf(cs), nil
 }
 
 // finishAblation normalizes rows against the first (default) row.
@@ -81,7 +85,7 @@ func finishAblation(name string, rows []AblationRow) AblationResult {
 
 // AblationGamma sweeps the number of bootstrap evaluation functions
 // (paper setting Γ=2 first).
-func AblationGamma(cfg Config) (AblationResult, error) {
+func AblationGamma(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
@@ -91,7 +95,10 @@ func AblationGamma(cfg Config) (AblationResult, error) {
 		cfg.progress("ablation gamma=%d", gamma)
 		tn := tuner.NewBTEDBAO()
 		tn.BAO.Gamma = gamma
-		g, c := runAblationArm(cfg, tasks, tn, i)
+		g, c, err := runAblationArm(ctx, cfg, tasks, tn, i)
+		if err != nil {
+			return AblationResult{}, err
+		}
 		rows = append(rows, AblationRow{Setting: fmt.Sprintf("Gamma=%d", gamma), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	}
 	return finishAblation("bootstrap-resamples", rows), nil
@@ -99,7 +106,7 @@ func AblationGamma(cfg Config) (AblationResult, error) {
 
 // AblationTau sweeps the adaptive radius growth factor (paper τ=1.5 first;
 // τ→1 disables growth).
-func AblationTau(cfg Config) (AblationResult, error) {
+func AblationTau(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
@@ -109,14 +116,17 @@ func AblationTau(cfg Config) (AblationResult, error) {
 		cfg.progress("ablation tau=%.2f", tau)
 		tn := tuner.NewBTEDBAO()
 		tn.BAO.Tau = tau
-		g, c := runAblationArm(cfg, tasks, tn, i)
+		g, c, err := runAblationArm(ctx, cfg, tasks, tn, i)
+		if err != nil {
+			return AblationResult{}, err
+		}
 		rows = append(rows, AblationRow{Setting: fmt.Sprintf("tau=%.2f", tau), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	}
 	return finishAblation("adaptive-growth", rows), nil
 }
 
 // AblationRadius sweeps the base neighborhood radius (paper R=3 first).
-func AblationRadius(cfg Config) (AblationResult, error) {
+func AblationRadius(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
@@ -126,7 +136,10 @@ func AblationRadius(cfg Config) (AblationResult, error) {
 		cfg.progress("ablation R=%.0f", r)
 		tn := tuner.NewBTEDBAO()
 		tn.BAO.R = r
-		g, c := runAblationArm(cfg, tasks, tn, i)
+		g, c, err := runAblationArm(ctx, cfg, tasks, tn, i)
+		if err != nil {
+			return AblationResult{}, err
+		}
 		rows = append(rows, AblationRow{Setting: fmt.Sprintf("R=%.0f", r), GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	}
 	return finishAblation("neighborhood-radius", rows), nil
@@ -134,37 +147,49 @@ func AblationRadius(cfg Config) (AblationResult, error) {
 
 // AblationInit compares BTED initialization against random initialization
 // with the identical BAO iterative stage (isolating BTED's contribution).
-func AblationInit(cfg Config) (AblationResult, error) {
+func AblationInit(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var rows []AblationRow
 	bted := tuner.NewBTEDBAO()
-	g, c := runAblationArm(cfg, tasks, bted, 0)
+	g, c, err := runAblationArm(ctx, cfg, tasks, bted, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "BTED-init", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	rnd := tuner.NewBTEDBAO()
 	rnd.BTED.B = 1
 	rnd.BTED.M = cfg.PlanSize // degenerate BTED == random sample
-	g, c = runAblationArm(cfg, tasks, rnd, 1)
+	g, c, err = runAblationArm(ctx, cfg, tasks, rnd, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "random-init", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	return finishAblation("initialization", rows), nil
 }
 
 // AblationCeil compares the plain relative improvement of Eq. (1) against
 // the paper-literal ceiling (see DESIGN.md on the suspected typo).
-func AblationCeil(cfg Config) (AblationResult, error) {
+func AblationCeil(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var rows []AblationRow
 	plain := tuner.NewBTEDBAO()
-	g, c := runAblationArm(cfg, tasks, plain, 0)
+	g, c, err := runAblationArm(ctx, cfg, tasks, plain, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "plain-Eq1", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	ceil := tuner.NewBTEDBAO()
 	ceil.BAO.LiteralCeil = true
-	g, c = runAblationArm(cfg, tasks, ceil, 1)
+	g, c, err = runAblationArm(ctx, cfg, tasks, ceil, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "literal-ceil", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	return finishAblation("eq1-ceiling", rows), nil
 }
@@ -172,18 +197,24 @@ func AblationCeil(cfg Config) (AblationResult, error) {
 // AblationScope compares the hybrid searching scope (local neighborhood
 // with bootstrap-guided global fallback on stall; see DESIGN.md) against
 // the strictly-local reading of Algorithm 4.
-func AblationScope(cfg Config) (AblationResult, error) {
+func AblationScope(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var rows []AblationRow
 	hybrid := tuner.NewBTEDBAO()
-	g, c := runAblationArm(cfg, tasks, hybrid, 0)
+	g, c, err := runAblationArm(ctx, cfg, tasks, hybrid, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "hybrid-scope", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	local := tuner.NewBTEDBAO()
 	local.BAO.GlobalFallbackAfter = -1
-	g, c = runAblationArm(cfg, tasks, local, 1)
+	g, c, err = runAblationArm(ctx, cfg, tasks, local, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "strictly-local", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	return finishAblation("searching-scope", rows), nil
 }
@@ -192,7 +223,7 @@ func AblationScope(cfg Config) (AblationResult, error) {
 // boosting (default), Gaussian process, random forest — exercising the
 // paper's claim that the framework is independent of the evaluation
 // function's concrete form.
-func AblationEvalFunc(cfg Config) (AblationResult, error) {
+func AblationEvalFunc(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
@@ -210,7 +241,10 @@ func AblationEvalFunc(cfg Config) (AblationResult, error) {
 		cfg.progress("ablation eval=%s", arm.name)
 		tn := tuner.NewBTEDBAO()
 		tn.Trainer = arm.tr
-		g, c := runAblationArm(cfg, tasks, tn, i)
+		g, c, err := runAblationArm(ctx, cfg, tasks, tn, i)
+		if err != nil {
+			return AblationResult{}, err
+		}
 		rows = append(rows, AblationRow{Setting: arm.name, GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	}
 	return finishAblation("evaluation-function", rows), nil
@@ -219,50 +253,62 @@ func AblationEvalFunc(cfg Config) (AblationResult, error) {
 // AblationObjective compares the AutoTVM arm's cost-model loss: squared
 // error (our calibrated default) versus the pairwise rank loss AutoTVM
 // ships with.
-func AblationObjective(cfg Config) (AblationResult, error) {
+func AblationObjective(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var rows []AblationRow
 	reg := tuner.NewAutoTVM()
-	g, c := runAblationArm(cfg, tasks, reg, 0)
+	g, c, err := runAblationArm(ctx, cfg, tasks, reg, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "squared-error", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	rank := tuner.NewAutoTVM()
 	rank.RankObjective = true
-	g, c = runAblationArm(cfg, tasks, rank, 1)
+	g, c, err = runAblationArm(ctx, cfg, tasks, rank, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "pairwise-rank", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	return finishAblation("cost-model-objective", rows), nil
 }
 
 // AblationKernel compares the default RBF TED kernel against the
 // paper-literal raw Euclidean distance matrix.
-func AblationKernel(cfg Config) (AblationResult, error) {
+func AblationKernel(ctx context.Context, cfg Config) (AblationResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return AblationResult{}, err
 	}
 	var rows []AblationRow
 	rbf := tuner.NewBTEDBAO()
-	g, c := runAblationArm(cfg, tasks, rbf, 0)
+	g, c, err := runAblationArm(ctx, cfg, tasks, rbf, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "rbf-kernel", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	lit := tuner.NewBTEDBAO()
 	lit.BTED.Kernel = linalg.DistanceKernel{}
 	lit.BTED.View = active.ViewKnobIndices
-	g, c = runAblationArm(cfg, tasks, lit, 1)
+	g, c, err = runAblationArm(ctx, cfg, tasks, lit, 1)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	rows = append(rows, AblationRow{Setting: "euclidean-literal", GFLOPS: g, Configs: c, TasksRun: len(tasks)})
 	return finishAblation("ted-kernel", rows), nil
 }
 
 // AllAblations runs every study.
-func AllAblations(cfg Config) ([]AblationResult, error) {
-	studies := []func(Config) (AblationResult, error){
+func AllAblations(ctx context.Context, cfg Config) ([]AblationResult, error) {
+	studies := []func(context.Context, Config) (AblationResult, error){
 		AblationGamma, AblationTau, AblationRadius, AblationInit,
 		AblationCeil, AblationKernel, AblationScope, AblationEvalFunc, AblationObjective,
 	}
 	var out []AblationResult
 	for _, f := range studies {
-		r, err := f(cfg)
+		r, err := f(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}

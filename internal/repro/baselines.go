@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/tuner"
@@ -22,7 +23,7 @@ type BaselinesResult struct {
 }
 
 // Baselines runs the all-tuners comparison.
-func Baselines(cfg Config) (*BaselinesResult, error) {
+func Baselines(ctx context.Context, cfg Config) (*BaselinesResult, error) {
 	tasks, err := ablationTasks(3)
 	if err != nil {
 		return nil, err
@@ -42,7 +43,10 @@ func Baselines(cfg Config) (*BaselinesResult, error) {
 	res := &BaselinesResult{}
 	for i, arm := range arms {
 		cfg.progress("baselines %s", arm.name)
-		g, c := runAblationArm(cfg, tasks, arm.tn, i)
+		g, c, err := runAblationArm(ctx, cfg, tasks, arm.tn, i)
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, BaselineRow{Tuner: arm.name, GFLOPS: g, Configs: c})
 	}
 	base := res.Rows[0].GFLOPS

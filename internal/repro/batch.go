@@ -1,7 +1,7 @@
 package repro
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"repro/internal/hwsim"
@@ -29,31 +29,33 @@ type BatchResult struct {
 }
 
 // Batch runs the study on the simulated GTX 1080 Ti.
-func Batch(cfg Config) (*BatchResult, error) {
+func Batch(ctx context.Context, cfg Config) (*BatchResult, error) {
 	base := tensor.Conv2D(1, 64, 28, 28, 128, 3, 1, 1)
 	res := &BatchResult{Workload: base.Key()}
 
+	// Every row needs a deployable winner, so tuning errors — including
+	// tuner.ErrNoValidConfig — propagate unconditionally here.
 	tune := func(w tensor.Workload, seed int64) (tuner.Result, *tuner.Task, error) {
 		task, err := tuner.NewTask("batch", w)
 		if err != nil {
 			return tuner.Result{}, nil, err
 		}
-		sim := hwsim.NewSimulator(hwsim.GTX1080Ti(), seed)
-		r := tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+		b := newBackend(seed)
+		r, err := tuner.NewBTEDBAO().Tune(ctx, task, b, tuner.Options{
 			Budget:    cfg.Budget,
 			EarlyStop: cfg.EarlyStop,
 			PlanSize:  cfg.PlanSize,
 			Seed:      seed * 31,
 		})
+		if err != nil {
+			return tuner.Result{}, nil, err
+		}
 		return r, task, nil
 	}
 
 	oneRes, _, err := tune(base, cfg.Seed)
 	if err != nil {
 		return nil, err
-	}
-	if !oneRes.Found {
-		return nil, errNoConfig
 	}
 	res.Rows = append(res.Rows, BatchRow{N: 1, GFLOPS: oneRes.Best.GFLOPS, ReusedGFLOPS: oneRes.Best.GFLOPS, RetainPct: 100})
 
@@ -65,9 +67,6 @@ func Batch(cfg Config) (*BatchResult, error) {
 		r, task, err := tune(w, cfg.Seed+int64(i+1))
 		if err != nil {
 			return nil, err
-		}
-		if !r.Found {
-			return nil, errNoConfig
 		}
 		row := BatchRow{N: n, GFLOPS: r.Best.GFLOPS}
 		// Re-apply the N=1 winner. The knob structure matches only when
@@ -83,9 +82,6 @@ func Batch(cfg Config) (*BatchResult, error) {
 	}
 	return res, nil
 }
-
-// errNoConfig reports a tuning run that produced nothing deployable.
-var errNoConfig = fmt.Errorf("repro: tuning found no valid configuration")
 
 // remapConfig carries a config into another task's space by clamping each
 // knob index: spaces of the same operator share knob structure, only the

@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/hwsim"
 	"repro/internal/tuner"
 )
@@ -23,7 +25,7 @@ type CrossDeviceResult struct {
 // CrossDevice tunes one representative MobileNet-v1 task per device with
 // BTED+BAO and cross-evaluates the winners, quantifying how device-specific
 // good deployment configurations are.
-func CrossDevice(cfg Config, deviceNames []string) (*CrossDeviceResult, error) {
+func CrossDevice(ctx context.Context, cfg Config, deviceNames []string) (*CrossDeviceResult, error) {
 	if len(deviceNames) == 0 {
 		deviceNames = []string{"gtx1080ti", "v100", "gtx1060", "jetsontx2"}
 	}
@@ -41,20 +43,22 @@ func CrossDevice(cfg Config, deviceNames []string) (*CrossDeviceResult, error) {
 	}
 	task := tasks[4] // a mid-network pointwise conv: sensitive to balance
 
-	// Tune per device.
+	// Tune per device. Any tuning failure — including an all-invalid run —
+	// aborts: every later matrix entry needs a winner per device.
 	best := make([]tuner.Result, len(devices))
 	for i, d := range devices {
 		cfg.progress("crossdev tuning on %s", d.Name)
-		sim := hwsim.NewSimulator(d, cfg.Seed+int64(i))
-		best[i] = tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+		b := backend.Wrap(deviceNames[i], hwsim.NewSimulator(d, cfg.Seed+int64(i)))
+		r, err := tuner.NewBTEDBAO().Tune(ctx, task, b, tuner.Options{
 			Budget:    cfg.Budget,
 			EarlyStop: cfg.EarlyStop,
 			PlanSize:  cfg.PlanSize,
 			Seed:      cfg.Seed*7 + int64(i),
 		})
-		if !best[i].Found {
-			return nil, fmt.Errorf("repro: tuning on %s found nothing", d.Name)
+		if err != nil {
+			return nil, fmt.Errorf("repro: tuning on %s: %w", d.Name, err)
 		}
+		best[i] = r
 	}
 
 	// Cross-evaluate with the noiseless estimator (we compare models, not

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestBaselinesTiny(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 24
 	cfg.PlanSize = 8
-	res, err := Baselines(cfg)
+	res, err := Baselines(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestCrossDeviceTiny(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 32
 	cfg.PlanSize = 8
-	res, err := CrossDevice(cfg, []string{"gtx1080ti", "jetsontx2"})
+	res, err := CrossDevice(context.Background(), cfg, []string{"gtx1080ti", "jetsontx2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestCrossDeviceTiny(t *testing.T) {
 
 func TestCrossDeviceUnknownDevice(t *testing.T) {
 	cfg := tinyCfg()
-	if _, err := CrossDevice(cfg, []string{"tpu-v9"}); err == nil {
+	if _, err := CrossDevice(context.Background(), cfg, []string{"tpu-v9"}); err == nil {
 		t.Fatal("unknown device should error")
 	}
 }

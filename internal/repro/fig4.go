@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ type Fig4Result struct {
 // first two MobileNet-v1 layers tuned by the three methods with no early
 // stopping, plotting best-so-far GFLOPS against the number of sampled
 // configurations.
-func Fig4(cfg Config) ([]Fig4Result, error) {
+func Fig4(ctx context.Context, cfg Config) ([]Fig4Result, error) {
 	tasks, err := mobilenetTasks()
 	if err != nil {
 		return nil, err
@@ -41,14 +42,17 @@ func Fig4(cfg Config) ([]Fig4Result, error) {
 			acc := make([]float64, cfg.Budget)
 			for trial := 0; trial < cfg.Trials; trial++ {
 				cfg.progress("fig4 %s %s trial %d/%d", task.Name, Methods[mi], trial+1, cfg.Trials)
-				sim := newSim(cfg.trialSeed(trial) + int64(mi))
+				b := newBackend(cfg.trialSeed(trial) + int64(mi))
 				opts := tuner.Options{
 					Budget:    cfg.Budget,
 					EarlyStop: -1, // Fig. 4 plots the full budget
 					PlanSize:  cfg.PlanSize,
 					Seed:      cfg.trialSeed(trial)*31 + int64(mi),
 				}
-				r := NewMethodTuner(mi).Tune(task, sim, opts)
+				r, err := tuneTrial(ctx, NewMethodTuner(mi), task, b, opts)
+				if err != nil {
+					return nil, err
+				}
 				trace := padTrace(r.BestTrace(), cfg.Budget)
 				for i := range acc {
 					acc[i] += trace[i]
@@ -153,9 +157,10 @@ func Fig4Check(r Fig4Result, tol float64) error {
 
 // fig4SamplesFrom is a test hook: it exposes the per-trial samples of one
 // (task, method) cell so tests can assert trace construction.
-func fig4SamplesFrom(task *tuner.Task, mi int, cfg Config, trial int) []active.Sample {
-	sim := newSim(cfg.trialSeed(trial) + int64(mi))
+func fig4SamplesFrom(ctx context.Context, task *tuner.Task, mi int, cfg Config, trial int) ([]active.Sample, error) {
+	b := newBackend(cfg.trialSeed(trial) + int64(mi))
 	opts := tuner.Options{Budget: cfg.Budget, EarlyStop: -1, PlanSize: cfg.PlanSize,
 		Seed: cfg.trialSeed(trial)*31 + int64(mi)}
-	return NewMethodTuner(mi).Tune(task, sim, opts).Samples
+	r, err := tuneTrial(ctx, NewMethodTuner(mi), task, b, opts)
+	return r.Samples, err
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ type Fig5Result struct {
 
 // Fig5 regenerates the per-task comparison of the paper's Fig. 5 over all
 // 19 MobileNet-v1 conv/depthwise tasks with early stopping enabled.
-func Fig5(cfg Config) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	tasks, err := mobilenetTasks()
 	if err != nil {
 		return nil, err
@@ -37,14 +38,17 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 			var configs, gflops []float64
 			for trial := 0; trial < cfg.Trials; trial++ {
 				cfg.progress("fig5 T%d %s trial %d/%d", ti+1, Methods[mi], trial+1, cfg.Trials)
-				sim := newSim(cfg.trialSeed(trial) + int64(mi) + int64(ti)*97)
+				b := newBackend(cfg.trialSeed(trial) + int64(mi) + int64(ti)*97)
 				opts := tuner.Options{
 					Budget:    cfg.Budget,
 					EarlyStop: cfg.EarlyStop,
 					PlanSize:  cfg.PlanSize,
 					Seed:      cfg.trialSeed(trial)*31 + int64(mi) + int64(ti)*389,
 				}
-				r := NewMethodTuner(mi).Tune(task, sim, opts)
+				r, err := tuneTrial(ctx, NewMethodTuner(mi), task, b, opts)
+				if err != nil {
+					return nil, err
+				}
 				configs = append(configs, float64(r.Measurements))
 				if r.Found {
 					gflops = append(gflops, r.Best.GFLOPS)

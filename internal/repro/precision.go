@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"context"
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/hwsim"
 	"repro/internal/tensor"
 	"repro/internal/tuner"
@@ -28,7 +30,7 @@ type PrecisionResult struct {
 }
 
 // Precision runs the study.
-func Precision(cfg Config) (*PrecisionResult, error) {
+func Precision(ctx context.Context, cfg Config) (*PrecisionResult, error) {
 	base := tensor.Conv2D(1, 128, 28, 28, 128, 3, 1, 1)
 	fp16 := base
 	fp16.DType = tensor.Float16
@@ -47,13 +49,16 @@ func Precision(cfg Config) (*PrecisionResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			sim := hwsim.NewSimulator(dev, cfg.Seed+int64(di*10+wi))
-			r := tuner.NewBTEDBAO().Tune(task, sim, tuner.Options{
+			b := backend.Wrap(devName, hwsim.NewSimulator(dev, cfg.Seed+int64(di*10+wi)))
+			r, err := tuneTrial(ctx, tuner.NewBTEDBAO(), task, b, tuner.Options{
 				Budget:    cfg.Budget,
 				EarlyStop: cfg.EarlyStop,
 				PlanSize:  cfg.PlanSize,
 				Seed:      cfg.Seed*3 + int64(di*100+wi),
 			})
+			if err != nil {
+				return nil, err
+			}
 			if !r.Found {
 				continue
 			}

@@ -8,9 +8,12 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/tuner"
@@ -84,6 +87,25 @@ func mobilenetTasks() ([]*tuner.Task, error) {
 // newSim builds the measurement environment of one trial.
 func newSim(seed int64) *hwsim.Simulator {
 	return hwsim.NewSimulator(hwsim.GTX1080Ti(), seed)
+}
+
+// newBackend wraps one trial's simulator as the measurement backend of the
+// reproduction device (the paper tunes on a GTX 1080 Ti).
+func newBackend(seed int64) backend.Backend {
+	return backend.Wrap("gtx1080ti", newSim(seed))
+}
+
+// tuneTrial runs one (task, method) tuning trial. A completed search that
+// never saw a valid deployment is not an error at this level — the trial
+// simply contributes no GFLOPS to its row, while its Measurements still
+// count — but cancellation and every other failure propagate so study loops
+// abort promptly.
+func tuneTrial(ctx context.Context, tn tuner.Tuner, task *tuner.Task, b backend.Backend, opts tuner.Options) (tuner.Result, error) {
+	r, err := tn.Tune(ctx, task, b, opts)
+	if err != nil && !errors.Is(err, tuner.ErrNoValidConfig) {
+		return r, err
+	}
+	return r, nil
 }
 
 // meanOf averages a slice, returning 0 for empty input.

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestFig4Tiny(t *testing.T) {
 	cfg := tinyCfg()
 	var msgs []string
 	cfg.Progress = func(s string) { msgs = append(msgs, s) }
-	res, err := Fig4(cfg)
+	res, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig5TinySubsetViaRows(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 30
 	cfg.PlanSize = 8
-	res, err := Fig5(cfg)
+	res, err := Fig5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestTable1SingleSmallModel(t *testing.T) {
 	cfg.Budget = 24
 	cfg.PlanSize = 8
 	cfg.EarlyStop = -1
-	res, err := Table1(cfg, []string{"squeezenet-v1.1"})
+	res, err := Table1(context.Background(), cfg, []string{"squeezenet-v1.1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestTable1SingleSmallModel(t *testing.T) {
 
 func TestTable1UnknownModel(t *testing.T) {
 	cfg := tinyCfg()
-	if _, err := Table1(cfg, []string{"nope"}); err == nil {
+	if _, err := Table1(context.Background(), cfg, []string{"nope"}); err == nil {
 		t.Fatal("unknown model should error")
 	}
 }
@@ -223,7 +224,7 @@ func TestAblationCeilTiny(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 24
 	cfg.PlanSize = 8
-	res, err := AblationCeil(cfg)
+	res, err := AblationCeil(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,10 @@ func TestFig4SamplesHook(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Budget = 20
 	cfg.PlanSize = 8
-	samples := fig4SamplesFrom(tasks[0], 0, cfg, 0)
+	samples, err := fig4SamplesFrom(context.Background(), tasks[0], 0, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(samples) == 0 || len(samples) > 20 {
 		t.Fatalf("samples = %d", len(samples))
 	}

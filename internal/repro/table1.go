@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -31,7 +32,7 @@ type Table1Result struct {
 // model is tuned by each method, the best configurations are deployed
 // together, and the latency statistics over cfg.Runs simulated inferences
 // are averaged across trials.
-func Table1(cfg Config, models []string) (*Table1Result, error) {
+func Table1(ctx context.Context, cfg Config, models []string) (*Table1Result, error) {
 	if len(models) == 0 {
 		models = graph.ModelNames
 	}
@@ -42,7 +43,7 @@ func Table1(cfg Config, models []string) (*Table1Result, error) {
 			var lats, vars []float64
 			for trial := 0; trial < cfg.Trials; trial++ {
 				cfg.progress("table1 %s %s trial %d/%d", model, Methods[mi], trial+1, cfg.Trials)
-				sim := newSim(cfg.trialSeed(trial) + int64(mi) + int64(modelIdx)*31)
+				b := newBackend(cfg.trialSeed(trial) + int64(mi) + int64(modelIdx)*31)
 				popts := core.PipelineOptions{
 					Tuning: tuner.Options{
 						Budget:    cfg.Budget,
@@ -54,7 +55,7 @@ func Table1(cfg Config, models []string) (*Table1Result, error) {
 					UseTransfer: true,
 					Runs:        cfg.Runs,
 				}
-				dep, err := core.OptimizeModel(model, NewMethodTuner(mi), sim, popts)
+				dep, err := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
 				if err != nil {
 					return nil, err
 				}

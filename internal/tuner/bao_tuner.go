@@ -1,9 +1,11 @@
 package tuner
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/space"
 )
 
@@ -33,10 +35,10 @@ func NewBTEDBAO() *AdvancedTuner {
 func (*AdvancedTuner) Name() string { return "bted+bao" }
 
 // Tune implements Tuner.
-func (t *AdvancedTuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (t *AdvancedTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 
 	// ---- Initialization: BTED (Algorithms 1 & 2) ---------------------------
 	// The initialization set is measured as one deterministic parallel
@@ -45,7 +47,7 @@ func (t *AdvancedTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	// configuration at a time regardless of Workers.
 	bp := t.BTED
 	bp.M0 = opts.PlanSize
-	s.measureBatch(active.BTED(task.Space, bp, rng))
+	s.measureBatch(ctx, active.BTED(task.Space, bp, rng))
 
 	// ---- Iterative optimization: BAO (Algorithms 3 & 4) --------------------
 	trainer := t.Trainer
@@ -59,13 +61,19 @@ func (t *AdvancedTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	} else {
 		bao.EarlyStop = 0
 	}
-	if bao.T > 0 && !s.exhausted() {
+	// BAO's per-step work (bootstrap model trainings) happens outside the
+	// session, so cancellation is surfaced through the Stop hook: polled
+	// before each iteration, it ends the loop as soon as the session's
+	// budget, early stopping, or ctx says to.
+	bao.Stop = func() bool { return s.exhausted(ctx) }
+	if bao.T > 0 && !s.exhausted(ctx) {
 		measure := func(c space.Config) (float64, bool) {
 			before := len(s.samples)
-			s.measure(c)
+			s.measure(ctx, c)
 			if len(s.samples) == before {
-				// Budget exhausted or config already visited: report an
-				// invalid deployment so BAO's own stopping logic winds down.
+				// Budget exhausted, cancelled, or config already visited:
+				// report an invalid deployment so BAO's own stopping logic
+				// winds down.
 				return 0, false
 			}
 			last := s.samples[len(s.samples)-1]

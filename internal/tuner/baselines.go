@@ -1,10 +1,12 @@
 package tuner
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/space"
 )
 
@@ -16,11 +18,11 @@ type RandomTuner struct{}
 func (RandomTuner) Name() string { return "random" }
 
 // Tune implements Tuner.
-func (RandomTuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (RandomTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
-	for !s.exhausted() {
+	for !s.exhausted(ctx) {
 		n := opts.Budget - len(s.samples)
 		if n > opts.PlanSize {
 			n = opts.PlanSize
@@ -29,7 +31,7 @@ func (RandomTuner) Tune(task *Task, m Measurer, opts Options) Result {
 		if len(batch) == 0 {
 			break
 		}
-		s.measureBatch(batch)
+		s.measureBatch(ctx, batch)
 	}
 	return s.result("random")
 }
@@ -46,9 +48,9 @@ type GridTuner struct{}
 func (GridTuner) Name() string { return "grid" }
 
 // Tune implements Tuner.
-func (GridTuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (GridTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 	size := task.Space.Size()
 	step := goldenStep(size)
 	// The golden-ratio sweep is a permutation of the space: after Size()
@@ -60,14 +62,14 @@ func (GridTuner) Tune(task *Task, m Measurer, opts Options) Result {
 		limit = size
 	}
 	batch := make([]space.Config, 0, opts.PlanSize)
-	for i := uint64(0); i < limit && !s.exhausted(); i++ {
+	for i := uint64(0); i < limit && !s.exhausted(ctx); i++ {
 		batch = append(batch, task.Space.FromFlat((i*step)%size))
 		if len(batch) == opts.PlanSize {
-			s.measureBatch(batch)
+			s.measureBatch(ctx, batch)
 			batch = batch[:0]
 		}
 	}
-	s.measureBatch(batch)
+	s.measureBatch(ctx, batch)
 	return s.result("grid")
 }
 
@@ -115,7 +117,7 @@ type GATuner struct {
 func (GATuner) Name() string { return "ga" }
 
 // Tune implements Tuner.
-func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (g GATuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
 	if g.PopSize <= 0 {
 		g.PopSize = opts.PlanSize
@@ -126,11 +128,11 @@ func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
 	if g.MutateProb <= 0 || g.MutateProb > 1 {
 		g.MutateProb = 0.1
 	}
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	s.measureBatch(task.Space.RandomSample(g.PopSize, rng))
-	for !s.exhausted() {
+	s.measureBatch(ctx, task.Space.RandomSample(g.PopSize, rng))
+	for !s.exhausted(ctx) {
 		before := len(s.samples)
 		// Rank all known samples (including resumed ones) by fitness.
 		scored := s.knowledge()
@@ -148,9 +150,9 @@ func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
 		batch := make([]space.Config, 0, g.PopSize)
 		planned := make(map[uint64]bool, g.PopSize)
 		for i := 0; i < g.PopSize; i++ {
-			a := elite[rng.Intn(len(elite))].Config
-			b := elite[rng.Intn(len(elite))].Config
-			child := crossover(task.Space, a, b, rng)
+			pa := elite[rng.Intn(len(elite))].Config
+			pb := elite[rng.Intn(len(elite))].Config
+			child := crossover(task.Space, pa, pb, rng)
 			mutateKnobs(task.Space, child, g.MutateProb, rng)
 			f := child.Flat()
 			if s.visited[f] || planned[f] {
@@ -163,7 +165,7 @@ func (g GATuner) Tune(task *Task, m Measurer, opts Options) Result {
 			planned[f] = true
 			batch = append(batch, child)
 		}
-		s.measureBatch(batch)
+		s.measureBatch(ctx, batch)
 		if len(s.samples) == before {
 			break // space effectively exhausted; nothing new to measure
 		}

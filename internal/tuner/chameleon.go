@@ -1,9 +1,11 @@
 package tuner
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/sa"
 	"repro/internal/space"
@@ -40,10 +42,10 @@ func NewChameleon() *ChameleonTuner {
 func (*ChameleonTuner) Name() string { return "chameleon" }
 
 // Tune implements Tuner.
-func (t *ChameleonTuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (t *ChameleonTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 
 	pf := t.ProposalFactor
 	if pf <= 0 {
@@ -54,8 +56,8 @@ func (t *ChameleonTuner) Tune(task *Task, m Measurer, opts Options) Result {
 		mf = 0.5
 	}
 
-	s.measureBatch(active.RandomInit(task.Space, opts.PlanSize, rng))
-	for !s.exhausted() {
+	s.measureBatch(ctx, active.RandomInit(task.Space, opts.PlanSize, rng))
+	for !s.exhausted(ctx) {
 		before := len(s.samples)
 		model := t.Inner.trainModel(task, s, rng)
 		var batch []space.Config
@@ -82,7 +84,7 @@ func (t *ChameleonTuner) Tune(task *Task, m Measurer, opts Options) Result {
 			planned[rc.Flat()] = true
 			batch = append(batch, rc)
 		}
-		s.measureBatch(batch)
+		s.measureBatch(ctx, batch)
 		if len(s.samples) == before {
 			break
 		}

@@ -19,7 +19,7 @@ func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 func TestChameleonBasics(t *testing.T) {
 	task := testTask(t)
 	tn := NewChameleon()
-	res := tn.Tune(task, sim(31), quickOpts(100, 7))
+	res := mustTune(t, tn, task, sim(31), quickOpts(100, 7))
 	if res.TunerName != "chameleon" {
 		t.Fatalf("name %q", res.TunerName)
 	}
@@ -45,8 +45,8 @@ func TestChameleonMeasuresFewerPerRound(t *testing.T) {
 	// MeasureFrac*PlanSize configs. We verify indirectly: it stays within
 	// budget and still finds a competitive config.
 	task := testTask(t)
-	cham := NewChameleon().Tune(task, sim(32), quickOpts(96, 9))
-	atvm := NewAutoTVM().Tune(task, sim(32), quickOpts(96, 9))
+	cham := mustTune(t, NewChameleon(), task, sim(32), quickOpts(96, 9))
+	atvm := mustTune(t, NewAutoTVM(), task, sim(32), quickOpts(96, 9))
 	if !cham.Found || !atvm.Found {
 		t.Fatal("both should find configs")
 	}
@@ -57,8 +57,8 @@ func TestChameleonMeasuresFewerPerRound(t *testing.T) {
 
 func TestChameleonDeterministic(t *testing.T) {
 	task := testTask(t)
-	a := NewChameleon().Tune(task, sim(33), quickOpts(60, 11))
-	b := NewChameleon().Tune(task, sim(33), quickOpts(60, 11))
+	a := mustTune(t, NewChameleon(), task, sim(33), quickOpts(60, 11))
+	b := mustTune(t, NewChameleon(), task, sim(33), quickOpts(60, 11))
 	if a.Measurements != b.Measurements || a.Best.GFLOPS != b.Best.GFLOPS {
 		t.Fatal("chameleon not deterministic")
 	}
@@ -66,7 +66,7 @@ func TestChameleonDeterministic(t *testing.T) {
 
 func TestChameleonTinySpace(t *testing.T) {
 	tiny := tinyTask(t)
-	res := NewChameleon().Tune(tiny, sim(34), quickOpts(50, 13))
+	res := mustTune(t, NewChameleon(), tiny, sim(34), quickOpts(50, 13))
 	if res.Measurements > 6 {
 		t.Fatalf("measured %d in a 6-point space", res.Measurements)
 	}

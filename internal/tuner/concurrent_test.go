@@ -4,25 +4,39 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/hwsim"
 	"repro/internal/space"
 	"repro/internal/tensor"
 )
 
-// countingMeasurer is a thread-safe stub inner measurer.
-type countingMeasurer struct {
+// countingStub is a thread-safe stub backend whose measurements are all
+// valid and identical; only the call count matters.
+type countingStub struct {
 	mu sync.Mutex
 	n  int
 }
 
-func (m *countingMeasurer) Measure(tensor.Workload, space.Config) hwsim.Measurement {
+func (m *countingStub) Name() string { return "stub" }
+
+func (m *countingStub) Seeded() bool { return true }
+
+func (m *countingStub) Measure(tensor.Workload, space.Config) hwsim.Measurement {
 	m.mu.Lock()
 	m.n++
 	m.mu.Unlock()
 	return hwsim.Measurement{Valid: true, TimeMS: 1, GFLOPS: 1}
 }
 
-func (m *countingMeasurer) count() int {
+func (m *countingStub) MeasureSeeded(w tensor.Workload, c space.Config, _ int64) hwsim.Measurement {
+	return m.Measure(w, c)
+}
+
+func (m *countingStub) NetworkLatency([]hwsim.Deployment, int) (float64, float64, error) {
+	return 1, 0, nil
+}
+
+func (m *countingStub) count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.n
@@ -37,7 +51,7 @@ func TestMeasurementPoolConcurrent(t *testing.T) {
 	for _, tn := range allTuners() {
 		opts := quickOpts(64, 37)
 		opts.Workers = 8
-		res := tn.Tune(task, sim(9), opts)
+		res := mustTune(t, tn, task, sim(9), opts)
 		if res.Measurements == 0 || len(res.Samples) != res.Measurements {
 			t.Fatalf("%s: inconsistent result under workers=8: %d measurements, %d samples",
 				tn.Name(), res.Measurements, len(res.Samples))
@@ -51,8 +65,8 @@ func TestMeasurementPoolConcurrentFlaky(t *testing.T) {
 	task := testTask(t)
 	opts := quickOpts(64, 41)
 	opts.Workers = 8
-	flaky := NewFlakyMeasurer(sim(10), 0.2, 5)
-	res := NewAutoTVM().Tune(task, flaky, opts)
+	flaky := backend.NewFlaky(sim(10), 0.2, 5)
+	res := mustTune(t, NewAutoTVM(), task, flaky, opts)
 	if res.Measurements == 0 {
 		t.Fatal("no measurements under flaky pool")
 	}
@@ -67,13 +81,13 @@ func TestMeasurementPoolConcurrentFlaky(t *testing.T) {
 	}
 }
 
-// TestFlakyMeasurerConcurrent drives one FlakyMeasurer from many
-// goroutines. Under -race this validates the lock around the failure RNG;
-// in any mode injected failures plus forwarded measurements must account
-// for every call exactly once.
-func TestFlakyMeasurerConcurrent(t *testing.T) {
-	inner := &countingMeasurer{}
-	flaky := NewFlakyMeasurer(inner, 0.3, 11)
+// TestFlakyBackendConcurrent drives one backend.Flaky from many goroutines
+// over the unseeded path. Under -race this validates the lock around the
+// failure RNG; in any mode injected failures plus forwarded measurements
+// must account for every call exactly once.
+func TestFlakyBackendConcurrent(t *testing.T) {
+	inner := &countingStub{}
+	flaky := backend.NewFlaky(inner, 0.3, 11)
 
 	const workers, perWorker = 8, 100
 	var wg sync.WaitGroup
@@ -106,3 +120,5 @@ func TestFlakyMeasurerConcurrent(t *testing.T) {
 		t.Fatalf("dropped %d of %d; failure injection should be partial at p=0.3", dropped, total)
 	}
 }
+
+var _ backend.Backend = (*countingStub)(nil)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 )
 
 // sameSampleStream reports whether two sample slices are bit-identical:
@@ -38,7 +39,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 			for _, workers := range []int{1, 4, 8} {
 				opts := quickOpts(80, 17)
 				opts.Workers = workers
-				res := tn.Tune(task, sim(5), opts)
+				res := mustTune(t, tn, task, sim(5), opts)
 				if len(res.Samples) == 0 {
 					t.Fatalf("workers=%d: no samples", workers)
 				}
@@ -63,7 +64,7 @@ func TestWorkerCountInvarianceChameleon(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		opts := quickOpts(64, 19)
 		opts.Workers = workers
-		res := NewChameleon().Tune(task, sim(6), opts)
+		res := mustTune(t, NewChameleon(), task, sim(6), opts)
 		if workers == 1 {
 			ref = res.Samples
 			continue
@@ -85,8 +86,8 @@ func TestWorkerCountInvarianceWithFailures(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		opts := quickOpts(80, 23)
 		opts.Workers = workers
-		flaky := NewFlakyMeasurer(sim(7), 0.3, 99)
-		res := NewAutoTVM().Tune(task, flaky, opts)
+		flaky := backend.NewFlaky(sim(7), 0.3, 99)
+		res := mustTune(t, NewAutoTVM(), task, flaky, opts)
 		if workers == 1 {
 			ref = res.Samples
 			refFailures = flaky.Failures()
@@ -111,7 +112,7 @@ func TestWorkerCountInvarianceEarlyStop(t *testing.T) {
 	var ref []active.Sample
 	for _, workers := range []int{1, 8} {
 		opts := Options{Budget: 120, EarlyStop: 20, PlanSize: 16, Seed: 29, Workers: workers}
-		res := NewAutoTVM().Tune(task, sim(8), opts)
+		res := mustTune(t, NewAutoTVM(), task, sim(8), opts)
 		if workers == 1 {
 			ref = res.Samples
 			continue

@@ -1,9 +1,11 @@
 package tuner
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/sa"
 	"repro/internal/space"
 	"repro/internal/xgb"
@@ -80,10 +82,10 @@ func (t *ModelTuner) xgbParams() xgb.Params {
 }
 
 // Tune implements Tuner.
-func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
+func (t *ModelTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, m, opts)
+	s := newSession(task, b, opts)
 
 	// ---- Initialization stage ---------------------------------------------
 	var init []space.Config
@@ -94,14 +96,14 @@ func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
 	} else {
 		init = active.RandomInit(task.Space, opts.PlanSize, rng)
 	}
-	s.measureBatch(init)
+	s.measureBatch(ctx, init)
 
 	// ---- Iterative optimization stage --------------------------------------
 	eps := t.Epsilon
 	if eps <= 0 {
 		eps = 0.05
 	}
-	for !s.exhausted() {
+	for !s.exhausted(ctx) {
 		model := t.trainModel(task, s, rng)
 		var cands []space.Config
 		if model != nil {
@@ -149,7 +151,7 @@ func (t *ModelTuner) Tune(task *Task, m Measurer, opts Options) Result {
 		if len(batch) == 0 {
 			break
 		}
-		s.measureBatch(batch)
+		s.measureBatch(ctx, batch)
 	}
 	return s.result(t.Name())
 }

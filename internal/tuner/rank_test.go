@@ -12,13 +12,13 @@ func TestModelTunerRankObjective(t *testing.T) {
 	task := testTask(t)
 	rank := NewAutoTVM()
 	rank.RankObjective = true
-	res := rank.Tune(task, sim(41), quickOpts(100, 23))
+	res := mustTune(t, rank, task, sim(41), quickOpts(100, 23))
 	if !res.Found {
 		t.Fatal("rank-objective tuner found nothing")
 	}
 	// The rank objective changes proposal order: same seed, different
 	// post-init samples than the regression objective.
-	reg := NewAutoTVM().Tune(task, sim(41), quickOpts(100, 23))
+	reg := mustTune(t, NewAutoTVM(), task, sim(41), quickOpts(100, 23))
 	same := true
 	for i := 20; i < len(res.Samples) && i < len(reg.Samples); i++ {
 		if !res.Samples[i].Config.Equal(reg.Samples[i].Config) {
@@ -83,8 +83,8 @@ func TestModelTunerRankCompetitive(t *testing.T) {
 	task := testTask(t)
 	rank := NewAutoTVM()
 	rank.RankObjective = true
-	r := rank.Tune(task, sim(42), quickOpts(120, 29))
-	g := NewAutoTVM().Tune(task, sim(42), quickOpts(120, 29))
+	r := mustTune(t, rank, task, sim(42), quickOpts(120, 29))
+	g := mustTune(t, NewAutoTVM(), task, sim(42), quickOpts(120, 29))
 	if r.Best.GFLOPS < 0.5*g.Best.GFLOPS {
 		t.Fatalf("rank objective collapsed: %.0f vs %.0f", r.Best.GFLOPS, g.Best.GFLOPS)
 	}

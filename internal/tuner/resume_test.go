@@ -4,14 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 )
 
 func TestResumeSkipsKnownConfigs(t *testing.T) {
 	task := testTask(t)
-	first := RandomTuner{}.Tune(task, sim(1), quickOpts(40, 3))
+	first := mustTune(t, RandomTuner{}, task, sim(1), quickOpts(40, 3))
 	opts := quickOpts(40, 3) // same seed: would re-propose identical configs
 	opts.Resume = first.Samples
-	second := RandomTuner{}.Tune(task, sim(1), opts)
+	second := mustTune(t, RandomTuner{}, task, sim(1), opts)
 	seen := make(map[uint64]bool)
 	for _, s := range first.Samples {
 		seen[s.Config.Flat()] = true
@@ -28,7 +29,7 @@ func TestResumeSkipsKnownConfigs(t *testing.T) {
 
 func TestResumeBestCarriesOver(t *testing.T) {
 	task := testTask(t)
-	first := NewAutoTVM().Tune(task, sim(2), quickOpts(120, 5))
+	first := mustTune(t, NewAutoTVM(), task, sim(2), quickOpts(120, 5))
 	if !first.Found {
 		t.Fatal("first run found nothing")
 	}
@@ -36,7 +37,7 @@ func TestResumeBestCarriesOver(t *testing.T) {
 	// result must still report at least that best.
 	opts := quickOpts(8, 7)
 	opts.Resume = first.Samples
-	second := RandomTuner{}.Tune(task, sim(3), opts)
+	second := mustTune(t, RandomTuner{}, task, sim(3), opts)
 	if !second.Found {
 		t.Fatal("resumed run lost the carried best")
 	}
@@ -50,11 +51,11 @@ func TestResumeBestCarriesOver(t *testing.T) {
 
 func TestResumeFeedsModelTuners(t *testing.T) {
 	task := testTask(t)
-	first := RandomTuner{}.Tune(task, sim(4), quickOpts(80, 9))
+	first := mustTune(t, RandomTuner{}, task, sim(4), quickOpts(80, 9))
 	for _, tn := range []Tuner{NewAutoTVM(), NewBTEDBAO()} {
 		opts := quickOpts(40, 11)
 		opts.Resume = first.Samples
-		res := tn.Tune(task, sim(5), opts)
+		res := mustTune(t, tn, task, sim(5), opts)
 		if !res.Found {
 			t.Fatalf("%s resumed run found nothing", tn.Name())
 		}
@@ -66,8 +67,8 @@ func TestResumeFeedsModelTuners(t *testing.T) {
 
 func TestFlakyMeasurerInjection(t *testing.T) {
 	task := testTask(t)
-	flaky := NewFlakyMeasurer(sim(6), 0.3, 1)
-	res := NewAutoTVM().Tune(task, flaky, quickOpts(100, 13))
+	flaky := backend.NewFlaky(sim(6), 0.3, 1)
+	res := mustTune(t, NewAutoTVM(), task, flaky, quickOpts(100, 13))
 	if flaky.Failures() == 0 {
 		t.Fatal("no failures injected")
 	}
@@ -90,8 +91,8 @@ func TestFlakyMeasurerTotalFailure(t *testing.T) {
 	// report Found == false.
 	task := testTask(t)
 	for _, tn := range allTuners() {
-		flaky := NewFlakyMeasurer(sim(7), 1.0, 2)
-		res := tn.Tune(task, flaky, quickOpts(30, 15))
+		flaky := backend.NewFlaky(sim(7), 1.0, 2)
+		res := mustTune(t, tn, task, flaky, quickOpts(30, 15))
 		if res.Found {
 			t.Fatalf("%s claims success with every measurement failing", tn.Name())
 		}
@@ -103,8 +104,8 @@ func TestFlakyMeasurerTotalFailure(t *testing.T) {
 
 func TestFlakyBAOStillImproves(t *testing.T) {
 	task := testTask(t)
-	flaky := NewFlakyMeasurer(sim(8), 0.2, 3)
-	res := NewBTEDBAO().Tune(task, flaky, quickOpts(120, 17))
+	flaky := backend.NewFlaky(sim(8), 0.2, 3)
+	res := mustTune(t, NewBTEDBAO(), task, flaky, quickOpts(120, 17))
 	if !res.Found {
 		t.Fatal("BAO should survive 20% failures")
 	}
@@ -116,12 +117,12 @@ func TestFlakyBAOStillImproves(t *testing.T) {
 
 func TestResumeObserverCountsFreshOnly(t *testing.T) {
 	task := testTask(t)
-	first := RandomTuner{}.Tune(task, sim(9), quickOpts(20, 19))
+	first := mustTune(t, RandomTuner{}, task, sim(9), quickOpts(20, 19))
 	count := 0
 	opts := quickOpts(10, 21)
 	opts.Resume = first.Samples
 	opts.Observer = func(step int, s active.Sample) { count++ }
-	res := RandomTuner{}.Tune(task, sim(10), opts)
+	res := mustTune(t, RandomTuner{}, task, sim(10), opts)
 	if count != res.Measurements {
 		t.Fatalf("observer saw %d, measurements %d", count, res.Measurements)
 	}

@@ -1,18 +1,29 @@
 // Package tuner implements the node-wise optimization loop of the general
-// deployment framework: a measurement session with budget accounting and
-// early stopping, plus the search strategies compared in the paper —
-// random/grid/GA baselines, the AutoTVM model-based tuner (XGBoost cost
-// model + simulated annealing + transfer learning), the BTED variant that
-// swaps AutoTVM's random initialization for batch transductive experimental
-// design, and the full BTED+BAO advanced active-learning framework.
+// deployment framework: a context-aware measurement session with budget
+// accounting, early stopping and cooperative cancellation, plus the search
+// strategies compared in the paper — random/grid/GA baselines, the AutoTVM
+// model-based tuner (XGBoost cost model + simulated annealing + transfer
+// learning), the BTED variant that swaps AutoTVM's random initialization
+// for batch transductive experimental design, and the full BTED+BAO
+// advanced active-learning framework.
+//
+// Every tuner shares the same lifecycle contract: Tune observes ctx at
+// batch-fold boundaries (between planned batches and between the serial
+// record steps inside a fold), so a cancelled or deadline-expired run
+// returns the samples gathered so far together with an error wrapping
+// ctx.Err() — and those samples are a bit-identical prefix of the
+// uncancelled run's samples for any Options.Workers value.
 package tuner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/par"
@@ -20,6 +31,11 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/transfer"
 )
+
+// ErrNoValidConfig reports a run that completed its search without a single
+// valid measurement: the space was exhausted or every deployment failed.
+// The Result returned alongside still carries all (invalid) samples.
+var ErrNoValidConfig = errors.New("tuner: no valid configuration found")
 
 // Task is one node-wise tuning problem: a workload plus its configuration
 // space. Count carries how many fused kernels of the parent model share the
@@ -50,25 +66,6 @@ func FromGraphTask(gt graph.Task) (*Task, error) {
 	return t, nil
 }
 
-// Measurer abstracts the deployment environment; *hwsim.Simulator
-// implements it.
-type Measurer interface {
-	Measure(w tensor.Workload, c space.Config) hwsim.Measurement
-}
-
-// SeededMeasurer is the contract of the deterministic parallel measurement
-// engine: MeasureSeeded must return a result that depends only on
-// (workload, config, noiseSeed) — never on call order or the calling
-// goroutine — and must be safe for concurrent use. When a session's Measurer
-// implements it, every measurement's seed is derived from
-// hwsim.NoiseSeed(Options.Seed, config.Flat()), so a batch measured by any
-// number of workers folds back into exactly the samples a serial run
-// records. *hwsim.Simulator and *FlakyMeasurer implement it.
-type SeededMeasurer interface {
-	Measurer
-	MeasureSeeded(w tensor.Workload, c space.Config, noiseSeed int64) hwsim.Measurement
-}
-
 // Observer receives every measurement as it happens (step is 1-based).
 type Observer func(step int, s active.Sample)
 
@@ -94,9 +91,9 @@ type Options struct {
 	// budget, but model-based tuners train on them from the first round.
 	Resume []active.Sample
 	// Workers sizes the measurement worker pool used for planned batches
-	// (default GOMAXPROCS). When the Measurer implements SeededMeasurer,
+	// (default GOMAXPROCS). When the backend reports Seeded,
 	// Result.Samples are bit-identical for every Workers value under the
-	// same Seed; with a plain Measurer batches fall back to serial
+	// same Seed; with an unseeded backend batches fall back to serial
 	// measurement so the shared noise stream keeps its order.
 	Workers int
 }
@@ -130,31 +127,37 @@ type Result struct {
 // BestTrace returns the best-so-far GFLOPS series (Fig. 4 ordinate).
 func (r Result) BestTrace() []float64 { return active.BestTrace(r.Samples) }
 
-// Tuner is a node-wise search strategy.
+// Tuner is a node-wise search strategy. Tune runs until the budget or the
+// space is exhausted, early stopping trips, or ctx is done — whichever
+// comes first — and always returns the Result of the work performed. The
+// error is nil on normal completion, wraps ctx.Err() on cancellation or
+// deadline expiry (Result then holds the prefix measured so far), and wraps
+// ErrNoValidConfig when a completed search never saw a valid deployment.
 type Tuner interface {
 	Name() string
-	Tune(task *Task, m Measurer, opts Options) Result
+	Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error)
 }
 
-// session tracks budget, early stopping and the visited set for one run.
+// session tracks budget, early stopping, cancellation and the visited set
+// for one run. The context is never stored: it is threaded through every
+// method that may observe cancellation (enforced repo-wide by the ctxarg
+// analyzer), and the first observation latches into err so the run's
+// cancellation point is decided exactly once.
 type session struct {
 	task    *Task
-	m       Measurer
-	seeded  SeededMeasurer // non-nil when m supports per-call noise seeds
+	b       backend.Backend
 	opts    Options
 	prior   []active.Sample // resumed samples: training data, not budget
 	samples []active.Sample
 	visited map[uint64]bool
 	bestG   float64
-	since   int // measurements since last improvement
-	done    bool
+	since   int  // measurements since last improvement
+	done    bool // early stopping tripped
+	err     error
 }
 
-func newSession(task *Task, m Measurer, opts Options) *session {
-	s := &session{task: task, m: m, opts: opts, visited: make(map[uint64]bool, opts.Budget)}
-	if sm, ok := m.(SeededMeasurer); ok {
-		s.seeded = sm
-	}
+func newSession(task *Task, b backend.Backend, opts Options) *session {
+	s := &session{task: task, b: b, opts: opts, visited: make(map[uint64]bool, opts.Budget)}
 	for _, p := range opts.Resume {
 		s.visited[p.Config.Flat()] = true
 		s.prior = append(s.prior, p)
@@ -175,19 +178,34 @@ func (s *session) knowledge() []active.Sample {
 	return out
 }
 
-// exhausted reports whether the run must stop.
-func (s *session) exhausted() bool {
-	return s.done || len(s.samples) >= s.opts.Budget
+// cancelled latches ctx's state into the session: the first call that
+// observes a done ctx records its error, and every later call reports true
+// without consulting ctx again.
+func (s *session) cancelled(ctx context.Context) bool {
+	if s.err != nil {
+		return true
+	}
+	if err := ctx.Err(); err != nil {
+		s.err = err
+		return true
+	}
+	return false
+}
+
+// exhausted reports whether the run must stop: cancellation, early
+// stopping, or a spent budget.
+func (s *session) exhausted(ctx context.Context) bool {
+	return s.cancelled(ctx) || s.done || len(s.samples) >= s.opts.Budget
 }
 
 // measureRaw deploys one configuration without touching session state,
-// preferring the order-independent seeded path when the measurer offers it.
+// preferring the order-independent seeded path when the backend offers it.
 // It is the only method of the session safe to call from pool goroutines.
 func (s *session) measureRaw(c space.Config) hwsim.Measurement {
-	if s.seeded != nil {
-		return s.seeded.MeasureSeeded(s.task.Workload, c, hwsim.NoiseSeed(s.opts.Seed, c.Flat()))
+	if s.b.Seeded() {
+		return s.b.MeasureSeeded(s.task.Workload, c, hwsim.NoiseSeed(s.opts.Seed, c.Flat()))
 	}
-	return s.m.Measure(s.task.Workload, c)
+	return s.b.Measure(s.task.Workload, c)
 }
 
 // record appends one finished measurement and updates the stopping state.
@@ -215,8 +233,8 @@ func (s *session) record(c space.Config, mr hwsim.Measurement) {
 
 // measure deploys one configuration, records it, and updates the stopping
 // state. Already-visited configs are skipped silently (no budget cost).
-func (s *session) measure(c space.Config) {
-	if s.exhausted() {
+func (s *session) measure(ctx context.Context, c space.Config) {
+	if s.exhausted(ctx) {
 		return
 	}
 	f := c.Flat()
@@ -227,15 +245,20 @@ func (s *session) measure(c space.Config) {
 	s.record(c, s.measureRaw(c))
 }
 
-// measureBatch deploys a planned batch, concurrently when the measurer
+// measureBatch deploys a planned batch, concurrently when the backend
 // supports per-call seeds, and folds the results back in submission order:
 // samples, observer callbacks and early-stopping decisions are exactly those
 // of a serial sweep over the same plan, for any Workers value. The plan is
 // deduplicated against the visited set (and within itself) and capped at the
 // remaining budget before any measurement is issued, mirroring how a
 // measurement farm deploys a planned AutoTVM batch.
-func (s *session) measureBatch(batch []space.Config) {
-	if s.exhausted() || len(batch) == 0 {
+//
+// Cancellation points sit only at batch-fold boundaries: the pool stops
+// dispatching once ctx is done (completed calls still fold), and the serial
+// fold re-checks ctx before every record, so the recorded samples are
+// always a prefix of the plan — hence of the uncancelled run.
+func (s *session) measureBatch(ctx context.Context, batch []space.Config) {
+	if s.exhausted(ctx) || len(batch) == 0 {
 		return
 	}
 	plan := make([]space.Config, 0, len(batch))
@@ -253,42 +276,46 @@ func (s *session) measureBatch(batch []space.Config) {
 	if len(plan) == 0 {
 		return
 	}
-	if s.seeded == nil {
-		// Shared-stream measurer: noise depends on global order, so the
-		// batch must stay serial (and stop measuring once early-stopped).
+	if !s.b.Seeded() {
+		// Shared-stream backend: noise depends on global order, so the
+		// batch must stay serial (and stop measuring once early-stopped or
+		// cancelled).
 		for _, c := range plan {
-			if s.done {
+			if s.done || s.cancelled(ctx) {
 				return
 			}
-			s.record(c, s.m.Measure(s.task.Workload, c))
+			s.record(c, s.b.Measure(s.task.Workload, c))
 		}
 		return
 	}
-	// Seeded path: every planned config is measured — matching what a farm
-	// already has in flight when early stopping trips — and the fold below
-	// discards anything past the stopping point.
+	// Seeded path: every dispatched config is measured to completion —
+	// matching what a farm already has in flight when early stopping or
+	// cancellation trips — and the fold below discards anything past the
+	// stopping point.
 	results := make([]hwsim.Measurement, len(plan))
-	par.For(len(plan), s.opts.Workers, func(i int) {
+	k := par.ForContext(ctx, len(plan), s.opts.Workers, func(i int) {
 		results[i] = s.measureRaw(plan[i])
 	})
-	for i, c := range plan {
-		if s.done {
+	for i := 0; i < k; i++ {
+		if s.done || s.cancelled(ctx) {
 			return
 		}
-		s.record(c, results[i])
+		s.record(plan[i], results[i])
 	}
 }
 
 // result finalizes the run summary and feeds the transfer history. The
 // best configuration is taken over resumed and fresh samples together (a
 // resumed run deploys the best it knows), while Samples/Measurements count
-// only this run's work.
-func (s *session) result(tunerName string) Result {
+// only this run's work. A cancelled run keeps its partial samples and
+// returns an error wrapping the latched ctx.Err(); a completed run with no
+// valid measurement anywhere returns ErrNoValidConfig.
+func (s *session) result(tunerName string) (Result, error) {
 	best, found := active.Best(s.knowledge())
 	if s.opts.Transfer != nil && len(s.samples) > 0 {
 		s.opts.Transfer.Add(s.task.Name, s.task.Workload.Op, s.samples)
 	}
-	return Result{
+	res := Result{
 		TunerName:    tunerName,
 		TaskName:     s.task.Name,
 		Samples:      s.samples,
@@ -296,16 +323,50 @@ func (s *session) result(tunerName string) Result {
 		Found:        found,
 		Measurements: len(s.samples),
 	}
+	if s.err != nil {
+		return res, fmt.Errorf("tuner: %s on task %s stopped after %d measurements: %w",
+			tunerName, s.task.Name, len(s.samples), s.err)
+	}
+	if !found {
+		return res, fmt.Errorf("%w (tuner %s, task %s, %d measurements)",
+			ErrNoValidConfig, tunerName, s.task.Name, len(s.samples))
+	}
+	return res, nil
 }
 
-// randomUnvisited draws a uniform configuration not yet measured and not in
-// planned (the current batch under construction; nil is fine).
+// randomUnvisited returns a configuration not yet measured and not in
+// planned (the current batch under construction; nil is fine). Uniform
+// draws are tried first — overwhelmingly likely to succeed while the space
+// is mostly unexplored — with the attempt cap scaled down for small spaces
+// where a full scan is cheaper than draw collisions. If every draw
+// collides, a golden-step permutation scan from a random start finds a
+// remaining configuration systematically, so a false return means the
+// space is genuinely exhausted (up to the scan cap, which only an
+// astronomically unlikely draw sequence on a >2^20-point space can reach).
 func (s *session) randomUnvisited(rng *rand.Rand, planned map[uint64]bool) (space.Config, bool) {
-	for i := 0; i < 512; i++ {
+	size := s.task.Space.Size()
+	draws := 512
+	if size < 128 {
+		draws = 4 * int(size)
+	}
+	for i := 0; i < draws; i++ {
 		c := s.task.Space.Random(rng)
 		f := c.Flat()
 		if !s.visited[f] && !planned[f] {
 			return c, true
+		}
+	}
+	const maxScan = uint64(1) << 20
+	scan := size
+	if scan > maxScan {
+		scan = maxScan
+	}
+	start := rng.Uint64() % size
+	step := goldenStep(size)
+	for i := uint64(0); i < scan; i++ {
+		f := (start + i*step) % size
+		if !s.visited[f] && !planned[f] {
+			return s.task.Space.FromFlat(f), true
 		}
 	}
 	return space.Config{}, false

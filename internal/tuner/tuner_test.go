@@ -1,10 +1,13 @@
 package tuner
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/active"
+	"repro/internal/backend"
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/space"
@@ -21,7 +24,20 @@ func testTask(t *testing.T) *Task {
 	return task
 }
 
-func sim(seed int64) *hwsim.Simulator { return hwsim.NewSimulator(hwsim.GTX1080Ti(), seed) }
+func sim(seed int64) backend.Backend {
+	return backend.Wrap("gtx1080ti", hwsim.NewSimulator(hwsim.GTX1080Ti(), seed))
+}
+
+// mustTune runs a tuner to completion, failing the test on any error other
+// than ErrNoValidConfig (which individual tests assert through res.Found).
+func mustTune(t *testing.T, tn Tuner, task *Task, b backend.Backend, opts Options) Result {
+	t.Helper()
+	res, err := tn.Tune(context.Background(), task, b, opts)
+	if err != nil && !errors.Is(err, ErrNoValidConfig) {
+		t.Fatalf("%s: unexpected tune error: %v", tn.Name(), err)
+	}
+	return res
+}
 
 func quickOpts(budget int, seed int64) Options {
 	return Options{Budget: budget, EarlyStop: -1, PlanSize: 16, Seed: seed}
@@ -34,7 +50,7 @@ func allTuners() []Tuner {
 func TestAllTunersRespectBudget(t *testing.T) {
 	task := testTask(t)
 	for _, tn := range allTuners() {
-		res := tn.Tune(task, sim(1), quickOpts(60, 7))
+		res := mustTune(t, tn, task, sim(1), quickOpts(60, 7))
 		if res.Measurements > 60 {
 			t.Errorf("%s measured %d > budget 60", tn.Name(), res.Measurements)
 		}
@@ -53,7 +69,7 @@ func TestAllTunersRespectBudget(t *testing.T) {
 func TestTunersFindValidConfigs(t *testing.T) {
 	task := testTask(t)
 	for _, tn := range allTuners() {
-		res := tn.Tune(task, sim(2), quickOpts(120, 11))
+		res := mustTune(t, tn, task, sim(2), quickOpts(120, 11))
 		if !res.Found {
 			t.Errorf("%s found no valid config in 120 measurements", tn.Name())
 			continue
@@ -67,7 +83,7 @@ func TestTunersFindValidConfigs(t *testing.T) {
 func TestNoDuplicateMeasurements(t *testing.T) {
 	task := testTask(t)
 	for _, tn := range allTuners() {
-		res := tn.Tune(task, sim(3), quickOpts(100, 13))
+		res := mustTune(t, tn, task, sim(3), quickOpts(100, 13))
 		seen := make(map[uint64]bool)
 		for _, s := range res.Samples {
 			f := s.Config.Flat()
@@ -83,7 +99,7 @@ func TestNoDuplicateMeasurements(t *testing.T) {
 func TestEarlyStopping(t *testing.T) {
 	task := testTask(t)
 	opts := Options{Budget: 600, EarlyStop: 30, PlanSize: 16, Seed: 5}
-	res := RandomTuner{}.Tune(task, sim(4), opts)
+	res := mustTune(t, RandomTuner{}, task, sim(4), opts)
 	if res.Measurements >= 600 {
 		t.Fatalf("early stop did not bound the run: %d", res.Measurements)
 	}
@@ -99,7 +115,7 @@ func TestObserverSeesEverything(t *testing.T) {
 			t.Fatalf("step %d out of order (want %d)", step, count)
 		}
 	}
-	res := NewAutoTVM().Tune(task, sim(5), opts)
+	res := mustTune(t, NewAutoTVM(), task, sim(5), opts)
 	if count != res.Measurements {
 		t.Fatalf("observer saw %d of %d measurements", count, res.Measurements)
 	}
@@ -117,7 +133,7 @@ func TestModelTunersBeatRandom(t *testing.T) {
 	mean := func(tn Tuner, base int64) float64 {
 		total := 0.0
 		for r := 0; r < rounds; r++ {
-			res := tn.Tune(task, sim(int64(r)+base), quickOpts(budget, int64(100+r)))
+			res := mustTune(t, tn, task, sim(int64(r)+base), quickOpts(budget, int64(100+r)))
 			if res.Found {
 				total += res.Best.GFLOPS
 			}
@@ -138,8 +154,8 @@ func TestModelTunersBeatRandom(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	task := testTask(t)
 	for _, tn := range []Tuner{NewAutoTVM(), NewBTEDBAO()} {
-		a := tn.Tune(task, sim(7), quickOpts(60, 3))
-		b := tn.Tune(task, sim(7), quickOpts(60, 3))
+		a := mustTune(t, tn, task, sim(7), quickOpts(60, 3))
+		b := mustTune(t, tn, task, sim(7), quickOpts(60, 3))
 		if a.Measurements != b.Measurements {
 			t.Fatalf("%s nondeterministic measurement count", tn.Name())
 		}
@@ -165,11 +181,11 @@ func TestTransferLearningAcrossTasks(t *testing.T) {
 	}
 	opts := quickOpts(60, 1)
 	opts.Transfer = h
-	NewAutoTVM().Tune(t1, sim(8), opts)
+	mustTune(t, NewAutoTVM(), t1, sim(8), opts)
 	if h.NumTasks() != 1 {
 		t.Fatalf("history has %d tasks after first run", h.NumTasks())
 	}
-	res := NewAutoTVM().Tune(t2, sim(9), opts)
+	res := mustTune(t, NewAutoTVM(), t2, sim(9), opts)
 	if !res.Found {
 		t.Fatal("transfer run found nothing")
 	}
@@ -180,7 +196,7 @@ func TestTransferLearningAcrossTasks(t *testing.T) {
 
 func TestBestTrace(t *testing.T) {
 	task := testTask(t)
-	res := RandomTuner{}.Tune(task, sim(10), quickOpts(40, 2))
+	res := mustTune(t, RandomTuner{}, task, sim(10), quickOpts(40, 2))
 	trace := res.BestTrace()
 	if len(trace) != res.Measurements {
 		t.Fatalf("trace length %d", len(trace))
@@ -221,12 +237,12 @@ func TestOptionsNormalized(t *testing.T) {
 
 func TestGridTunerDeterministicPermutation(t *testing.T) {
 	task := testTask(t)
-	res := GridTuner{}.Tune(task, sim(11), quickOpts(50, 1))
+	res := mustTune(t, GridTuner{}, task, sim(11), quickOpts(50, 1))
 	if res.Measurements != 50 {
 		t.Fatalf("grid measured %d, want 50 (step must be a permutation)", res.Measurements)
 	}
 	// Fully deterministic: a second run visits identical configs.
-	res2 := GridTuner{}.Tune(task, sim(12), quickOpts(50, 99))
+	res2 := mustTune(t, GridTuner{}, task, sim(12), quickOpts(50, 99))
 	for i := range res.Samples {
 		if !res.Samples[i].Config.Equal(res2.Samples[i].Config) {
 			t.Fatal("grid sweep must be seed-independent")
@@ -240,7 +256,7 @@ func TestTinySpaceExhaustion(t *testing.T) {
 	sp := space.New(space.NewEnumKnob("a", 0, 1, 2), space.NewEnumKnob("b", 0, 1))
 	task := &Task{Name: "tiny", Workload: tensor.Conv2D(1, 4, 8, 8, 4, 3, 1, 1), Space: sp, Count: 1}
 	for _, tn := range []Tuner{RandomTuner{}, GATuner{}, NewAutoTVM()} {
-		res := tn.Tune(task, sim(12), quickOpts(100, 1))
+		res := mustTune(t, tn, task, sim(12), quickOpts(100, 1))
 		if res.Measurements > 6 {
 			t.Fatalf("%s measured %d configs in a 6-point space", tn.Name(), res.Measurements)
 		}
@@ -255,7 +271,7 @@ func TestTinySpaceExhaustion(t *testing.T) {
 func TestGridTunerExhaustsSmallSpace(t *testing.T) {
 	sp := space.New(space.NewEnumKnob("a", 0, 1, 2), space.NewEnumKnob("b", 0, 1))
 	task := &Task{Name: "tiny", Workload: tensor.Conv2D(1, 4, 8, 8, 4, 3, 1, 1), Space: sp, Count: 1}
-	res := GridTuner{}.Tune(task, sim(15), quickOpts(100, 1))
+	res := mustTune(t, GridTuner{}, task, sim(15), quickOpts(100, 1))
 	if res.Measurements != 6 {
 		t.Fatalf("grid measured %d configs in a 6-point space, want exactly 6", res.Measurements)
 	}
@@ -274,8 +290,8 @@ func TestBTEDTunerUsesBTEDInit(t *testing.T) {
 	// their first PlanSize samples must differ (BTED selects, random draws).
 	task := testTask(t)
 	opts := quickOpts(20, 99)
-	a := NewAutoTVM().Tune(task, sim(13), opts)
-	b := NewBTED().Tune(task, sim(13), opts)
+	a := mustTune(t, NewAutoTVM(), task, sim(13), opts)
+	b := mustTune(t, NewBTED(), task, sim(13), opts)
 	same := true
 	for i := 0; i < 16 && i < len(a.Samples) && i < len(b.Samples); i++ {
 		if !a.Samples[i].Config.Equal(b.Samples[i].Config) {
@@ -302,8 +318,9 @@ func TestSessionSkipsVisited(t *testing.T) {
 	s := newSession(task, sim(14), Options{Budget: 10, PlanSize: 4}.normalized())
 	rng := rand.New(rand.NewSource(1))
 	c := task.Space.Random(rng)
-	s.measure(c)
-	s.measure(c)
+	ctx := context.Background()
+	s.measure(ctx, c)
+	s.measure(ctx, c)
 	if len(s.samples) != 1 {
 		t.Fatalf("visited config measured twice: %d samples", len(s.samples))
 	}
