@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench lint fmt-check verify
+.PHONY: all build test race determinism bench cover lint fmt-check verify
 
 all: build test lint
 
@@ -12,21 +12,35 @@ test:
 
 # Race-detector pass over the concurrent measurement machinery
 # (hwsim.Simulator, transfer.History, the tuner worker pool, par,
-# the backend wrappers, parallel bootstrap training and Gram assembly).
+# the backend wrappers, the graph scheduler, parallel bootstrap training
+# and Gram assembly).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
-# must yield bit-identical samples for every tuner, and a cancelled or
-# deadline-expired run must return a bit-identical prefix of them.
+# must yield bit-identical samples for every tuner, a cancelled or
+# deadline-expired run must return a bit-identical prefix of them, and
+# the graph scheduler's outcomes must be invariant across the whole
+# Workers {1,4,8} x task-concurrency {1,2,4} grid (sched tests plus the
+# pipeline-level golden and invariance checks in internal/core).
 determinism:
-	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend
+	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches' \
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core
 
-# Serial-vs-parallel wall clock on a fixed 8-task tuning run; also fails
-# if the two legs' samples diverge. Writes BENCH_tune.json.
+# Serial-vs-parallel wall clock on a fixed 8-task tuning run through the
+# graph scheduler; also fails if the two legs' samples diverge. Writes
+# BENCH_tune.json.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_tune.json
+
+# Coverage gate for the scheduler: internal/sched must stay >= 80%
+# covered by its own tests.
+cover:
+	@$(GO) test -coverprofile=/tmp/sched_cover.out ./internal/sched >/dev/null
+	@pct=$$($(GO) tool cover -func=/tmp/sched_cover.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
+	echo "internal/sched coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 >= 80.0) ? 0 : 1 }' || \
+		{ echo "internal/sched coverage $$pct% is below the 80% floor"; exit 1; }
 
 # In-repo static-analysis suite (internal/analysis): determinism,
 # float-safety, lock hygiene, unchecked errors, library panics.

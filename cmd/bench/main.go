@@ -1,16 +1,16 @@
-// Command bench times the deterministic parallel measurement engine on a
-// fixed 8-task tuning run and writes the serial-vs-parallel wall-clock
-// comparison to a JSON file (the `make bench` artifact BENCH_tune.json).
+// Command bench times the deterministic graph scheduler on a fixed 8-task
+// tuning run and writes the serial-vs-parallel wall-clock comparison to a
+// JSON file (the `make bench` artifact BENCH_tune.json).
 //
-// Both legs tune the same tasks with the same seeds: the serial leg runs
-// tasks one after another with a single measurement worker, the parallel leg
-// runs tasks concurrently with a full worker pool per task. Because every
-// measurement's noise derives from (run seed, config), the two legs must
-// produce bit-identical samples; the benchmark verifies that and fails
-// (exit 1) on any divergence, making it a determinism check as much as a
-// speed report. Speedup scales with the cores the host exposes — on a
-// single-core machine both legs time alike while the sample comparison
-// still must hold.
+// Both legs hand the same task list to the graph scheduler with the same
+// seeds and budget policy: the serial leg runs task-concurrency 1 with a
+// single measurement worker, the parallel leg runs -task-concurrency tasks
+// in deterministic rounds with a full worker pool per task. The scheduler's
+// contract is that results are bit-identical across the whole grid; the
+// benchmark verifies that and fails (exit 1) on any divergence, making it a
+// determinism check as much as a speed report. Speedup scales with the
+// cores the host exposes — on a single-core machine both legs time alike
+// while the sample comparison still must hold.
 //
 // Usage:
 //
@@ -32,8 +32,8 @@ import (
 	"repro/internal/active"
 	"repro/internal/backend"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/record"
+	"repro/internal/sched"
 	"repro/internal/tuner"
 )
 
@@ -46,6 +46,8 @@ type report struct {
 	PlanSize         int     `json:"plan_size"`
 	Seed             int64   `json:"seed"`
 	Workers          int     `json:"workers"`
+	TaskConcurrency  int     `json:"task_concurrency"`
+	BudgetPolicy     string  `json:"budget_policy"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
 	SerialMS         float64 `json:"serial_ms"`
 	ParallelMS       float64 `json:"parallel_ms"`
@@ -60,14 +62,19 @@ func main() {
 	budget := flag.Int("budget", 96, "measurement budget per task")
 	plan := flag.Int("plan", 24, "batch/initialization size")
 	seed := flag.Int64("seed", 2021, "base random seed")
-	workers := flag.Int("workers", 8, "worker count of the parallel leg (pool per task and tasks in flight)")
+	workers := flag.Int("workers", 8, "measurement worker pool per task in the parallel leg")
+	taskConc := flag.Int("task-concurrency", 0, "scheduler task concurrency of the parallel leg (<=0: same as -workers)")
+	policyName := flag.String("budget-policy", "uniform", "scheduler budget policy for both legs: uniform | adaptive")
 	out := flag.String("out", "BENCH_tune.json", "output JSON path")
 	flag.Parse()
+	if *taskConc <= 0 {
+		*taskConc = *workers
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *out); err != nil {
+	if err := run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -91,39 +98,40 @@ func benchTasks(model string, n int) ([]*tuner.Task, error) {
 	return tasks, nil
 }
 
-// leg tunes every task with the given task-level and measurement-level
-// parallelism and returns the results in task order plus the wall-clock.
-func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskWorkers, measureWorkers int) ([]tuner.Result, time.Duration, error) {
-	results := make([]tuner.Result, len(tasks))
-	errs := make([]error, len(tasks))
-	start := time.Now()
-	done := par.ForContext(ctx, len(tasks), taskWorkers, func(i int) {
-		tn, err := newTuner(tunerName)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		b, err := backend.New("gtx1080ti", seed+int64(i))
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i], errs[i] = tn.Tune(ctx, tasks[i], b, tuner.Options{
+// leg hands the task list to the graph scheduler with the given task
+// concurrency and measurement worker pool and returns the results in task
+// order plus the wall-clock.
+func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskConc, measureWorkers int, policy sched.Policy) ([]tuner.Result, time.Duration, error) {
+	tn, err := newTuner(tunerName)
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := backend.New("gtx1080ti", seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	specs := make([]sched.Spec, len(tasks))
+	for i, task := range tasks {
+		specs[i] = sched.Spec{Task: task, Opts: tuner.Options{
 			Budget:    budget,
 			EarlyStop: -1,
 			PlanSize:  plan,
 			Seed:      seed + int64(i)*1000003,
 			Workers:   measureWorkers,
-		})
+		}}
+	}
+	start := time.Now()
+	outs, err := sched.Run(ctx, tuner.AsOpener(tn), b, specs, sched.Options{
+		TaskConcurrency: taskConc,
+		Policy:          policy,
 	})
 	elapsed := time.Since(start)
-	if done < len(tasks) {
-		return nil, 0, ctx.Err()
+	if err != nil {
+		return nil, 0, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, 0, err
-		}
+	results := make([]tuner.Result, len(tasks))
+	for _, o := range outs {
+		results[o.Index] = o.Result
 	}
 	return results, elapsed, nil
 }
@@ -161,25 +169,29 @@ func sameSamples(a, b []active.Sample) bool {
 	return true
 }
 
-func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers int, out string) error {
+func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers, taskConc int, policyName, out string) error {
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
 	tasks, err := benchTasks(model, nTasks)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchmarking %s on %d %s tasks (budget %d, plan %d, GOMAXPROCS %d)\n",
-		tunerName, nTasks, model, budget, plan, runtime.GOMAXPROCS(0))
+	fmt.Printf("benchmarking %s on %d %s tasks (budget %d, plan %d, policy %s, GOMAXPROCS %d)\n",
+		tunerName, nTasks, model, budget, plan, policy.Name(), runtime.GOMAXPROCS(0))
 
-	serial, serialDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, 1, 1)
+	serial, serialDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, 1, 1, policy)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serial   (tasks x1, workers 1): %8.1f ms\n", float64(serialDur.Microseconds())/1000)
 
-	parRes, parDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, workers, workers)
+	parRes, parDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, taskConc, workers, policy)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("parallel (tasks x%d, workers %d): %8.1f ms\n", workers, workers, float64(parDur.Microseconds())/1000)
+	fmt.Printf("parallel (tasks x%d, workers %d): %8.1f ms\n", taskConc, workers, float64(parDur.Microseconds())/1000)
 
 	identical := true
 	for i := range serial {
@@ -197,6 +209,8 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 		PlanSize:         plan,
 		Seed:             seed,
 		Workers:          workers,
+		TaskConcurrency:  taskConc,
+		BudgetPolicy:     policy.Name(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		SerialMS:         float64(serialDur.Microseconds()) / 1000,
 		ParallelMS:       float64(parDur.Microseconds()) / 1000,

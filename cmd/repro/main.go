@@ -35,6 +35,8 @@ func main() {
 	trials := flag.Int("trials", 0, "override trial count")
 	budget := flag.Int("budget", 0, "override per-task budget")
 	seed := flag.Int64("seed", 0, "override base seed")
+	taskConc := flag.Int("task-concurrency", 1, "tasks tuned concurrently by the graph scheduler in pipeline experiments")
+	budgetPolicy := flag.String("budget-policy", "uniform", "scheduler budget policy: uniform | adaptive")
 	verbose := flag.Bool("v", false, "print progress lines")
 	flag.Parse()
 
@@ -51,6 +53,8 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.TaskConcurrency = *taskConc
+	cfg.BudgetPolicy = *budgetPolicy
 	if *verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

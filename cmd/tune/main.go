@@ -20,6 +20,14 @@
 // and flushed at batch boundaries, so an interrupt (Ctrl-C) leaves a clean
 // checkpoint that -resume can pick up. Interrupted runs exit nonzero.
 //
+// Within a model, -task-concurrency hands the task list to the graph
+// scheduler: 1 (the default) is the classic sequential pipeline, higher
+// values tune tasks concurrently in deterministic rounds with identical
+// results for every concurrency value. -budget-policy picks how the
+// scheduler spends the measurement budget (uniform per task, or adaptive
+// reallocation toward the tasks still improving), and -dry-run prints the
+// planned round/budget schedule without measuring anything.
+//
 // Tuners: autotvm | bted | bted+bao | random | grid | ga | chameleon.
 package main
 
@@ -41,6 +49,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/record"
+	"repro/internal/sched"
 	"repro/internal/tuner"
 )
 
@@ -59,6 +68,9 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker pool per task (<=0: GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "models tuned concurrently (<=0: GOMAXPROCS, capped at model count)")
 	timeout := flag.Duration("task-timeout", 0, "per-task wall-clock deadline (0 disables); expiry deploys the best found so far")
+	taskConc := flag.Int("task-concurrency", 1, "tasks tuned concurrently by the graph scheduler (1: classic sequential pipeline)")
+	budgetPolicy := flag.String("budget-policy", "uniform", "scheduler budget policy: uniform | adaptive")
+	dryRun := flag.Bool("dry-run", false, "print the planned round/budget schedule per task and exit without measuring")
 	flag.Parse()
 
 	// Ctrl-C (or SIGTERM) cancels the run context: in-flight measurements
@@ -68,15 +80,24 @@ func main() {
 	defer stop()
 
 	cfg := runConfig{
-		tuner:     *tunerName,
-		ops:       *ops,
-		device:    *device,
-		budget:    *budget,
-		earlyStop: *earlyStop,
-		planSize:  *planSize,
-		runs:      *runs,
-		workers:   *workers,
-		timeout:   *timeout,
+		tuner:        *tunerName,
+		ops:          *ops,
+		device:       *device,
+		budget:       *budget,
+		earlyStop:    *earlyStop,
+		planSize:     *planSize,
+		runs:         *runs,
+		workers:      *workers,
+		timeout:      *timeout,
+		taskConc:     *taskConc,
+		budgetPolicy: *budgetPolicy,
+	}
+	if *dryRun {
+		if err := printDryRun(os.Stdout, resolveModels(*model), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "tune:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -91,15 +112,63 @@ func main() {
 // runConfig carries the per-model tuning settings shared by every model of
 // a multi-model run.
 type runConfig struct {
-	tuner     string
-	ops       string
-	device    string
-	budget    int
-	earlyStop int
-	planSize  int
-	runs      int
-	workers   int
-	timeout   time.Duration
+	tuner        string
+	ops          string
+	device       string
+	budget       int
+	earlyStop    int
+	planSize     int
+	runs         int
+	workers      int
+	timeout      time.Duration
+	taskConc     int
+	budgetPolicy string
+}
+
+func (c runConfig) extract() graph.ExtractOpts {
+	if c.ops == "conv" {
+		return graph.ConvOnly
+	}
+	return graph.AllOps
+}
+
+// printDryRun prints the scheduler's planned round/budget schedule for each
+// model without running a single measurement: task list, policy, and the
+// per-round grants with cumulative budgets (idealized — early stopping and
+// measured gains will bend the real run).
+func printDryRun(w io.Writer, models []string, cfg runConfig) error {
+	policy, err := sched.PolicyByName(cfg.budgetPolicy)
+	if err != nil {
+		return err
+	}
+	for _, model := range models {
+		g, err := graph.Model(model)
+		if err != nil {
+			return err
+		}
+		gtasks := graph.ExtractTasks(g, cfg.extract())
+		specs := make([]sched.Spec, 0, len(gtasks))
+		for _, gt := range gtasks {
+			task, err := tuner.FromGraphTask(gt)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, sched.Spec{Task: task, Opts: tuner.Options{
+				Budget: cfg.budget, EarlyStop: cfg.earlyStop, PlanSize: cfg.planSize,
+			}})
+		}
+		plans := sched.PlanPreview(specs, sched.Options{TaskConcurrency: cfg.taskConc, Policy: policy})
+		fmt.Fprintf(w, "%s: %d tasks, policy %s, task-concurrency %d, %d planned rounds\n",
+			model, len(specs), policy.Name(), cfg.taskConc, len(plans))
+		for _, plan := range plans {
+			fmt.Fprintf(w, "  round %2d:", plan.Round+1)
+			for _, gr := range plan.Grants {
+				fmt.Fprintf(w, "  %s +%d (=%d)", specs[gr.Index].Task.Name, gr.Grant, gr.Cumulative)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
 }
 
 func resolveModels(spec string) []string {
@@ -202,14 +271,13 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 	if err != nil {
 		return err
 	}
-	extract := graph.AllOps
-	if cfg.ops == "conv" {
-		extract = graph.ConvOnly
-	}
 	b, err := backend.New(cfg.device, seed)
 	if err != nil {
 		return err
 	}
+	// Per-task wall-clock report, collected from completion events (which the
+	// pipeline serializes, so plain map writes are safe).
+	elapsed := make(map[string]time.Duration)
 	opts := core.PipelineOptions{
 		Tuning: tuner.Options{
 			Budget:    cfg.budget,
@@ -218,13 +286,20 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 			Seed:      seed,
 			Workers:   cfg.workers,
 		},
-		Extract:      extract,
-		UseTransfer:  true,
-		Resume:       resume,
-		Runs:         cfg.runs,
-		TaskDeadline: cfg.timeout,
+		Extract:         cfg.extract(),
+		UseTransfer:     true,
+		Resume:          resume,
+		Runs:            cfg.runs,
+		TaskDeadline:    cfg.timeout,
+		TaskConcurrency: cfg.taskConc,
+		BudgetPolicy:    cfg.budgetPolicy,
 		Progress: func(i, n int, name string) {
 			fmt.Fprintf(w, "[%2d/%2d] tuning %s\n", i, n, name)
+		},
+		OnTaskDone: func(e core.TaskEvent) {
+			elapsed[e.Name] = e.Elapsed
+			fmt.Fprintf(w, "[%2d/%2d] done   %s: %d measurements in %v\n",
+				e.Index, e.Total, e.Name, e.Measurements, e.Elapsed.Round(time.Millisecond))
 		},
 	}
 
@@ -265,8 +340,9 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 
 	fmt.Fprintln(w)
 	for _, t := range dep.Tasks {
-		fmt.Fprintf(w, "%-24s best %9.1f GFLOPS after %4d measurements\n",
-			t.Task.Name, t.Result.Best.GFLOPS, t.Result.Measurements)
+		fmt.Fprintf(w, "%-24s best %9.1f GFLOPS after %4d measurements in %v\n",
+			t.Task.Name, t.Result.Best.GFLOPS, t.Result.Measurements,
+			elapsed[t.Task.Name].Round(time.Millisecond))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, dep.Summary())

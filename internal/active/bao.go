@@ -208,95 +208,141 @@ type StepObserver func(step int, s Sample)
 // fallback.
 //
 // It returns all samples (initialization first, then one per iteration) in
-// measurement order.
+// measurement order. BAO is the one-shot driver over BAORun; stepwise
+// callers (the tuner session layer) use NewBAORun/Step directly.
 func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p BAOParams, rng *rand.Rand, obs StepObserver) []Sample {
-	p = p.normalized()
-	samples := append([]Sample(nil), init...)
-	measured := make(map[uint64]bool, len(samples)+p.T)
-	for _, s := range samples {
-		measured[s.Config.Flat()] = true
+	r := NewBAORun(sp, tr, init, p, rng)
+	for !r.Step(measure, obs) {
 	}
+	return r.Samples()
+}
 
+// BAORun is the resumable form of the BAO loop: iteration state cut at
+// measurement boundaries so an external driver can interleave many runs.
+// Each Step performs exactly one iteration of Algorithm 4 — plan the
+// searching scope, select via bootstrap, deploy one configuration — and is
+// bit-identical to the corresponding iteration of the one-shot BAO call
+// (the RNG is consumed in the same order). A BAORun is single-goroutine.
+type BAORun struct {
+	sp           *space.Space
+	tr           EvalTrainer
+	p            BAOParams
+	rng          *rand.Rand
+	samples      []Sample
+	measured     map[uint64]bool
+	bestIdx      int // incumbent index into samples; -1 while nothing valid
+	bestTrace    []float64
+	sinceImprove int
+	t            int // next iteration number, 1-based
+	stopped      bool
+}
+
+// NewBAORun prepares a run over the measured initialization set. Iteration
+// only happens in Step; construction consumes no randomness.
+func NewBAORun(sp *space.Space, tr EvalTrainer, init []Sample, p BAOParams, rng *rand.Rand) *BAORun {
+	r := &BAORun{sp: sp, tr: tr, p: p.normalized(), rng: rng, t: 1, bestIdx: -1}
+	r.samples = append([]Sample(nil), init...)
+	r.measured = make(map[uint64]bool, len(r.samples)+r.p.T)
+	for _, s := range r.samples {
+		r.measured[s.Config.Flat()] = true
+	}
 	// Incumbent: best valid sample so far.
-	bestIdx := -1
-	for i, s := range samples {
-		if s.Valid && (bestIdx < 0 || s.GFLOPS > samples[bestIdx].GFLOPS) {
-			bestIdx = i
+	for i, s := range r.samples {
+		if s.Valid && (r.bestIdx < 0 || s.GFLOPS > r.samples[r.bestIdx].GFLOPS) {
+			r.bestIdx = i
+		}
+	}
+	// Best-so-far trajectory y*_t for Eq. (1). bestTrace[t] is the best
+	// value known after iteration t; index 0 is the initialization.
+	r.bestTrace = []float64{0}
+	if r.bestIdx >= 0 {
+		r.bestTrace[0] = r.samples[r.bestIdx].GFLOPS
+	}
+	return r
+}
+
+// Done reports whether the run has finished: budget spent, early stopping
+// tripped, space exhausted, or the Stop hook fired.
+func (r *BAORun) Done() bool { return r.stopped || r.t > r.p.T }
+
+// Samples returns all samples in measurement order (initialization first,
+// then one per completed iteration).
+func (r *BAORun) Samples() []Sample { return r.samples }
+
+// Step performs one iteration of Algorithm 4, deploying (at most) one
+// configuration through measure, and reports whether the run is finished.
+// A finished run's Step is a no-op returning true.
+func (r *BAORun) Step(measure MeasureFunc, obs StepObserver) bool {
+	if r.Done() {
+		r.stopped = true
+		return true
+	}
+	if r.p.Stop != nil && r.p.Stop() {
+		r.stopped = true
+		return true
+	}
+	t := r.t
+	radius := r.p.R
+	if t >= 2 {
+		rt := relativeImprovement(r.bestTrace, r.p.LiteralCeil)
+		if rt < r.p.Eta {
+			radius = r.p.Tau * r.p.R
 		}
 	}
 
-	// Best-so-far trajectory y*_t for Eq. (1). y[t] is the best value
-	// known after iteration t; index 0 is the initialization.
-	bestTrace := []float64{0}
-	if bestIdx >= 0 {
-		bestTrace[0] = samples[bestIdx].GFLOPS
+	var cands []space.Config
+	useGlobal := r.p.GlobalFallbackAfter > 0 && r.sinceImprove >= r.p.GlobalFallbackAfter
+	if r.bestIdx >= 0 && !useGlobal {
+		cands = r.sp.Neighborhood(r.samples[r.bestIdx].Config, radius,
+			space.NeighborhoodOpts{MaxCandidates: r.p.MaxCandidates, Exclude: r.measured}, r.rng)
+	} else if useGlobal {
+		cands = globalPool(r.sp, r.p.MaxCandidates, r.measured, r.rng)
 	}
-
-	sinceImprove := 0
-	for t := 1; t <= p.T; t++ {
-		if p.Stop != nil && p.Stop() {
-			break
-		}
-		radius := p.R
-		if t >= 2 {
-			rt := relativeImprovement(bestTrace, p.LiteralCeil)
-			if rt < p.Eta {
-				radius = p.Tau * p.R
-			}
-		}
-
-		var cands []space.Config
-		useGlobal := p.GlobalFallbackAfter > 0 && sinceImprove >= p.GlobalFallbackAfter
-		if bestIdx >= 0 && !useGlobal {
-			cands = sp.Neighborhood(samples[bestIdx].Config, radius,
-				space.NeighborhoodOpts{MaxCandidates: p.MaxCandidates, Exclude: measured}, rng)
-		} else if useGlobal {
-			cands = globalPool(sp, p.MaxCandidates, measured, rng)
-		}
-		var next space.Config
-		picked := false
-		if len(cands) > 0 {
-			if i, err := BootstrapSelect(tr, samples, cands, p.Gamma, rng); err == nil {
-				next = cands[i]
-				picked = true
-			}
-		}
-		if !picked {
-			c, ok := randomUnmeasured(sp, measured, rng)
-			if !ok {
-				// The space is effectively exhausted: a re-measurement would
-				// only duplicate a known sample and burn a budget step.
-				break
-			}
-			next = c
-		}
-
-		g, valid := measure(next)
-		s := Sample{Config: next, GFLOPS: g, Valid: valid}
-		samples = append(samples, s)
-		measured[next.Flat()] = true
-		if obs != nil {
-			obs(t, s)
-		}
-
-		improved := valid && (bestIdx < 0 || g > samples[bestIdx].GFLOPS)
-		if improved {
-			bestIdx = len(samples) - 1
-			sinceImprove = 0
-		} else {
-			sinceImprove++
-		}
-		cur := 0.0
-		if bestIdx >= 0 {
-			cur = samples[bestIdx].GFLOPS
-		}
-		bestTrace = append(bestTrace, cur)
-
-		if p.EarlyStop > 0 && sinceImprove >= p.EarlyStop {
-			break
+	var next space.Config
+	picked := false
+	if len(cands) > 0 {
+		if i, err := BootstrapSelect(r.tr, r.samples, cands, r.p.Gamma, r.rng); err == nil {
+			next = cands[i]
+			picked = true
 		}
 	}
-	return samples
+	if !picked {
+		c, ok := randomUnmeasured(r.sp, r.measured, r.rng)
+		if !ok {
+			// The space is effectively exhausted: a re-measurement would
+			// only duplicate a known sample and burn a budget step.
+			r.stopped = true
+			return true
+		}
+		next = c
+	}
+
+	g, valid := measure(next)
+	s := Sample{Config: next, GFLOPS: g, Valid: valid}
+	r.samples = append(r.samples, s)
+	r.measured[next.Flat()] = true
+	if obs != nil {
+		obs(t, s)
+	}
+
+	improved := valid && (r.bestIdx < 0 || g > r.samples[r.bestIdx].GFLOPS)
+	if improved {
+		r.bestIdx = len(r.samples) - 1
+		r.sinceImprove = 0
+	} else {
+		r.sinceImprove++
+	}
+	cur := 0.0
+	if r.bestIdx >= 0 {
+		cur = r.samples[r.bestIdx].GFLOPS
+	}
+	r.bestTrace = append(r.bestTrace, cur)
+	r.t++
+
+	if r.p.EarlyStop > 0 && r.sinceImprove >= r.p.EarlyStop {
+		r.stopped = true
+	}
+	return r.Done()
 }
 
 // relativeImprovement computes Eq. (1) over the best-so-far trajectory:

@@ -1,0 +1,50 @@
+package backend
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/space"
+	"repro/internal/tensor"
+)
+
+// TestReplayFromTruncatedLog: a record log torn mid-line by a crash still
+// feeds Replay with everything the StreamWriter had fully flushed — the
+// resume path loses only the one measurement that never hit the disk.
+func TestReplayFromTruncatedLog(t *testing.T) {
+	w := tensor.Conv2D(1, 8, 8, 8, 16, 3, 1, 1)
+	sp, err := space.ForWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []space.Config{sp.FromFlat(1), sp.FromFlat(2), sp.FromFlat(3)}
+	var buf bytes.Buffer
+	sw := record.NewStreamWriter(&buf)
+	for i, c := range cfgs {
+		if err := sw.Append(record.Record{Task: "t", Workload: w.Key(), Tuner: "random",
+			Step: i + 1, Config: c.Index, GFLOPS: float64(10 * (i + 1)), Valid: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	torn := buf.Bytes()[:buf.Len()-7] // crash mid-way through the last line
+	recs, err := record.Read(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn log should load its prefix: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want the 2-record prefix", len(recs))
+	}
+
+	rp := NewReplay(recs, map[string]*space.Space{w.Key(): sp}, nil)
+	if mr := rp.Measure(w, cfgs[0]); !mr.Valid || mr.GFLOPS != 10 {
+		t.Fatalf("flushed record not replayed: %+v", mr)
+	}
+	if mr := rp.Measure(w, cfgs[2]); mr.Valid {
+		t.Fatalf("the torn record should be a miss, got %+v", mr)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/active"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/record"
+	"repro/internal/sched"
 	"repro/internal/space"
 	"repro/internal/transfer"
 	"repro/internal/tuner"
@@ -64,8 +66,52 @@ type PipelineOptions struct {
 	// each task). This is the streaming path cmd/tune uses to keep its
 	// record log crash-safe instead of flattening Records() at the end.
 	OnRecord func(record.Record)
-	// Progress, when non-nil, is called before each task is tuned.
+	// Progress, when non-nil, is called once per task before it can start
+	// tuning (in task order).
 	Progress func(taskIdx, taskTotal int, name string)
+	// OnTaskDone, when non-nil, receives a completion event per task:
+	// outcome, wall clock spent tuning, measurement count, and the deployed
+	// configuration. With TaskConcurrency 1 it fires right after each task;
+	// at higher concurrency, at the scheduler's next round boundary, always
+	// in task-index order within a boundary.
+	OnTaskDone func(TaskEvent)
+	// TaskConcurrency is how many tasks the graph scheduler tunes
+	// concurrently. 1 (or 0) selects the classic sequential pipeline,
+	// bit-identical to previous releases including live transfer-learning
+	// chaining. Values > 1 interleave tasks in deterministic rounds;
+	// results are then identical for every concurrency value and worker
+	// count, with transfer history snapshotted at round boundaries.
+	// Unseeded backends always execute one task at a time.
+	TaskConcurrency int
+	// BudgetPolicy selects the scheduler's budget policy by name: "" or
+	// "uniform" gives every task its own budget (legacy behaviour);
+	// "adaptive" reallocates the graph-wide budget each round toward the
+	// tasks with the highest marginal GFLOPS gain.
+	BudgetPolicy string
+}
+
+// TaskEvent is the per-task completion report delivered to OnTaskDone.
+//
+// Callback ordering guarantee: Progress, OnRecord, Tuning.Observer and
+// OnTaskDone calls issued by the pipeline are serialized under one mutex —
+// user callbacks never run concurrently with each other, and a task's
+// records arrive in step order. Cross-task interleaving of OnRecord is
+// unspecified when TaskConcurrency > 1.
+type TaskEvent struct {
+	// Index is the 1-based task index; Total the task count.
+	Index, Total int
+	Name         string
+	Result       tuner.Result
+	// Err is the task's tolerated error (per-task deadline expiry with a
+	// deployable best); fatal errors abort OptimizeGraph instead.
+	Err error
+	// Elapsed is the wall clock spent tuning the task.
+	Elapsed time.Duration
+	// Measurements is the task's measurement count (== Result.Measurements).
+	Measurements int
+	// Deployed is the configuration chosen for deployment (after the
+	// re-measurement short list).
+	Deployed space.Config
 }
 
 // TaskOutcome records the tuning result of one task.
@@ -133,7 +179,11 @@ func OptimizeModel(ctx context.Context, model string, tn tuner.Tuner, b backend.
 	return OptimizeGraph(ctx, g, tn, b, opts)
 }
 
-// OptimizeGraph is OptimizeModel over an already-built graph.
+// OptimizeGraph is OptimizeModel over an already-built graph. The per-task
+// tuning is delegated to the deterministic graph scheduler (internal/sched):
+// TaskConcurrency 1 with the uniform policy runs the classic sequential
+// pipeline bit-identically; higher concurrency interleaves tasks in rounds
+// without changing any task's measurements.
 func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backend.Backend, opts PipelineOptions) (*Deployment, error) {
 	if opts.Runs <= 0 {
 		opts.Runs = 600
@@ -142,20 +192,25 @@ func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backen
 	if len(gtasks) == 0 {
 		return nil, fmt.Errorf("core: model %s has no tunable tasks", g.Name)
 	}
+	policy, err := sched.PolicyByName(opts.BudgetPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	var hist *transfer.History
 	if opts.UseTransfer {
 		hist = transfer.NewHistory()
 	}
 
-	dep := &Deployment{Model: g.Name, TunerName: tn.Name()}
-	deps := make([]hwsim.Deployment, 0, len(gtasks))
+	// All user-supplied callbacks share one mutex: with TaskConcurrency > 1
+	// observers fire from concurrent task goroutines, and the documented
+	// contract (see TaskEvent) is that user callbacks never run
+	// concurrently with each other.
+	var cbMu sync.Mutex
+	specs := make([]sched.Spec, 0, len(gtasks))
 	for i, gt := range gtasks {
 		task, err := tuner.FromGraphTask(gt)
 		if err != nil {
 			return nil, err
-		}
-		if opts.Progress != nil {
-			opts.Progress(i+1, len(gtasks), task.Name)
 		}
 		topts := opts.Tuning
 		topts.Seed = opts.Tuning.Seed + int64(i)*1000003
@@ -163,34 +218,59 @@ func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backen
 		if len(opts.Resume) > 0 {
 			topts.Resume = resumeSamples(opts.Resume, task)
 		}
-		topts.Observer = streamObserver(opts, topts.Observer, task, tn.Name())
-
-		// The per-task deadline is layered under the caller's ctx: either
-		// can end the search, and the engine returns the samples measured
-		// so far in both cases.
-		tctx := ctx
-		cancel := func() {}
-		if opts.TaskDeadline > 0 {
-			tctx, cancel = context.WithTimeout(ctx, opts.TaskDeadline)
-		}
-		res, terr := tn.Tune(tctx, task, b, topts)
-		cancel()
-		if terr != nil {
-			// A parent cancellation aborts the whole pipeline. A per-task
-			// deadline only ends that task's search: the best found within
-			// the budgeted time is deployed, and only an empty-handed task
-			// is an error.
-			if ctx.Err() != nil || !errors.Is(terr, context.DeadlineExceeded) || !res.Found {
-				return nil, fmt.Errorf("core: tuning task %s: %w", task.Name, terr)
-			}
-		}
-		deployed := selectDeployConfig(task, res, b, topts.Seed, opts.ReMeasureTopK, opts.ReMeasureRepeats)
-		dep.Tasks = append(dep.Tasks, TaskOutcome{Task: task, Result: res, Deployed: deployed})
-		dep.TotalMeasurements += res.Measurements
-		deps = append(deps, hwsim.Deployment{Workload: task.Workload, Config: deployed, Count: task.Count})
+		topts.Observer = streamObserver(opts, &cbMu, topts.Observer, task, tn.Name())
+		specs = append(specs, sched.Spec{Task: task, Opts: topts})
 	}
 
-	mean, variance, err := b.NetworkLatency(deps, opts.Runs)
+	dep := &Deployment{Model: g.Name, TunerName: tn.Name()}
+	taskOuts := make([]TaskOutcome, len(specs))
+	hdeps := make([]hwsim.Deployment, len(specs))
+	sopts := sched.Options{
+		TaskConcurrency: opts.TaskConcurrency,
+		Policy:          policy,
+		TaskDeadline:    opts.TaskDeadline,
+		OnTaskDone: func(o sched.Outcome) {
+			// Runs on the scheduler's driver goroutine, in completion order:
+			// with TaskConcurrency 1 that is exactly the legacy sequence
+			// "tune task, select deployment, tune next task", which keeps
+			// unseeded backends' shared noise stream in the legacy order.
+			task := specs[o.Index].Task
+			deployed := selectDeployConfig(task, o.Result, b,
+				specs[o.Index].Opts.Seed, opts.ReMeasureTopK, opts.ReMeasureRepeats)
+			taskOuts[o.Index] = TaskOutcome{Task: task, Result: o.Result, Deployed: deployed}
+			hdeps[o.Index] = hwsim.Deployment{Workload: task.Workload, Config: deployed, Count: task.Count}
+			if opts.OnTaskDone != nil {
+				cbMu.Lock()
+				opts.OnTaskDone(TaskEvent{
+					Index: o.Index + 1, Total: len(specs), Name: task.Name,
+					Result: o.Result, Err: o.Err, Elapsed: o.Elapsed,
+					Measurements: o.Result.Measurements, Deployed: deployed,
+				})
+				cbMu.Unlock()
+			}
+		},
+	}
+	if opts.Progress != nil {
+		sopts.OnTaskStart = func(i, n int, name string) {
+			cbMu.Lock()
+			opts.Progress(i, n, name)
+			cbMu.Unlock()
+		}
+	}
+
+	if _, err := sched.Run(ctx, tuner.AsOpener(tn), b, specs, sopts); err != nil {
+		var te *sched.TaskError
+		if errors.As(err, &te) {
+			return nil, fmt.Errorf("core: tuning task %s: %w", te.TaskName, te.Err)
+		}
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for i := range taskOuts {
+		dep.Tasks = append(dep.Tasks, taskOuts[i])
+		dep.TotalMeasurements += taskOuts[i].Result.Measurements
+	}
+
+	mean, variance, err := b.NetworkLatency(hdeps, opts.Runs)
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring end-to-end latency of %s: %w", g.Name, err)
 	}
@@ -200,25 +280,31 @@ func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backen
 }
 
 // streamObserver chains the caller's observer with the OnRecord stream so
-// every measurement leaves the pipeline the moment it is recorded.
-func streamObserver(opts PipelineOptions, inner tuner.Observer, task *tuner.Task, tunerName string) tuner.Observer {
-	if opts.OnRecord == nil {
-		return inner
+// every measurement leaves the pipeline the moment it is recorded. The
+// shared mutex serializes the user callbacks across concurrently tuned
+// tasks; a task's own calls stay in step order.
+func streamObserver(opts PipelineOptions, mu *sync.Mutex, inner tuner.Observer, task *tuner.Task, tunerName string) tuner.Observer {
+	if opts.OnRecord == nil && inner == nil {
+		return nil
 	}
 	name, wkey := task.Name, task.Workload.Key()
 	return func(step int, s active.Sample) {
+		mu.Lock()
+		defer mu.Unlock()
 		if inner != nil {
 			inner(step, s)
 		}
-		opts.OnRecord(record.Record{
-			Task:     name,
-			Workload: wkey,
-			Tuner:    tunerName,
-			Step:     step,
-			Config:   s.Config.Index,
-			GFLOPS:   s.GFLOPS,
-			Valid:    s.Valid,
-		})
+		if opts.OnRecord != nil {
+			opts.OnRecord(record.Record{
+				Task:     name,
+				Workload: wkey,
+				Tuner:    tunerName,
+				Step:     step,
+				Config:   s.Config.Index,
+				GFLOPS:   s.GFLOPS,
+				Valid:    s.Valid,
+			})
+		}
 	}
 }
 

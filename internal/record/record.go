@@ -36,22 +36,31 @@ func Write(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// Read decodes JSON-line records until EOF. Blank lines are skipped;
-// malformed lines are an error.
+// Read decodes JSON-line records until EOF. Blank lines are skipped, and a
+// malformed *final* line is dropped silently: a crash mid-Append leaves a
+// truncated last line behind, and the intact prefix is exactly what a
+// StreamWriter had checkpointed — so Resume and backend.Replay still load
+// everything that was actually measured. A malformed line with more content
+// after it is genuine corruption and stays an error.
 func Read(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
+	var pendingErr error // malformed line seen; fatal unless it stays last
 	for sc.Scan() {
 		line++
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil {
-			return nil, fmt.Errorf("record: line %d: %w", line, err)
+			pendingErr = fmt.Errorf("record: line %d: %w", line, err)
+			continue
 		}
 		out = append(out, rec)
 	}

@@ -51,8 +51,15 @@ func TestReadSkipsBlankLines(t *testing.T) {
 }
 
 func TestReadMalformed(t *testing.T) {
-	if _, err := Read(strings.NewReader("not json\n")); err == nil {
-		t.Fatal("malformed line should error")
+	// A malformed line followed by more content is corruption and errors; a
+	// malformed final line is a crash-truncated tail and is dropped (the
+	// full crash-recovery contract lives in crash_test.go).
+	if _, err := Read(strings.NewReader("not json\n{\"task\":\"a\",\"valid\":true}\n")); err == nil {
+		t.Fatal("malformed mid-file line should error")
+	}
+	got, err := Read(strings.NewReader("{\"task\":\"a\",\"valid\":true}\nnot json"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("torn final line: got %v, %v", got, err)
 	}
 }
 

@@ -43,6 +43,13 @@ type Config struct {
 	PlanSize  int   // batch/init size (paper: 64)
 	Runs      int   // end-to-end latency runs (paper: 600)
 	Seed      int64 // base seed; trials and tasks derive from it
+	// TaskConcurrency is handed to the pipeline's graph scheduler: 1 (or 0)
+	// is the classic sequential pipeline; higher values tune that many tasks
+	// concurrently in deterministic rounds without changing any result.
+	TaskConcurrency int
+	// BudgetPolicy selects the scheduler's budget policy by name ("",
+	// "uniform", or "adaptive"); see core.PipelineOptions.
+	BudgetPolicy string
 	// Progress, when non-nil, receives coarse progress lines.
 	Progress func(string)
 }

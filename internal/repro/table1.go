@@ -51,9 +51,11 @@ func Table1(ctx context.Context, cfg Config, models []string) (*Table1Result, er
 						PlanSize:  cfg.PlanSize,
 						Seed:      cfg.trialSeed(trial)*17 + int64(mi) + int64(modelIdx)*1543,
 					},
-					Extract:     graph.AllOps,
-					UseTransfer: true,
-					Runs:        cfg.Runs,
+					Extract:         graph.AllOps,
+					UseTransfer:     true,
+					Runs:            cfg.Runs,
+					TaskConcurrency: cfg.TaskConcurrency,
+					BudgetPolicy:    cfg.BudgetPolicy,
 				}
 				dep, err := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
 				if err != nil {

@@ -1,0 +1,406 @@
+// Package sched is the deterministic graph-level scheduler that replaced
+// the pipeline's sequential per-task loop: it opens one resumable tuner
+// session per extracted task (tuner.Opener) and advances them in rounds,
+// fanning the per-round step work of up to TaskConcurrency tasks onto
+// worker goroutines while each session's planned batches still run on the
+// shared measurement pool.
+//
+// # Determinism model
+//
+// Results are a pure function of the specs, the policy, and the backend
+// seeds — never of timing:
+//
+//   - Sessions are self-contained: all search randomness is drawn from the
+//     per-task seed, and seeded backends derive measurement noise from
+//     (seed, config), so a task's sample stream does not depend on when its
+//     steps run relative to other tasks'.
+//   - Round structure is computed single-threaded at round boundaries from
+//     the sessions' measured counts and best values, which themselves are
+//     schedule-independent. TaskConcurrency therefore only changes how many
+//     tasks' step work runs in parallel, not what any task measures.
+//   - Transfer-learning history is snapshotted at round boundaries: every
+//     live task reads a per-task view refreshed from the master history
+//     after completed tasks publish to it in task-index order, so
+//     cross-task warm starts see the same history regardless of which
+//     goroutine finished first.
+//
+// Consequently outcomes are bit-identical across every Workers value and
+// every TaskConcurrency value for a given driver. TaskConcurrency 1 with
+// the uniform policy selects the classic sequential driver — task after
+// task with live transfer chaining, bit-identical to the pre-scheduler
+// pipeline — while TaskConcurrency > 1 (or the adaptive policy) uses the
+// round driver, whose transfer warm starts differ from the sequential
+// chain only in snapshot granularity.
+//
+// Unseeded backends draw noise from one shared stream, so concurrent task
+// stepping would interleave it nondeterministically; the scheduler degrades
+// their execution to one task at a time (round structure is unaffected).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/par"
+	"repro/internal/transfer"
+	"repro/internal/tuner"
+)
+
+// Spec is one task to schedule: the tuning problem plus its fully prepared
+// per-task options (seed already derived, resume samples attached, observer
+// chained, Transfer pointing at the run's master history).
+type Spec struct {
+	Task *tuner.Task
+	Opts tuner.Options
+}
+
+// Outcome is the completion record of one task.
+type Outcome struct {
+	// Index is the task's position in the spec list.
+	Index int
+	Task  *tuner.Task
+	// Result is what the equivalent Tune call would have returned.
+	Result tuner.Result
+	// Err is the task's non-fatal error (a per-task deadline expiry whose
+	// partial search still found a deployable best). Fatal errors abort Run
+	// instead and are reported as a *TaskError.
+	Err error
+	// Elapsed is the wall clock spent stepping this task's session.
+	Elapsed time.Duration
+	// Rounds is how many scheduler rounds the task was stepped in (1 for
+	// the sequential driver).
+	Rounds int
+}
+
+// Options configures a scheduler run.
+type Options struct {
+	// TaskConcurrency is how many tasks advance concurrently within a
+	// round. <= 1 selects the sequential driver (with the uniform policy:
+	// the exact legacy pipeline order). The value only controls execution
+	// parallelism — outcomes are identical for every value.
+	TaskConcurrency int
+	// Policy allocates the per-round measurement budget; nil means
+	// UniformPolicy.
+	Policy Policy
+	// TaskDeadline bounds each task's search wall clock (zero = none). In
+	// the round driver the deadline context starts at the task's first
+	// step.
+	TaskDeadline time.Duration
+	// OnTaskStart, when non-nil, is called once per task (1-based index)
+	// before its session can step: in spec order in both drivers.
+	OnTaskStart func(taskIdx, taskTotal int, name string)
+	// OnTaskDone, when non-nil, receives each task's outcome the moment it
+	// is finalized: immediately after the task in the sequential driver, at
+	// the next round boundary (in task-index order) in the round driver.
+	// Both drivers invoke it from a single goroutine, never concurrently.
+	OnTaskDone func(Outcome)
+}
+
+// TaskError reports the fatal failure of one task, aborting the run.
+type TaskError struct {
+	TaskName string
+	Index    int
+	Err      error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("sched: task %s: %v", e.TaskName, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// fatal mirrors the pipeline's task-error tolerance: a per-task deadline
+// expiry that still produced a deployable best is survivable — the best
+// found within the budgeted time is deployed — while a parent cancellation,
+// any other error, or an empty-handed task aborts the run.
+func fatal(ctx context.Context, res tuner.Result, err error) bool {
+	return err != nil && (ctx.Err() != nil || !errors.Is(err, context.DeadlineExceeded) || !res.Found)
+}
+
+// Run tunes every spec and returns the outcomes in spec order. On a fatal
+// task failure it returns the outcomes finalized so far plus a *TaskError
+// (wrapping the task's tuning error); the remaining tasks are not tuned.
+func Run(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []Spec, opts Options) ([]Outcome, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if opts.Policy == nil {
+		opts.Policy = UniformPolicy{}
+	}
+	conc := opts.TaskConcurrency
+	if conc > len(specs) {
+		conc = len(specs)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	_, uniform := opts.Policy.(UniformPolicy)
+	if conc == 1 && uniform {
+		return runSequential(ctx, tn, b, specs, opts)
+	}
+	if !b.Seeded() {
+		// One shared noise stream: round structure stays policy-driven but
+		// step execution must be serial (and is then deterministic, since
+		// rounds visit tasks in index order).
+		conc = 1
+	}
+	return runRounds(ctx, tn, b, specs, opts, conc)
+}
+
+// runSequential is the legacy pipeline driver: open, drive to completion
+// and finalize each task in order, with the shared transfer history chaining
+// live from task to task. Bit-identical to the pre-scheduler per-task loop.
+func runSequential(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []Spec, opts Options) ([]Outcome, error) {
+	outs := make([]Outcome, 0, len(specs))
+	for i, sp := range specs {
+		if opts.OnTaskStart != nil {
+			opts.OnTaskStart(i+1, len(specs), sp.Task.Name)
+		}
+		// The per-task deadline is layered under the caller's ctx: either
+		// can end the search, and the session returns the samples measured
+		// so far in both cases.
+		tctx := ctx
+		cancel := func() {}
+		if opts.TaskDeadline > 0 {
+			tctx, cancel = context.WithTimeout(ctx, opts.TaskDeadline)
+		}
+		start := time.Now()
+		sess, err := tn.Open(tctx, sp.Task, b, sp.Opts)
+		if err != nil {
+			cancel()
+			return outs, &TaskError{TaskName: sp.Task.Name, Index: i, Err: err}
+		}
+		res, terr := tuner.Drive(tctx, sess)
+		cancel()
+		elapsed := time.Since(start)
+		if fatal(ctx, res, terr) {
+			return outs, &TaskError{TaskName: sp.Task.Name, Index: i, Err: terr}
+		}
+		out := Outcome{Index: i, Task: sp.Task, Result: res, Err: terr, Elapsed: elapsed, Rounds: 1}
+		outs = append(outs, out)
+		if opts.OnTaskDone != nil {
+			opts.OnTaskDone(out)
+		}
+	}
+	return outs, nil
+}
+
+// taskRun is the round driver's per-task state. Fields written by worker
+// goroutines (done, elapsed, rounds, cancel) are only read by the driver
+// goroutine after the round barrier; the task's deadline context itself
+// lives in a slice local to runRounds (contexts are call-scoped).
+type taskRun struct {
+	idx        int
+	spec       Spec
+	sess       tuner.Session
+	master     *transfer.History // the spec's shared history, nil when transfer is off
+	view       *transfer.History // round-boundary snapshot the session reads
+	ownBudget  int               // the spec's normalized budget
+	sessBudget int               // the cap baked into the session (policy may raise it)
+	planSize   int
+	cancel     context.CancelFunc
+	done       bool // session reported done
+	finalized  bool
+	elapsed    time.Duration
+	rounds     int
+	prevMeas   int
+	prevBest   float64
+}
+
+// runRounds is the round driver: all sessions open up front, and each round
+// the policy grants every live task a measurement allowance, the granted
+// tasks step concurrently (at most conc at a time), and the boundary
+// finalizes finished tasks and re-snapshots the transfer views.
+func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []Spec, opts Options, conc int) ([]Outcome, error) {
+	totalBudget := 0
+	for _, sp := range specs {
+		totalBudget += sp.Opts.Normalized().Budget
+	}
+
+	runs := make([]*taskRun, len(specs))
+	defer func() {
+		for _, tr := range runs {
+			if tr != nil && tr.cancel != nil {
+				tr.cancel()
+			}
+		}
+	}()
+	for i, sp := range specs {
+		if opts.OnTaskStart != nil {
+			opts.OnTaskStart(i+1, len(specs), sp.Task.Name)
+		}
+		nopts := sp.Opts.Normalized()
+		tr := &taskRun{idx: i, spec: sp, ownBudget: nopts.Budget, planSize: nopts.PlanSize}
+		tr.sessBudget = opts.Policy.SessionBudget(nopts.Budget, totalBudget)
+		nopts.Budget = tr.sessBudget
+		if sp.Opts.Transfer != nil {
+			tr.master = sp.Opts.Transfer
+			tr.view = tr.master.Clone()
+			nopts.Transfer = tr.view
+		}
+		sess, err := tn.Open(ctx, sp.Task, b, nopts)
+		if err != nil {
+			return nil, &TaskError{TaskName: sp.Task.Name, Index: i, Err: err}
+		}
+		tr.sess = sess
+		runs[i] = tr
+	}
+
+	outs := make([]Outcome, len(specs))
+	// Per-task stepping contexts (parent ctx, optionally under the task
+	// deadline), created lazily at a task's first step so the deadline clock
+	// starts when the task does. Each slot is touched by one worker per
+	// round and rounds are barriers, so plain access is safe.
+	tctxs := make([]context.Context, len(specs))
+	finalized := 0
+	for round := 0; ; round++ {
+		// A parent cancellation aborts the whole run, like the legacy
+		// pipeline. Sessions cancelled mid-round latch the ctx error and are
+		// reported as a fatal TaskError below instead.
+		if err := ctx.Err(); err != nil {
+			return doneOutcomes(outs, runs), fmt.Errorf("sched: run aborted: %w", err)
+		}
+		// ---- Round boundary (single goroutine) --------------------------
+		totalMeasured := 0
+		for _, tr := range runs {
+			totalMeasured += tr.sess.Measured()
+		}
+		budgetSpent := totalMeasured >= totalBudget
+		for i, tr := range runs {
+			if tr.finalized {
+				continue
+			}
+			if !tr.done && tr.sess.Measured() < tr.sessBudget && !budgetSpent {
+				continue
+			}
+			res, rerr := tr.sess.Result()
+			tr.finalized = true
+			finalized++
+			if tr.cancel != nil {
+				tr.cancel()
+				tr.cancel = nil
+			}
+			if fatal(ctx, res, rerr) {
+				return doneOutcomes(outs, runs), &TaskError{TaskName: tr.spec.Task.Name, Index: i, Err: rerr}
+			}
+			// Publish to the master history exactly as the session's own
+			// finalization published to its discarded view.
+			if tr.master != nil && len(res.Samples) > 0 {
+				tr.master.Add(tr.spec.Task.Name, tr.spec.Task.Workload.Op, res.Samples)
+			}
+			outs[i] = Outcome{Index: i, Task: tr.spec.Task, Result: res, Err: rerr,
+				Elapsed: tr.elapsed, Rounds: tr.rounds}
+			if opts.OnTaskDone != nil {
+				opts.OnTaskDone(outs[i])
+			}
+		}
+		for _, tr := range runs {
+			if !tr.finalized && tr.view != nil {
+				tr.view.CopyFrom(tr.master)
+			}
+		}
+		if finalized == len(specs) {
+			return outs, nil
+		}
+
+		// ---- Allocation -------------------------------------------------
+		states := make([]TaskState, len(specs))
+		for i, tr := range runs {
+			best, _ := tr.sess.BestGFLOPS()
+			states[i] = TaskState{
+				Index: i, Name: tr.spec.Task.Name, Done: tr.finalized,
+				Measured: tr.sess.Measured(), PrevMeasured: tr.prevMeas,
+				Budget: tr.ownBudget, PlanSize: tr.planSize,
+				Weight: tr.spec.Task.Count,
+				Best:   best, PrevBest: tr.prevBest,
+			}
+		}
+		grants := opts.Policy.Allocate(round, states)
+		type work struct {
+			tr   *taskRun
+			goal int
+		}
+		var wl []work
+		remaining := totalBudget - totalMeasured
+		for i, tr := range runs {
+			if tr.finalized {
+				continue
+			}
+			g := 0
+			if i < len(grants) {
+				g = grants[i]
+			}
+			g = min(g, tr.sessBudget-states[i].Measured, remaining)
+			if g <= 0 {
+				continue
+			}
+			remaining -= g
+			wl = append(wl, work{tr, states[i].Measured + g})
+		}
+		if len(wl) == 0 {
+			// Liveness guard: the policy granted nothing although budget and
+			// live tasks remain — advance every live task by one plan so the
+			// run always terminates.
+			for i, tr := range runs {
+				if tr.finalized {
+					continue
+				}
+				g := min(tr.planSize, tr.sessBudget-states[i].Measured)
+				if g < 1 {
+					g = 1
+				}
+				wl = append(wl, work{tr, states[i].Measured + g})
+			}
+		}
+		for i, tr := range runs {
+			if !tr.finalized {
+				tr.prevMeas = states[i].Measured
+				tr.prevBest = states[i].Best
+			}
+		}
+
+		// ---- Execution --------------------------------------------------
+		// Each work item steps one session toward its goal; sessions are
+		// single-goroutine but distinct, so items run concurrently. A
+		// scheduled task always takes at least one step, so a session at its
+		// cap reports done rather than stalling forever.
+		par.For(len(wl), conc, func(j int) {
+			w := wl[j]
+			tr := w.tr
+			start := time.Now()
+			if tctxs[tr.idx] == nil {
+				tctxs[tr.idx] = ctx
+				if opts.TaskDeadline > 0 {
+					tctxs[tr.idx], tr.cancel = context.WithTimeout(ctx, opts.TaskDeadline)
+				}
+			}
+			for {
+				done, _ := tr.sess.Step(tctxs[tr.idx])
+				if done {
+					tr.done = true
+					break
+				}
+				if tr.sess.Measured() >= w.goal {
+					break
+				}
+			}
+			tr.elapsed += time.Since(start)
+			tr.rounds++
+		})
+	}
+}
+
+// doneOutcomes returns the outcomes of tasks already finalized when a fatal
+// error aborts the round driver, in spec order.
+func doneOutcomes(outs []Outcome, runs []*taskRun) []Outcome {
+	kept := make([]Outcome, 0, len(outs))
+	for i, tr := range runs {
+		if tr.finalized && outs[i].Task != nil {
+			kept = append(kept, outs[i])
+		}
+	}
+	return kept
+}

@@ -90,6 +90,30 @@ func transferTargets(samples []active.Sample) []float64 {
 	return out
 }
 
+// Clone returns an independent snapshot of the history. Entries are
+// immutable once added (WarmStart copies rows on read), so the snapshot
+// shares their backing storage; only the entry list itself is copied.
+// The graph scheduler clones the master history at round boundaries so
+// concurrently tuned tasks all warm-start from the same schedule-
+// deterministic state.
+func (h *History) Clone() *History {
+	nh := NewHistory()
+	nh.CopyFrom(h)
+	return nh
+}
+
+// CopyFrom replaces this history's contents with a snapshot of src. It is
+// the round-boundary sync primitive: a per-task view is refreshed from the
+// master without disturbing readers holding rows already handed out.
+func (h *History) CopyFrom(src *History) {
+	src.mu.Lock()
+	es := append([]entry(nil), src.entries...)
+	src.mu.Unlock()
+	h.mu.Lock()
+	h.entries = es
+	h.mu.Unlock()
+}
+
 // NumTasks returns how many task histories have been recorded.
 func (h *History) NumTasks() int {
 	h.mu.Lock()

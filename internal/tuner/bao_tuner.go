@@ -34,39 +34,55 @@ func NewBTEDBAO() *AdvancedTuner {
 // Name implements Tuner.
 func (*AdvancedTuner) Name() string { return "bted+bao" }
 
-// Tune implements Tuner.
-func (t *AdvancedTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: the first step measures the BTED initialization
+// set as one parallel batch, and each later step performs exactly one BAO
+// iteration (the BAO stage is inherently sequential — each step's
+// neighborhood depends on the previous measurement — so it deploys one
+// configuration at a time regardless of Workers).
+func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	s := newSession(task, b, opts)
 
-	// ---- Initialization: BTED (Algorithms 1 & 2) ---------------------------
-	// The initialization set is measured as one deterministic parallel
-	// batch; the BAO stage below is inherently sequential (each step's
-	// neighborhood depends on the previous measurement), so it deploys one
-	// configuration at a time regardless of Workers.
-	bp := t.BTED
-	bp.M0 = opts.PlanSize
-	s.measureBatch(ctx, active.BTED(task.Space, bp, rng))
+	var run *active.BAORun
+	inited := false
+	step := func(ctx context.Context) bool {
+		// Polled before every iteration, this check plays the role of the
+		// one-shot path's BAOParams.Stop hook: the run ends as soon as the
+		// session's budget, early stopping, or ctx says to.
+		if s.exhausted(ctx) {
+			return true
+		}
+		if !inited {
+			// ---- Initialization: BTED (Algorithms 1 & 2) -----------------
+			inited = true
+			bp := t.BTED
+			bp.M0 = opts.PlanSize
+			s.measureBatch(ctx, active.BTED(task.Space, bp, rng))
 
-	// ---- Iterative optimization: BAO (Algorithms 3 & 4) --------------------
-	trainer := t.Trainer
-	if trainer == nil {
-		trainer = active.NewXGBTrainer()
-	}
-	bao := t.BAO
-	bao.T = opts.Budget - len(s.samples)
-	if opts.EarlyStop > 0 {
-		bao.EarlyStop = opts.EarlyStop
-	} else {
-		bao.EarlyStop = 0
-	}
-	// BAO's per-step work (bootstrap model trainings) happens outside the
-	// session, so cancellation is surfaced through the Stop hook: polled
-	// before each iteration, it ends the loop as soon as the session's
-	// budget, early stopping, or ctx says to.
-	bao.Stop = func() bool { return s.exhausted(ctx) }
-	if bao.T > 0 && !s.exhausted(ctx) {
+			// ---- Iterative optimization: BAO (Algorithms 3 & 4) ----------
+			trainer := t.Trainer
+			if trainer == nil {
+				trainer = active.NewXGBTrainer()
+			}
+			bao := t.BAO
+			bao.T = opts.Budget - len(s.samples)
+			if opts.EarlyStop > 0 {
+				bao.EarlyStop = opts.EarlyStop
+			} else {
+				bao.EarlyStop = 0
+			}
+			// Guarded so a non-positive remaining budget is not reset to the
+			// paper default by BAOParams.normalized().
+			if bao.T <= 0 || s.exhausted(ctx) {
+				return true
+			}
+			run = active.NewBAORun(task.Space, trainer, s.knowledge(), bao, rng)
+			return false
+		}
+		if run == nil {
+			return true
+		}
 		measure := func(c space.Config) (float64, bool) {
 			before := len(s.samples)
 			s.measure(ctx, c)
@@ -79,8 +95,12 @@ func (t *AdvancedTuner) Tune(ctx context.Context, task *Task, b backend.Backend,
 			last := s.samples[len(s.samples)-1]
 			return last.GFLOPS, last.Valid
 		}
-		init := append([]active.Sample(nil), s.knowledge()...)
-		active.BAO(task.Space, trainer, init, measure, bao, rng, nil)
+		return run.Step(measure, nil) || s.exhausted(ctx)
 	}
-	return s.result(t.Name())
+	return newStepSession(t.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (t *AdvancedTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, t, task, b, opts)
 }

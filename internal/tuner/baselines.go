@@ -17,23 +17,32 @@ type RandomTuner struct{}
 // Name implements Tuner.
 func (RandomTuner) Name() string { return "random" }
 
-// Tune implements Tuner.
-func (RandomTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: each step plans and measures one uniform batch.
+func (t RandomTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	s := newSession(task, b, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
-	for !s.exhausted(ctx) {
+	step := func(ctx context.Context) bool {
+		if s.exhausted(ctx) {
+			return true
+		}
 		n := opts.Budget - len(s.samples)
 		if n > opts.PlanSize {
 			n = opts.PlanSize
 		}
 		batch := s.randomBatch(rng, n)
 		if len(batch) == 0 {
-			break
+			return true
 		}
 		s.measureBatch(ctx, batch)
+		return s.exhausted(ctx)
 	}
-	return s.result("random")
+	return newStepSession(t.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (t RandomTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, t, task, b, opts)
 }
 
 // GridTuner sweeps flat indices deterministically with a golden-ratio
@@ -47,12 +56,13 @@ type GridTuner struct{}
 // Name implements Tuner.
 func (GridTuner) Name() string { return "grid" }
 
-// Tune implements Tuner.
-func (GridTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: each step measures the next PlanSize-long slice
+// of the golden-ratio sweep.
+func (t GridTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	s := newSession(task, b, opts)
 	size := task.Space.Size()
-	step := goldenStep(size)
+	gstep := goldenStep(size)
 	// The golden-ratio sweep is a permutation of the space: after Size()
 	// iterations every flat index has been visited once and further
 	// iterations would only revisit configs as silent no-ops, so the sweep
@@ -61,16 +71,27 @@ func (GridTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts O
 	if size < limit {
 		limit = size
 	}
-	batch := make([]space.Config, 0, opts.PlanSize)
-	for i := uint64(0); i < limit && !s.exhausted(ctx); i++ {
-		batch = append(batch, task.Space.FromFlat((i*step)%size))
-		if len(batch) == opts.PlanSize {
-			s.measureBatch(ctx, batch)
-			batch = batch[:0]
+	var i uint64
+	step := func(ctx context.Context) bool {
+		if s.exhausted(ctx) {
+			return true
 		}
+		batch := make([]space.Config, 0, opts.PlanSize)
+		for ; i < limit && len(batch) < opts.PlanSize; i++ {
+			batch = append(batch, task.Space.FromFlat((i*gstep)%size))
+		}
+		if len(batch) == 0 {
+			return true
+		}
+		s.measureBatch(ctx, batch)
+		return i >= limit || s.exhausted(ctx)
 	}
-	s.measureBatch(ctx, batch)
-	return s.result("grid")
+	return newStepSession(t.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (t GridTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, t, task, b, opts)
 }
 
 // goldenStep returns floor(size/phi) adjusted to be coprime with size, so
@@ -116,8 +137,9 @@ type GATuner struct {
 // Name implements Tuner.
 func (GATuner) Name() string { return "ga" }
 
-// Tune implements Tuner.
-func (g GATuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: the first step measures the seed population, each
+// later step plans and measures one generation.
+func (g GATuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	if g.PopSize <= 0 {
 		g.PopSize = opts.PlanSize
@@ -130,9 +152,16 @@ func (g GATuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts O
 	}
 	s := newSession(task, b, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
-
-	s.measureBatch(ctx, task.Space.RandomSample(g.PopSize, rng))
-	for !s.exhausted(ctx) {
+	inited := false
+	step := func(ctx context.Context) bool {
+		if s.exhausted(ctx) {
+			return true
+		}
+		if !inited {
+			inited = true
+			s.measureBatch(ctx, task.Space.RandomSample(g.PopSize, rng))
+			return s.exhausted(ctx)
+		}
 		before := len(s.samples)
 		// Rank all known samples (including resumed ones) by fitness.
 		scored := s.knowledge()
@@ -167,10 +196,16 @@ func (g GATuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts O
 		}
 		s.measureBatch(ctx, batch)
 		if len(s.samples) == before {
-			break // space effectively exhausted; nothing new to measure
+			return true // space effectively exhausted; nothing new to measure
 		}
+		return s.exhausted(ctx)
 	}
-	return s.result("ga")
+	return newStepSession(g.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (g GATuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, g, task, b, opts)
 }
 
 func fitness(s active.Sample) float64 {

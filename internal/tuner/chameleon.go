@@ -41,8 +41,10 @@ func NewChameleon() *ChameleonTuner {
 // Name implements Tuner.
 func (*ChameleonTuner) Name() string { return "chameleon" }
 
-// Tune implements Tuner.
-func (t *ChameleonTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: the first step measures the random
+// initialization set, each later step proposes candidates via the cost
+// model, adaptively samples them by clustering, and measures the survivors.
+func (t *ChameleonTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	s := newSession(task, b, opts)
@@ -56,8 +58,16 @@ func (t *ChameleonTuner) Tune(ctx context.Context, task *Task, b backend.Backend
 		mf = 0.5
 	}
 
-	s.measureBatch(ctx, active.RandomInit(task.Space, opts.PlanSize, rng))
-	for !s.exhausted(ctx) {
+	inited := false
+	step := func(ctx context.Context) bool {
+		if s.exhausted(ctx) {
+			return true
+		}
+		if !inited {
+			inited = true
+			s.measureBatch(ctx, active.RandomInit(task.Space, opts.PlanSize, rng))
+			return s.exhausted(ctx)
+		}
 		before := len(s.samples)
 		model := t.Inner.trainModel(task, s, rng)
 		var batch []space.Config
@@ -86,10 +96,16 @@ func (t *ChameleonTuner) Tune(ctx context.Context, task *Task, b backend.Backend
 		}
 		s.measureBatch(ctx, batch)
 		if len(s.samples) == before {
-			break
+			return true
 		}
+		return s.exhausted(ctx)
 	}
-	return s.result(t.Name())
+	return newStepSession(t.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (t *ChameleonTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, t, task, b, opts)
 }
 
 // adaptiveSample clusters the proposals in feature space and keeps one

@@ -81,29 +81,37 @@ func (t *ModelTuner) xgbParams() xgb.Params {
 	return p
 }
 
-// Tune implements Tuner.
-func (t *ModelTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+// Open implements Opener: the first step measures the initialization set
+// (random or BTED), each later step trains the cost model, runs the SA
+// argmax, and measures one planned batch.
+func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	s := newSession(task, b, opts)
-
-	// ---- Initialization stage ---------------------------------------------
-	var init []space.Config
-	if t.Init == InitBTED {
-		p := t.BTED
-		p.M0 = opts.PlanSize
-		init = active.BTED(task.Space, p, rng)
-	} else {
-		init = active.RandomInit(task.Space, opts.PlanSize, rng)
-	}
-	s.measureBatch(ctx, init)
-
-	// ---- Iterative optimization stage --------------------------------------
 	eps := t.Epsilon
 	if eps <= 0 {
 		eps = 0.05
 	}
-	for !s.exhausted(ctx) {
+	inited := false
+	step := func(ctx context.Context) bool {
+		if s.exhausted(ctx) {
+			return true
+		}
+		if !inited {
+			// ---- Initialization stage ---------------------------------
+			inited = true
+			var init []space.Config
+			if t.Init == InitBTED {
+				p := t.BTED
+				p.M0 = opts.PlanSize
+				init = active.BTED(task.Space, p, rng)
+			} else {
+				init = active.RandomInit(task.Space, opts.PlanSize, rng)
+			}
+			s.measureBatch(ctx, init)
+			return s.exhausted(ctx)
+		}
+		// ---- Iterative optimization stage -----------------------------
 		model := t.trainModel(task, s, rng)
 		var cands []space.Config
 		if model != nil {
@@ -149,11 +157,17 @@ func (t *ModelTuner) Tune(ctx context.Context, task *Task, b backend.Backend, op
 			add(rc)
 		}
 		if len(batch) == 0 {
-			break
+			return true
 		}
 		s.measureBatch(ctx, batch)
+		return s.exhausted(ctx)
 	}
-	return s.result(t.Name())
+	return newStepSession(t.Name(), s, step), nil
+}
+
+// Tune implements Tuner.
+func (t *ModelTuner) Tune(ctx context.Context, task *Task, b backend.Backend, opts Options) (Result, error) {
+	return tune(ctx, t, task, b, opts)
 }
 
 // trainModel fits the cost model on all observations (normalized to the

@@ -1,0 +1,194 @@
+package tuner
+
+import (
+	"context"
+
+	"repro/internal/backend"
+)
+
+// Session is a resumable tuning run: the batch loop that used to live
+// inside each Tuner.Tune, cut at its batch-fold boundaries so an external
+// driver (Tuner.Tune itself, or the graph scheduler in internal/sched) can
+// interleave many runs. A session is single-goroutine: callers must not
+// invoke its methods concurrently, though different sessions may be driven
+// from different goroutines.
+//
+// The contract mirrors Tune exactly: driving a fresh session with Step
+// until done and then calling Result yields a Result bit-identical to the
+// one-shot Tune call with the same (task, backend, opts) — the identity
+// every tuner proves in its Tune-vs-step-loop test. The context is passed
+// to every Step and never stored, so each call may carry a different ctx;
+// cancellation latches exactly like the in-Tune loop (the first Step that
+// observes a done ctx ends the run, and the samples recorded so far are a
+// bit-identical prefix of the uncancelled run).
+type Session interface {
+	// Step advances the run by one planned batch (for the sequential BAO
+	// stage: one measurement iteration). It reports done when the run has
+	// finished — budget or space exhausted, early stopping tripped, or ctx
+	// observed done — after which further calls are no-ops. err is non-nil
+	// only when the run stopped because a context was cancelled or expired;
+	// it is the latched ctx.Err() (Result wraps it with run detail).
+	Step(ctx context.Context) (done bool, err error)
+	// Result finalizes the run — feeding the transfer history exactly once
+	// — and returns the same (Result, error) the equivalent Tune call
+	// would. It is idempotent; a finalized session cannot be stepped
+	// further.
+	Result() (Result, error)
+	// Measured returns how many measurements the run has recorded so far
+	// (the scheduler's budget-accounting view).
+	Measured() int
+	// BestGFLOPS returns the best valid throughput observed so far
+	// (including resumed samples); ok is false while no valid measurement
+	// exists.
+	BestGFLOPS() (gflops float64, ok bool)
+}
+
+// Opener is implemented by tuners whose run can be driven stepwise. Every
+// tuner in this repository implements it; Tuner.Tune is exactly Open
+// followed by Drive.
+type Opener interface {
+	Tuner
+	// Open prepares a session for the task without measuring anything.
+	// Planning work (initialization-set construction, model training)
+	// happens lazily inside Step so a scheduler can fan it out. ctx is only
+	// observed, never stored: a context already done at Open simply makes
+	// the first Step latch cancellation.
+	Open(ctx context.Context, task *Task, b backend.Backend, opts Options) (Session, error)
+}
+
+// Drive advances a session to completion and finalizes it.
+func Drive(ctx context.Context, s Session) (Result, error) {
+	for {
+		done, err := s.Step(ctx)
+		if done || err != nil {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// stepSession adapts the shared measurement session plus a tuner-specific
+// step closure to the Session interface. The closure owns all search state
+// (RNG, sweep position, model artifacts) and returns true when the run is
+// finished; cancellation state lives in the embedded session and is
+// latched there.
+type stepSession struct {
+	name      string
+	s         *session
+	step      func(ctx context.Context) bool
+	done      bool
+	finalized bool
+	res       Result
+	err       error
+}
+
+func newStepSession(name string, s *session, step func(ctx context.Context) bool) *stepSession {
+	return &stepSession{name: name, s: s, step: step}
+}
+
+// Step implements Session.
+func (ts *stepSession) Step(ctx context.Context) (bool, error) {
+	if ts.done || ts.finalized {
+		return true, ts.s.err
+	}
+	if ts.step(ctx) {
+		ts.done = true
+	}
+	return ts.done, ts.s.err
+}
+
+// Result implements Session.
+func (ts *stepSession) Result() (Result, error) {
+	if !ts.finalized {
+		ts.finalized = true
+		ts.done = true
+		ts.res, ts.err = ts.s.result(ts.name)
+	}
+	return ts.res, ts.err
+}
+
+// Measured implements Session.
+func (ts *stepSession) Measured() int { return len(ts.s.samples) }
+
+// BestGFLOPS implements Session.
+func (ts *stepSession) BestGFLOPS() (float64, bool) {
+	return ts.s.bestG, ts.s.bestG > 0
+}
+
+// tune is the shared thin Tune loop every tuner delegates to.
+func tune(ctx context.Context, t Opener, task *Task, b backend.Backend, opts Options) (Result, error) {
+	sess, err := t.Open(ctx, task, b, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Drive(ctx, sess)
+}
+
+// AsOpener returns t itself when it already supports stepwise sessions
+// (every tuner in this repository does), and otherwise wraps it so its
+// whole Tune call runs as one indivisible Step. The wrapper keeps
+// third-party Tuner implementations working under the graph scheduler; they
+// just cannot be interleaved at batch granularity.
+func AsOpener(t Tuner) Opener {
+	if o, ok := t.(Opener); ok {
+		return o
+	}
+	return monoOpener{t}
+}
+
+type monoOpener struct{ Tuner }
+
+// Open implements Opener.
+func (m monoOpener) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return &monoSession{t: m.Tuner, task: task, b: b, opts: opts}, nil
+}
+
+// monoSession runs an entire Tune call as its single step.
+type monoSession struct {
+	t    Tuner
+	task *Task
+	b    backend.Backend
+	opts Options
+	done bool
+	res  Result
+	err  error
+}
+
+// Step implements Session.
+func (m *monoSession) Step(ctx context.Context) (bool, error) {
+	if !m.done {
+		m.res, m.err = m.t.Tune(ctx, m.task, m.b, m.opts)
+		m.done = true
+	}
+	if m.err != nil && ctx.Err() != nil {
+		return true, ctx.Err()
+	}
+	return true, nil
+}
+
+// Result implements Session.
+func (m *monoSession) Result() (Result, error) {
+	m.done = true
+	return m.res, m.err
+}
+
+// Measured implements Session.
+func (m *monoSession) Measured() int { return len(m.res.Samples) }
+
+// BestGFLOPS implements Session.
+func (m *monoSession) BestGFLOPS() (float64, bool) {
+	if m.res.Found {
+		return m.res.Best.GFLOPS, true
+	}
+	return 0, false
+}
+
+// Compile-time proof that every tuner supports stepwise sessions.
+var (
+	_ Opener = RandomTuner{}
+	_ Opener = GridTuner{}
+	_ Opener = GATuner{}
+	_ Opener = (*ModelTuner)(nil)
+	_ Opener = (*ChameleonTuner)(nil)
+	_ Opener = (*AdvancedTuner)(nil)
+)

@@ -98,6 +98,12 @@ type Options struct {
 	Workers int
 }
 
+// Normalized returns the options with zero values replaced by the paper's
+// defaults — the same normalization every tuner applies when it opens a
+// session. The graph scheduler uses it to see the effective Budget and
+// PlanSize a session will run with.
+func (o Options) Normalized() Options { return o.normalized() }
+
 func (o Options) normalized() Options {
 	if o.Budget <= 0 {
 		o.Budget = 1024
