@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench cover lint fmt-check verify
+.PHONY: all build test race determinism bench bench-smoke cover lint fmt-check verify
 
 all: build test lint
 
@@ -15,17 +15,26 @@ test:
 # the backend wrappers, the graph scheduler, parallel bootstrap training
 # and Gram assembly).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
 # must yield bit-identical samples for every tuner, a cancelled or
 # deadline-expired run must return a bit-identical prefix of them, and
 # the graph scheduler's outcomes must be invariant across the whole
 # Workers {1,4,8} x task-concurrency {1,2,4} grid (sched tests plus the
-# pipeline-level golden and invariance checks in internal/core).
+# pipeline-level golden and invariance checks in internal/core). The
+# kernel-level invariance tests ride the same regex: TED/mat-vec/Cholesky
+# (linalg, active), xgb split search + PredictBatch, and the GP kernel
+# build must be bit-identical for any worker count, and the SIMD lane
+# kernels must match the portable reference bit for bit.
 determinism:
 	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp
+
+# Benchmark smoke pass: every committed benchmark must still compile and
+# run (one iteration; not a timing source).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run XXXBENCHXXX ./...
 
 # Serial-vs-parallel wall clock on a fixed 8-task tuning run through the
 # graph scheduler; also fails if the two legs' samples diverge. Writes

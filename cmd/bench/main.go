@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -53,6 +54,12 @@ type report struct {
 	ParallelMS       float64 `json:"parallel_ms"`
 	Speedup          float64 `json:"speedup"`
 	IdenticalSamples bool    `json:"identical_samples"`
+	// Per-phase wall-clock breakdown of each leg, in milliseconds, keyed by
+	// tuner phase (init_set, surrogate_train, candidate_selection,
+	// measurement). Phases sum the work of all tasks, so the parallel leg's
+	// total can exceed its wall-clock.
+	SerialPhaseMS   map[string]float64 `json:"serial_phase_ms"`
+	ParallelPhaseMS map[string]float64 `json:"parallel_phase_ms"`
 }
 
 func main() {
@@ -66,6 +73,8 @@ func main() {
 	taskConc := flag.Int("task-concurrency", 0, "scheduler task concurrency of the parallel leg (<=0: same as -workers)")
 	policyName := flag.String("budget-policy", "uniform", "scheduler budget policy for both legs: uniform | adaptive")
 	out := flag.String("out", "BENCH_tune.json", "output JSON path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	if *taskConc <= 0 {
 		*taskConc = *workers
@@ -74,10 +83,58 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out); err != nil {
+	// Profiled body in its own function so deferred profile teardown runs
+	// before os.Exit.
+	if err := profiledRun(ctx, *cpuProfile, *memProfile, func(ctx context.Context) error {
+		return run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps body with optional CPU and heap profiling: the CPU
+// profile covers the whole body, the heap profile is snapshotted after a GC
+// once the body returns.
+func profiledRun(ctx context.Context, cpuProfile, memProfile string, body func(context.Context) error) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bench: close cpu profile:", cerr)
+			}
+		}()
+	}
+	err := body(ctx)
+	if memProfile != "" {
+		if werr := writeHeapProfile(memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// writeHeapProfile snapshots the heap after a GC, the conventional way to
+// capture live allocations at end of run.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func benchTasks(model string, n int) ([]*tuner.Task, error) {
@@ -101,15 +158,18 @@ func benchTasks(model string, n int) ([]*tuner.Task, error) {
 // leg hands the task list to the graph scheduler with the given task
 // concurrency and measurement worker pool and returns the results in task
 // order plus the wall-clock.
-func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskConc, measureWorkers int, policy sched.Policy) ([]tuner.Result, time.Duration, error) {
+func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskConc, measureWorkers int, policy sched.Policy) ([]tuner.Result, time.Duration, *tuner.PhaseTimes, error) {
 	tn, err := newTuner(tunerName)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	b, err := backend.New("gtx1080ti", seed)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
+	// One accumulator for the whole leg: PhaseTimes is concurrency-safe, so
+	// tasks running in parallel fold into the same per-phase totals.
+	phases := tuner.NewPhaseTimes()
 	specs := make([]sched.Spec, len(tasks))
 	for i, task := range tasks {
 		specs[i] = sched.Spec{Task: task, Opts: tuner.Options{
@@ -118,6 +178,7 @@ func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, pla
 			PlanSize:  plan,
 			Seed:      seed + int64(i)*1000003,
 			Workers:   measureWorkers,
+			Phases:    phases,
 		}}
 	}
 	start := time.Now()
@@ -127,13 +188,13 @@ func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, pla
 	})
 	elapsed := time.Since(start)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	results := make([]tuner.Result, len(tasks))
 	for _, o := range outs {
 		results[o.Index] = o.Result
 	}
-	return results, elapsed, nil
+	return results, elapsed, phases, nil
 }
 
 func newTuner(name string) (tuner.Tuner, error) {
@@ -152,6 +213,16 @@ func newTuner(name string) (tuner.Tuner, error) {
 		return tuner.GATuner{}, nil
 	default:
 		return nil, fmt.Errorf("unknown tuner %q", name)
+	}
+}
+
+// printPhases writes the per-phase breakdown in a stable order.
+func printPhases(p *tuner.PhaseTimes) {
+	ms := p.Milliseconds()
+	for _, phase := range []string{tuner.PhaseInitSet, tuner.PhaseSurrogateTrain, tuner.PhaseCandidateSelection, tuner.PhaseMeasurement} {
+		if v, ok := ms[phase]; ok {
+			fmt.Printf("  %-20s %8.1f ms\n", phase, v)
+		}
 	}
 }
 
@@ -181,17 +252,19 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 	fmt.Printf("benchmarking %s on %d %s tasks (budget %d, plan %d, policy %s, GOMAXPROCS %d)\n",
 		tunerName, nTasks, model, budget, plan, policy.Name(), runtime.GOMAXPROCS(0))
 
-	serial, serialDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, 1, 1, policy)
+	serial, serialDur, serialPhases, err := leg(ctx, tasks, tunerName, budget, plan, seed, 1, 1, policy)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serial   (tasks x1, workers 1): %8.1f ms\n", float64(serialDur.Microseconds())/1000)
+	printPhases(serialPhases)
 
-	parRes, parDur, err := leg(ctx, tasks, tunerName, budget, plan, seed, taskConc, workers, policy)
+	parRes, parDur, parPhases, err := leg(ctx, tasks, tunerName, budget, plan, seed, taskConc, workers, policy)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("parallel (tasks x%d, workers %d): %8.1f ms\n", taskConc, workers, float64(parDur.Microseconds())/1000)
+	printPhases(parPhases)
 
 	identical := true
 	for i := range serial {
@@ -215,6 +288,8 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 		SerialMS:         float64(serialDur.Microseconds()) / 1000,
 		ParallelMS:       float64(parDur.Microseconds()) / 1000,
 		IdenticalSamples: identical,
+		SerialPhaseMS:    serialPhases.Milliseconds(),
+		ParallelPhaseMS:  parPhases.Milliseconds(),
 	}
 	if r.ParallelMS > 0 {
 		r.Speedup = r.SerialMS / r.ParallelMS

@@ -40,6 +40,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -71,6 +73,8 @@ func main() {
 	taskConc := flag.Int("task-concurrency", 1, "tasks tuned concurrently by the graph scheduler (1: classic sequential pipeline)")
 	budgetPolicy := flag.String("budget-policy", "uniform", "scheduler budget policy: uniform | adaptive")
 	dryRun := flag.Bool("dry-run", false, "print the planned round/budget schedule per task and exit without measuring")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
 	// Ctrl-C (or SIGTERM) cancels the run context: in-flight measurements
@@ -99,7 +103,11 @@ func main() {
 		}
 		return
 	}
-	if err := run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel); err != nil {
+	// Profiled body in its own function so deferred profile teardown runs
+	// before os.Exit.
+	if err := profiledRun(ctx, *cpuProfile, *memProfile, func(ctx context.Context) error {
+		return run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel)
+	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "tune: interrupted; record log checkpointed:", err)
 		} else {
@@ -107,6 +115,43 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps body with optional CPU and heap profiling: the CPU
+// profile covers the whole body, the heap profile is snapshotted after a GC
+// once the body returns.
+func profiledRun(ctx context.Context, cpuProfile, memProfile string, body func(context.Context) error) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tune: close cpu profile:", cerr)
+			}
+		}()
+	}
+	err := body(ctx)
+	if memProfile != "" {
+		f, werr := os.Create(memProfile)
+		if werr == nil {
+			runtime.GC()
+			werr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // runConfig carries the per-model tuning settings shared by every model of

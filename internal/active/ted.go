@@ -7,10 +7,55 @@ package active
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/par"
 	"repro/internal/space"
 )
+
+// tedWorkspace holds every buffer one TED pass needs, pooled so BTED's B+1
+// passes over same-sized batches reuse one ~n²·8-byte Gram allocation (and
+// the O(n)/O(m·n) side buffers) instead of allocating fresh ones per batch.
+type tedWorkspace struct {
+	K     *linalg.Matrix
+	norms []float64 // residual squared column norms ‖K_t e_j‖²
+	diag  []float64 // residual diagonal (K_t)_jj
+	c     []float64 // current residual column K_t e_x
+	w     []float64 // K_t c, the rank-1 norm-downdate direction
+	d     []float64 // d_s = u_s·c, the per-downdate correction coefficients
+	g     []float64 // Ut row of the current pick (u_s[best] for all s)
+	u     []float64 // m x n flat; row s is the downdate vector u_s
+	ut    []float64 // n x m flat transpose: row i is (u_0[i], u_1[i], ...)
+	taken []bool
+}
+
+var tedPool = sync.Pool{New: func() any { return &tedWorkspace{K: linalg.NewMatrix(0, 0)} }}
+
+func (ws *tedWorkspace) resize(n, m int) {
+	grow := func(s []float64, want int) []float64 {
+		if cap(s) < want {
+			return make([]float64, want)
+		}
+		return s[:want]
+	}
+	ws.norms = grow(ws.norms, n)
+	ws.diag = grow(ws.diag, n)
+	ws.c = grow(ws.c, n)
+	ws.w = grow(ws.w, n)
+	ws.d = grow(ws.d, m)
+	ws.g = grow(ws.g, m)
+	ws.u = grow(ws.u, m*n)
+	ws.ut = grow(ws.ut, n*m)
+	if cap(ws.taken) < n {
+		ws.taken = make([]bool, n)
+	} else {
+		ws.taken = ws.taken[:n]
+		for i := range ws.taken {
+			ws.taken[i] = false
+		}
+	}
+}
 
 // TED performs transductive experimental design (Algorithm 1): it greedily
 // selects m points whose kernel columns have maximal residual energy,
@@ -22,7 +67,21 @@ import (
 // Points already selected keep a residual column norm of ~0 after the
 // rank-1 downdate, so the same index is never picked twice. When m exceeds
 // the candidate count, every index is returned.
+//
+// The implementation is the incremental form of Algorithm 1 (see DESIGN.md
+// for the derivation): the Gram matrix K₀ is built once and never written
+// again, each pick records its downdate direction u_t = c_t/√(denom_t), and
+// the residual column norms and diagonal are downdated in O(n) from
+// w = K_t·c_t instead of recomputing them over the full deflated matrix.
+// Per pick that is one read-only mat-vec over K₀ (plus O(t·n) corrections
+// from the stored u vectors) in place of Algorithm 1's write-back rank-1
+// downdate followed by a full column-norm pass — algebraically identical,
+// deterministic, and bit-identical for any worker count.
 func TED(feats [][]float64, mu float64, m int, k linalg.Kernel) []int {
+	return tedWithWorkers(feats, mu, m, k, par.Workers())
+}
+
+func tedWithWorkers(feats [][]float64, mu float64, m int, k linalg.Kernel, workers int) []int {
 	n := len(feats)
 	if n == 0 || m <= 0 {
 		return nil
@@ -30,18 +89,28 @@ func TED(feats [][]float64, mu float64, m int, k linalg.Kernel) []int {
 	if m > n {
 		m = n
 	}
-	K := linalg.GramMatrix(feats, k)
+	ws := tedPool.Get().(*tedWorkspace)
+	defer tedPool.Put(ws)
+	ws.resize(n, m)
+	linalg.GramMatrixInto(ws.K, feats, k, workers)
+	K, norms, diag, c, w, taken := ws.K, ws.norms, ws.diag, ws.c, ws.w, ws.taken
+	// Initial state: exact column norms (the same row-major accumulation as
+	// ColNorms2) and the Gram diagonal.
+	K.ColNorms2Into(norms)
+	for j := 0; j < n; j++ {
+		diag[j] = K.At(j, j)
+	}
+
 	selected := make([]int, 0, m)
-	taken := make([]bool, n)
-	for i := 0; i < m; i++ {
-		norms := K.ColNorms2()
+	nd := 0 // downdate vectors recorded in ws.u (picks can skip theirs)
+	for t := 0; t < m; t++ {
 		best := -1
 		bestScore := 0.0
 		for j := 0; j < n; j++ {
 			if taken[j] {
 				continue
 			}
-			score := norms[j] / (K.At(j, j) + mu)
+			score := norms[j] / (diag[j] + mu)
 			if best < 0 || score > bestScore {
 				best = j
 				bestScore = score
@@ -52,13 +121,70 @@ func TED(feats [][]float64, mu float64, m int, k linalg.Kernel) []int {
 		}
 		selected = append(selected, best)
 		taken[best] = true
+		if t == m-1 {
+			break // the residual state has no further reader
+		}
 		// Non-PSD "kernels" (e.g. the paper-literal raw-distance matrix)
 		// can drive the deflated diagonal non-positive; the downdate is
 		// then numerically meaningless, so skip it — the point is already
 		// marked taken and cannot be re-selected.
-		if denom := K.At(best, best) + mu; denom > 1e-12 {
-			K.Rank1Downdate(best, denom)
+		denom := diag[best] + mu
+		if denom <= 1e-12 {
+			continue
 		}
+
+		// Residual column of the pick: c = K_t e_best, reconstructed from
+		// the immutable K₀ row (K₀ is symmetric, so the row IS the column —
+		// a contiguous read) minus the stored downdates. The transpose
+		// layout ws.ut makes the per-element correction Σ_s u_s[i]·u_s[best]
+		// a contiguous 8-lane dot over row i's downdate history.
+		copy(c, K.Row(best))
+		if nd > 0 {
+			g := ws.g[:nd]
+			copy(g, ws.ut[best*m:best*m+nd])
+			for i := 0; i < n; i++ {
+				c[i] -= linalg.LaneDot(ws.ut[i*m:i*m+nd], g)
+			}
+		}
+
+		// w = K_t c = K₀c − Σ_s u_s (u_s·c): one masked read-only mat-vec
+		// over K₀ (rows of already-taken points are dead — their norms are
+		// never read again) plus O(t·n) corrections. The coefficients
+		// d_s = u_s·c come from the row-major copy of the downdates; the
+		// per-row corrections Σ_s u_s[j]·d_s from the transpose, fused into
+		// the downdate pass below.
+		K.MulVecMaskedInto(w, c, taken, workers)
+		d := ws.d[:nd]
+		for s := 0; s < nd; s++ {
+			d[s] = linalg.LaneDot(ws.u[s*n:s*n+n], c)
+		}
+		S := linalg.LaneDot(c, c)
+
+		// Record u_t = c/√denom (so K_{t+1} = K_t − u_t u_tᵀ) in both
+		// layouts. The transpose write lands in column nd, past the [:nd]
+		// prefixes the fused pass below reads.
+		scale := 1 / math.Sqrt(denom)
+		urow := ws.u[nd*n : nd*n+n]
+		for i, v := range c {
+			uv := v * scale
+			urow[i] = uv
+			ws.ut[i*m+nd] = uv
+		}
+
+		// Fused O(n·(1+nd)) downdate of the residual norms and diagonal:
+		//   w_j          −= Σ_s u_s[j]·d_s   (finishing w = K_t c)
+		//   ‖K_{t+1} e_j‖² = ‖K_t e_j‖² − (c_j/denom)·(2 w_j − (c_j/denom)·S)
+		//   (K_{t+1})_jj   = (K_t)_jj − c_j·(c_j/denom)
+		for j := 0; j < n; j++ {
+			if taken[j] {
+				continue
+			}
+			wj := w[j] - linalg.LaneDot(ws.ut[j*m:j*m+nd], d)
+			a := c[j] / denom
+			norms[j] -= a * (2*wj - a*S)
+			diag[j] -= c[j] * a
+		}
+		nd++
 	}
 	return selected
 }
@@ -96,33 +222,44 @@ func Embed(cfgs []space.Config, view FeatureView) [][]float64 {
 }
 
 // standardize normalizes columns in place to mean 0 / stddev 1 (constant
-// columns become all-zero).
+// columns become all-zero). All three passes walk the row-major [][]float64
+// in row order — each column's accumulator still receives its terms in
+// ascending row order, so the results are bit-identical to the textbook
+// per-column loops while touching each cache line once per pass instead of
+// once per dimension.
 func standardize(X [][]float64) {
 	if len(X) == 0 {
 		return
 	}
 	d := len(X[0])
 	n := float64(len(X))
-	for j := 0; j < d; j++ {
-		mean := 0.0
-		for _, row := range X {
-			mean += row[j]
+	mean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
 		}
-		mean /= n
-		varsum := 0.0
-		for _, row := range X {
-			dev := row[j] - mean
-			varsum += dev * dev
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	varsum := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			dev := v - mean[j]
+			varsum[j] += dev * dev
 		}
-		if varsum == 0 {
-			for _, row := range X {
-				row[j] = 0
-			}
-			continue
+	}
+	scale := make([]float64, d)
+	for j, v := range varsum {
+		if v == 0 {
+			scale[j] = 0 // constant column: collapse to exactly zero
+		} else {
+			scale[j] = 1 / math.Sqrt(v/n)
 		}
-		stdInv := 1 / math.Sqrt(varsum/n)
-		for _, row := range X {
-			row[j] = (row[j] - mean) * stdInv
+	}
+	for _, row := range X {
+		for j, v := range row {
+			row[j] = (v - mean[j]) * scale[j]
 		}
 	}
 }

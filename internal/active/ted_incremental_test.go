@@ -1,0 +1,204 @@
+package active
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// tedReference is Algorithm 1 exactly as the pre-optimization code ran it:
+// a fresh full column-norm pass and an in-place rank-1 downdate per pick.
+// The incremental implementation must select the same indices in the same
+// order.
+func tedReference(feats [][]float64, mu float64, m int, k linalg.Kernel) []int {
+	n := len(feats)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	if m > n {
+		m = n
+	}
+	K := linalg.GramMatrix(feats, k)
+	selected := make([]int, 0, m)
+	taken := make([]bool, n)
+	for i := 0; i < m; i++ {
+		norms := K.ColNorms2()
+		best := -1
+		bestScore := 0.0
+		for j := 0; j < n; j++ {
+			if taken[j] {
+				continue
+			}
+			score := norms[j] / (K.At(j, j) + mu)
+			if best < 0 || score > bestScore {
+				best = j
+				bestScore = score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		taken[best] = true
+		if denom := K.At(best, best) + mu; denom > 1e-12 {
+			K.Rank1Downdate(best, denom)
+		}
+	}
+	return selected
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTEDIncrementalMatchesReference drives the incremental implementation
+// across batch shapes, kernels, mu values and selection depths (including
+// m == n, the fully-deflated worst case) and requires pick-for-pick
+// identity with the reference algorithm.
+func TestTEDIncrementalMatchesReference(t *testing.T) {
+	kernels := []linalg.Kernel{
+		linalg.RBFKernel{Gamma: 1.0 / 8},
+		linalg.LinearKernel{},
+		linalg.DistanceKernel{},
+	}
+	shapes := []struct{ n, d, m int }{
+		{1, 3, 1}, {2, 3, 2}, {16, 4, 8}, {60, 6, 60},
+		{128, 8, 64}, {500, 8, 16}, {500, 8, 64},
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, sh := range shapes {
+			feats := benchFeats(sh.n, sh.d, seed)
+			for _, k := range kernels {
+				for _, mu := range []float64{0.1, 1.0} {
+					want := tedReference(feats, mu, sh.m, k)
+					got := TED(feats, mu, sh.m, k)
+					if !sameInts(got, want) {
+						t.Fatalf("seed %d n=%d d=%d m=%d kernel=%s mu=%g: incremental picks %v, reference %v",
+							seed, sh.n, sh.d, sh.m, k.Name(), mu, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTEDDuplicatePoints pins the tie-breaking behaviour: duplicated points
+// produce exactly equal kernel columns, and both implementations must break
+// the tie toward the lower index, never selecting the duplicate twice
+// consecutively.
+func TestTEDDuplicatePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	feats := make([][]float64, 40)
+	for i := range feats {
+		if i%2 == 1 {
+			feats[i] = feats[i-1] // exact duplicate
+			continue
+		}
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		feats[i] = row
+	}
+	k := linalg.RBFKernel{Gamma: 0.2}
+	want := tedReference(feats, 0.1, 40, k)
+	got := TED(feats, 0.1, 40, k)
+	if !sameInts(got, want) {
+		t.Fatalf("duplicate-point picks diverge: incremental %v, reference %v", got, want)
+	}
+}
+
+// TestTEDWorkerCountInvariance requires bit-identical selections from the
+// incremental kernel for Workers 1, 4 and 8: the masked mat-vec is the only
+// parallel stage, and its per-row dot products do not depend on the worker
+// count.
+func TestTEDWorkerCountInvariance(t *testing.T) {
+	for _, sh := range []struct{ n, d, m int }{{100, 6, 30}, {500, 8, 64}} {
+		feats := benchFeats(sh.n, sh.d, 11)
+		k := linalg.RBFKernel{Gamma: 1.0 / 6}
+		base := tedWithWorkers(feats, 0.1, sh.m, k, 1)
+		for _, workers := range []int{4, 8} {
+			got := tedWithWorkers(feats, 0.1, sh.m, k, workers)
+			if !sameInts(got, base) {
+				t.Fatalf("n=%d m=%d: workers=%d picks %v, workers=1 picks %v", sh.n, sh.m, workers, got, base)
+			}
+		}
+	}
+}
+
+// standardizeReference is the pre-optimization column-by-column loop.
+func standardizeReference(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	d := len(X[0])
+	n := float64(len(X))
+	for j := 0; j < d; j++ {
+		mean := 0.0
+		for _, row := range X {
+			mean += row[j]
+		}
+		mean /= n
+		varsum := 0.0
+		for _, row := range X {
+			dev := row[j] - mean
+			varsum += dev * dev
+		}
+		if varsum == 0 {
+			for _, row := range X {
+				row[j] = 0
+			}
+			continue
+		}
+		stdInv := 1 / math.Sqrt(varsum/n)
+		for _, row := range X {
+			row[j] = (row[j] - mean) * stdInv
+		}
+	}
+}
+
+// TestStandardizeBitIdentical pins the row-major single-pass rewrite to the
+// reference loop bit for bit, including constant columns (which must become
+// exactly +0).
+func TestStandardizeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		d := 1 + rng.Intn(12)
+		a := make([][]float64, n)
+		b := make([][]float64, n)
+		constCol := rng.Intn(d)
+		for i := range a {
+			a[i] = make([]float64, d)
+			b[i] = make([]float64, d)
+			for j := range a[i] {
+				v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+				if j == constCol {
+					v = 42.5
+				}
+				a[i][j] = v
+				b[i][j] = v
+			}
+		}
+		standardizeReference(a)
+		standardize(b)
+		for i := range a {
+			for j := range a[i] {
+				if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+					t.Fatalf("trial %d: element (%d,%d) differs: reference %x, rewrite %x",
+						trial, i, j, math.Float64bits(a[i][j]), math.Float64bits(b[i][j]))
+				}
+			}
+		}
+	}
+}

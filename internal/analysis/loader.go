@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -151,6 +152,18 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints exactly as `go build` does (filename
+		// GOOS/GOARCH suffixes and //go:build lines) for the host platform
+		// with no extra tags — otherwise mutually exclusive variants of one
+		// symbol (e.g. an assembly-backed kernel and its purego fallback)
+		// would both load and collide.
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

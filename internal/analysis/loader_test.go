@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderHonorsBuildConstraints loads a fixture package that declares
+// the same symbol in two files behind mutually exclusive //go:build lines
+// (the assembly-kernel-plus-fallback pattern of internal/linalg). The
+// loader must select files the way `go build` does — exactly one variant —
+// or type-checking reports a redeclaration.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "buildtags"), "repro/internal/fixtures/buildtags")
+	if err != nil {
+		t.Fatalf("loading build-constrained package: %v", err)
+	}
+	if got := len(pkg.Files); got != 2 {
+		t.Errorf("loaded %d files, want 2 (portable.go + kernel_on.go)", got)
+	}
+	if pkg.Types.Scope().Lookup("Kernel") == nil {
+		t.Error("Kernel not in package scope")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build analysis_fixture_off
+
+package buildtags
+
+// Kernel redeclares the symbol; a build-tag-blind loader collides here.
+func Kernel() int { return -Value }

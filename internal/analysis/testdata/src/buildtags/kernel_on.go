@@ -1,0 +1,7 @@
+//go:build !analysis_fixture_off
+
+package buildtags
+
+// Kernel is the variant selected on every real build (the tag is never
+// set).
+func Kernel() int { return Value }

@@ -1,0 +1,8 @@
+// Package buildtags is a loader fixture: Kernel is declared twice behind
+// mutually exclusive build constraints (the assembly-variant pattern used
+// by internal/linalg). A loader that ignores build tags sees a
+// redeclaration and fails to type-check.
+package buildtags
+
+// Value is what the constrained variants return.
+const Value = 7

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/par"
 )
 
 // Params configures GP regression.
@@ -34,6 +35,11 @@ type Params struct {
 	MaxPoints int
 	// Seed drives the subsampling.
 	Seed int64
+	// Workers caps the goroutines used to build the kernel matrix; <= 0
+	// means par.Workers(). Every entry K[i][j] is computed independently
+	// with the identical scalar expression, so the fitted model is
+	// bit-identical for every value.
+	Workers int
 }
 
 // DefaultParams returns settings suited to normalized tuning targets.
@@ -103,14 +109,23 @@ func Train(X [][]float64, y []float64, p Params) (*Model, error) {
 	}
 	mean /= float64(n)
 
+	workers := p.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
 	K := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	// Row-parallel kernel build. The worker owning row i computes the pairs
+	// (i, j) for j >= i and mirrors them: entry (j, i) is written only by
+	// that worker (the pair's smaller index), so rows are racing-free, and
+	// every entry is the identical serial scalar expression — the matrix is
+	// bit-identical for any worker count.
+	par.For(n, workers, func(i int) {
 		for j := i; j < n; j++ {
 			v := p.SignalVar * math.Exp(-linalg.Dist2(X[i], X[j])/ls2)
 			K.Set(i, j, v)
 			K.Set(j, i, v)
 		}
-	}
+	})
 	var chol *linalg.Cholesky
 	var err error
 	jitter := p.NoiseVar
@@ -147,6 +162,29 @@ func (m *Model) Predict(x []float64) float64 {
 	}
 	return s
 }
+
+// PredictBatch returns the posterior mean at each query point.
+func (m *Model) PredictBatch(xs [][]float64) []float64 {
+	return m.PredictBatchParallel(xs, par.Workers())
+}
+
+// PredictBatchParallel is PredictBatch over the worker pool. Each output
+// depends only on its own query, so the result is bit-identical to calling
+// Predict per point, for any worker count.
+func (m *Model) PredictBatchParallel(xs [][]float64, workers int) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs)*len(m.x) < gpParallelMinWork {
+		workers = 1
+	}
+	par.For(len(xs), workers, func(i int) {
+		out[i] = m.Predict(xs[i])
+	})
+	return out
+}
+
+// gpParallelMinWork is the query-count x training-size product below which
+// PredictBatch stays serial; smaller batches cannot amortize pool dispatch.
+const gpParallelMinWork = 1 << 12
 
 // PredictVar returns the posterior mean and variance at x; the variance
 // quantifies epistemic uncertainty and can drive acquisition functions.

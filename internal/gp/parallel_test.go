@@ -1,0 +1,62 @@
+package gp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGPTrainWorkerCountInvariance pins the parallel kernel build: every
+// K[i][j] entry is the identical scalar expression, so training with 1, 4
+// or 8 workers must produce bit-identical posteriors.
+func TestGPTrainWorkerCountInvariance(t *testing.T) {
+	X, y := benchData(250, 6, 5)
+	pool, _ := benchData(64, 6, 6)
+	p := DefaultParams()
+	p.Workers = 1
+	ref, err := Train(X, y, p)
+	if err != nil {
+		t.Fatalf("Train(workers=1): %v", err)
+	}
+	for _, workers := range []int{4, 8} {
+		p.Workers = workers
+		m, err := Train(X, y, p)
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		for _, x := range pool {
+			want, got := ref.Predict(x), m.Predict(x)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("workers=%d: Predict=%x, serial %x", workers, math.Float64bits(got), math.Float64bits(want))
+			}
+			wm, wv := ref.PredictVar(x)
+			gm, gv := m.PredictVar(x)
+			if math.Float64bits(gm) != math.Float64bits(wm) || math.Float64bits(gv) != math.Float64bits(wv) {
+				t.Fatalf("workers=%d: PredictVar=(%x,%x), serial (%x,%x)", workers,
+					math.Float64bits(gm), math.Float64bits(gv), math.Float64bits(wm), math.Float64bits(wv))
+			}
+		}
+	}
+}
+
+// TestGPPredictBatchWorkerCountInvariance checks the parallel batch
+// prediction against per-point Predict, bit for bit, for every worker count.
+func TestGPPredictBatchWorkerCountInvariance(t *testing.T) {
+	X, y := benchData(300, 5, 1)
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	pool, _ := benchData(150, 5, 2)
+	ref := make([]float64, len(pool))
+	for i, x := range pool {
+		ref[i] = m.Predict(x)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := m.PredictBatchParallel(pool, workers)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("workers=%d: out[%d]=%x, want %x", workers, i, math.Float64bits(got[i]), math.Float64bits(ref[i]))
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchVecs(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// benchSPD builds a well-conditioned SPD matrix A = V Vᵀ + n·I.
+func benchSPD(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	v := NewMatrix(n, n)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += v.At(i, k) * v.At(j, k)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}
+
+// BenchmarkCholesky factorizes the GP evaluator's working size (MaxPoints
+// defaults to 400).
+func BenchmarkCholesky(b *testing.B) {
+	a := benchSPD(400, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGramMatrix spans the serial/parallel crossover region; the
+// committed gramParallelThreshold is picked from this sweep.
+func BenchmarkGramMatrix(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		vecs := benchVecs(n, 8, 2)
+		k := RBFKernel{Gamma: 1.0 / 8}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GramMatrix(vecs, k)
+			}
+		})
+	}
+}
+
+// BenchmarkGramMatrixWorkers isolates the pool-dispatch overhead the
+// gramParallelThreshold comment quotes: the same build, serial vs forced
+// onto the pool. The threshold is the smallest n where the dispatch cost
+// disappears into the O(n²) kernel evaluations.
+func BenchmarkGramMatrixWorkers(b *testing.B) {
+	k := RBFKernel{Gamma: 1.0 / 8}
+	for _, n := range []int{32, 64, 96, 128, 192, 256} {
+		vecs := benchVecs(n, 8, 2)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					GramMatrixParallel(vecs, k, workers)
+				}
+			})
+		}
+	}
+}

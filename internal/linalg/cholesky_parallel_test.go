@@ -1,0 +1,120 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cholSerialReference is the textbook left-looking factorization: one
+// accumulator per element, strict ascending-k order. The parallel
+// implementation must reproduce it bit for bit.
+func cholSerialReference(a *Matrix, jitter float64) ([]float64, error) {
+	n := a.Rows
+	l := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			sum -= l[j*n+k] * l[j*n+k]
+		}
+		if sum <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(sum)
+		l[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = s / ljj
+		}
+	}
+	return l, nil
+}
+
+// TestCholeskyWorkerCountInvariance pins the factorization's bit-identity
+// contract: for every worker count — and sizes straddling the serial
+// fall-back threshold and the block boundaries — the factor matches the
+// textbook serial reference exactly.
+func TestCholeskyWorkerCountInvariance(t *testing.T) {
+	for _, n := range []int{1, 5, 31, 32, 33, 97, 200} {
+		a := spdMatrix(n, int64(n))
+		ref, err := cholSerialReference(a, 1e-10)
+		if err != nil {
+			t.Fatalf("n=%d: serial reference failed: %v", n, err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			c, err := NewCholeskyParallel(a, 1e-10, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i, v := range c.l {
+				if math.Float64bits(v) != math.Float64bits(ref[i]) {
+					t.Fatalf("n=%d workers=%d: l[%d]=%x, serial %x",
+						n, workers, i, math.Float64bits(v), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestCholeskyNotPositiveDefiniteWorkerInvariance checks error parity: the
+// parallel factorization reports the same first bad pivot outcome as the
+// serial reference for every worker count.
+func TestCholeskyNotPositiveDefiniteWorkerInvariance(t *testing.T) {
+	n := 64
+	a := spdMatrix(n, 7)
+	a.Set(40, 40, -1e6) // poison a late pivot
+	if _, err := cholSerialReference(a, 0); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("serial reference: err=%v, want ErrNotPositiveDefinite", err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		if _, err := NewCholeskyParallel(a, 0, workers); !errors.Is(err, ErrNotPositiveDefinite) {
+			t.Fatalf("workers=%d: err=%v, want ErrNotPositiveDefinite", workers, err)
+		}
+	}
+}
+
+// TestMulVecWorkerCountInvariance pins the blocked mat-vec (and its masked
+// variant) to the serial laneDot reference bit for bit, for worker counts
+// 1/4/8 and shapes straddling the 64-row block size.
+func TestMulVecWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{1, 3}, {63, 17}, {64, 8}, {65, 8}, {300, 40}} {
+		rows, cols := shape[0], shape[1]
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		skip := make([]bool, rows)
+		for i := range skip {
+			skip[i] = rng.Intn(3) == 0
+		}
+		ref := make([]float64, rows)
+		mulVecRows(m.Data, m.Cols, x, ref, 0, rows, nil)
+		refMasked := make([]float64, rows)
+		mulVecRows(m.Data, m.Cols, x, refMasked, 0, rows, skip)
+		for _, workers := range []int{1, 4, 8} {
+			got := make([]float64, rows)
+			m.MulVecInto(got, x, workers)
+			gotMasked := make([]float64, rows)
+			m.MulVecMaskedInto(gotMasked, x, skip, workers)
+			for i := range ref {
+				if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("%dx%d workers=%d: dst[%d]=%x, serial %x",
+						rows, cols, workers, i, math.Float64bits(got[i]), math.Float64bits(ref[i]))
+				}
+				if math.Float64bits(gotMasked[i]) != math.Float64bits(refMasked[i]) {
+					t.Fatalf("%dx%d workers=%d masked: dst[%d]=%x, serial %x",
+						rows, cols, workers, i, math.Float64bits(gotMasked[i]), math.Float64bits(refMasked[i]))
+				}
+			}
+		}
+	}
+}

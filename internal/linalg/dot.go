@@ -1,0 +1,64 @@
+package linalg
+
+import "fmt"
+
+// LaneDot returns the canonical 8-lane inner product of a and b — the same
+// bits as the mat-vec kernels produce per row (see laneDotGeneric for the
+// exact lane and reduction order). Hot callers that need dot products
+// bit-compatible with MulVecInto use this instead of the strictly serial
+// Dot. The slices must have equal length.
+func LaneDot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		//lint:ignore panicpath kernel invariant: length mismatch is a programmer error, panics like gonum/mat
+		panic(fmt.Sprintf("linalg: LaneDot length mismatch %d vs %d", len(a), len(b)))
+	}
+	return laneDot(a, b)
+}
+
+// laneDot is the canonical 8-lane inner product used by the hot mat-vec and
+// TED-correction paths. Lane r accumulates the terms at indices ≡ r (mod 8),
+// each lane in ascending index order, and the lanes fold in the fixed tree
+//
+//	((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))
+//
+// with the tail (len % 8 trailing elements) added serially afterwards. The
+// lane structure is a property of the KERNEL, not of the hardware: the SSE2
+// assembly (dot_amd64.s) keeps lanes 2r/2r+1 in the halves of one 128-bit
+// register and reduces with exactly this tree, so amd64 and the portable
+// fallback produce identical bits, and so does every worker count — the
+// split never depends on the caller. Eight independent chains also keep both
+// floating-point ports busy, which is where the speedup over a single serial
+// accumulator comes from.
+//
+// Callers must ensure len(b) >= len(a); only the first len(a) elements
+// participate. All in-package callers pass equal-length slices.
+// addSquaresGeneric accumulates dst[j] += src[j]·src[j]. Every dst[j] is an
+// independent accumulator, so vectorizing across j (as the SSE2 version
+// does) cannot change any rounding: the result is bit-identical to this
+// loop on every platform. len(src) must be at least len(dst).
+func addSquaresGeneric(dst, src []float64) {
+	for j := range dst {
+		v := src[j]
+		dst[j] += v * v
+	}
+}
+
+func laneDotGeneric(a, b []float64) float64 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	t := ((s0 + s4) + (s2 + s6)) + ((s1 + s5) + (s3 + s7))
+	for ; i < len(a); i++ {
+		t += a[i] * b[i]
+	}
+	return t
+}

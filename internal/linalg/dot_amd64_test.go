@@ -1,0 +1,35 @@
+//go:build amd64 && !purego
+
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLaneDotSSE2AVXInvariance pins the two hardware paths against each
+// other and the portable specification bit for bit, on machines where AVX
+// is available (the SSE2 path and the generic are always compared by
+// TestLaneDotImplInvariance regardless).
+func TestLaneDotSSE2AVXInvariance(t *testing.T) {
+	if !cpuHasAVX() {
+		t.Skip("no AVX on this machine")
+	}
+	rng := rand.New(rand.NewSource(123))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 23, 24, 31, 32, 100, 500, 501, 503} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			m := math.Pow(10, float64(rng.Intn(13)-6))
+			a[i] = rng.NormFloat64() * m
+			b[i] = rng.NormFloat64() * m
+		}
+		sse := laneDotSSE2(a, b)
+		avx := laneDotAVX(a, b)
+		gen := laneDotGeneric(a, b)
+		if math.Float64bits(sse) != math.Float64bits(gen) || math.Float64bits(avx) != math.Float64bits(gen) {
+			t.Fatalf("n=%d: sse2=%x avx=%x generic=%x", n, math.Float64bits(sse), math.Float64bits(avx), math.Float64bits(gen))
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package linalg
+
+func laneDot(a, b []float64) float64 { return laneDotGeneric(a, b) }
+
+func addSquares(dst, src []float64) { addSquaresGeneric(dst, src) }

@@ -1,0 +1,77 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLaneDotImplInvariance pins the platform laneDot (SSE2 assembly on
+// amd64) to the portable laneDotGeneric specification bit for bit, across
+// every length class the kernel distinguishes (empty, pure tail, exact
+// 8-blocks, blocks+tail) and across magnitude ranges where rounding order
+// would show any divergence immediately.
+func TestLaneDotImplInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lengths := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100, 127, 128, 500, 501}
+	for _, n := range lengths {
+		for trial := 0; trial < 8; trial++ {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				m := math.Pow(10, float64(rng.Intn(13)-6))
+				a[i] = rng.NormFloat64() * m
+				b[i] = rng.NormFloat64() * m
+			}
+			got := laneDot(a, b)
+			want := laneDotGeneric(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d trial=%d: laneDot=%x (%g), generic=%x (%g)",
+					n, trial, math.Float64bits(got), got, math.Float64bits(want), want)
+			}
+		}
+	}
+}
+
+// TestAddSquaresImplInvariance pins the platform addSquares (SSE2 on amd64)
+// to the portable loop bit for bit across the packed/tail length classes.
+func TestAddSquaresImplInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 64, 127, 500} {
+		got := make([]float64, n)
+		want := make([]float64, n)
+		src := make([]float64, n)
+		for i := range src {
+			got[i] = rng.NormFloat64()
+			want[i] = got[i]
+			src[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		addSquares(got, src)
+		addSquaresGeneric(want, src)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d: element %d differs: %x vs %x", n, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestLaneDotTailOrderInvariance checks the serial-tail contract directly:
+// for lengths just past a block boundary the result must equal the reduced
+// 8-lane sum plus the tail terms added one by one in ascending order.
+func TestLaneDotTailOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 19)
+	b := make([]float64, 19)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	want := laneDotGeneric(a[:16], b[:16])
+	want += a[16] * b[16]
+	want += a[17] * b[17]
+	want += a[18] * b[18]
+	if got := laneDot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("tail order: laneDot=%x, manual=%x", math.Float64bits(got), math.Float64bits(want))
+	}
+}

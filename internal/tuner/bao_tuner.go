@@ -3,6 +3,7 @@ package tuner
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/active"
 	"repro/internal/backend"
@@ -58,7 +59,10 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 			inited = true
 			bp := t.BTED
 			bp.M0 = opts.PlanSize
-			s.measureBatch(ctx, active.BTED(task.Space, bp, rng))
+			initDone := opts.Phases.track(PhaseInitSet)
+			init := active.BTED(task.Space, bp, rng)
+			initDone()
+			s.measureBatch(ctx, init)
 
 			// ---- Iterative optimization: BAO (Algorithms 3 & 4) ----------
 			trainer := t.Trainer
@@ -83,7 +87,16 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 		if run == nil {
 			return true
 		}
+		// One BAO iteration is bootstrap training + neighborhood scoring
+		// with a measurement in the middle; everything outside the measure
+		// callback is candidate selection (the bootstrap-model training is
+		// inseparable from it in BAO's step, so it lands in this bucket
+		// rather than surrogate_train).
+		stepStart := time.Now()
+		var measured time.Duration
 		measure := func(c space.Config) (float64, bool) {
+			m0 := time.Now()
+			defer func() { measured += time.Since(m0) }()
 			before := len(s.samples)
 			s.measure(ctx, c)
 			if len(s.samples) == before {
@@ -95,7 +108,9 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 			last := s.samples[len(s.samples)-1]
 			return last.GFLOPS, last.Valid
 		}
-		return run.Step(measure, nil) || s.exhausted(ctx)
+		stop := run.Step(measure, nil) || s.exhausted(ctx)
+		opts.Phases.Add(PhaseCandidateSelection, time.Since(stepStart)-measured)
+		return stop
 	}
 	return newStepSession(t.Name(), s, step), nil
 }

@@ -100,6 +100,7 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		if !inited {
 			// ---- Initialization stage ---------------------------------
 			inited = true
+			initDone := opts.Phases.track(PhaseInitSet)
 			var init []space.Config
 			if t.Init == InitBTED {
 				p := t.BTED
@@ -108,11 +109,15 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 			} else {
 				init = active.RandomInit(task.Space, opts.PlanSize, rng)
 			}
+			initDone()
 			s.measureBatch(ctx, init)
 			return s.exhausted(ctx)
 		}
 		// ---- Iterative optimization stage -----------------------------
+		trainDone := opts.Phases.track(PhaseSurrogateTrain)
 		model := t.trainModel(task, s, rng)
+		trainDone()
+		selectDone := opts.Phases.track(PhaseCandidateSelection)
 		var cands []space.Config
 		if model != nil {
 			obj := func(batch []space.Config) []float64 {
@@ -157,8 +162,10 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 			add(rc)
 		}
 		if len(batch) == 0 {
+			selectDone()
 			return true
 		}
+		selectDone()
 		s.measureBatch(ctx, batch)
 		return s.exhausted(ctx)
 	}

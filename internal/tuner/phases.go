@@ -1,0 +1,82 @@
+package tuner
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase names of the tuning loop, the keys of PhaseTimes. Every tuner maps
+// its work onto these four buckets so runs are comparable across tuners.
+const (
+	// PhaseInitSet is initialization-set planning: BTED's design
+	// computation or the random draw (not its measurement).
+	PhaseInitSet = "init_set"
+	// PhaseSurrogateTrain is cost-model fitting (XGBoost/GP training).
+	PhaseSurrogateTrain = "surrogate_train"
+	// PhaseCandidateSelection is choosing what to measure next: the SA
+	// argmax and batch planning, or a BAO iteration minus its measurement.
+	PhaseCandidateSelection = "candidate_selection"
+	// PhaseMeasurement is deploying configurations on the backend.
+	PhaseMeasurement = "measurement"
+)
+
+// PhaseTimes accumulates wall-clock time per tuning phase. It is pure
+// observability: timing never feeds back into any tuning decision, so
+// enabling it cannot perturb the deterministic sample stream. All methods
+// are safe for concurrent use and are no-ops on a nil receiver, so call
+// sites need no guards.
+type PhaseTimes struct {
+	mu sync.Mutex
+	d  map[string]time.Duration
+}
+
+// NewPhaseTimes returns an empty accumulator.
+func NewPhaseTimes() *PhaseTimes { return &PhaseTimes{d: make(map[string]time.Duration)} }
+
+// Add accrues d to the named phase.
+func (p *PhaseTimes) Add(phase string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.d[phase] += d
+	p.mu.Unlock()
+}
+
+// track starts timing a phase and returns the stop function, for
+// defer-style instrumentation: defer p.track(PhaseMeasurement)().
+func (p *PhaseTimes) track(phase string) func() {
+	if p == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { p.Add(phase, time.Since(start)) }
+}
+
+// Snapshot returns a copy of the accumulated durations.
+func (p *PhaseTimes) Snapshot() map[string]time.Duration {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]time.Duration, len(p.d))
+	for k, v := range p.d {
+		out[k] = v
+	}
+	return out
+}
+
+// Milliseconds returns the snapshot converted to float64 milliseconds,
+// ready for JSON reports.
+func (p *PhaseTimes) Milliseconds() map[string]float64 {
+	snap := p.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(snap))
+	for k, v := range snap {
+		out[k] = float64(v) / float64(time.Millisecond)
+	}
+	return out
+}

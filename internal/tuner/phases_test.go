@@ -1,0 +1,58 @@
+package tuner
+
+import (
+	"testing"
+)
+
+// TestPhaseTimesInvariance pins two contracts of the profiling layer: every
+// model-based tuner reports time in its expected phases, and enabling the
+// accumulator leaves the sample stream bit-identical — timing is pure
+// observability.
+func TestPhaseTimesInvariance(t *testing.T) {
+	task := testTask(t)
+	cases := []struct {
+		tn     Tuner
+		phases []string
+	}{
+		{NewAutoTVM(), []string{PhaseInitSet, PhaseSurrogateTrain, PhaseCandidateSelection, PhaseMeasurement}},
+		{NewBTED(), []string{PhaseInitSet, PhaseSurrogateTrain, PhaseCandidateSelection, PhaseMeasurement}},
+		{NewBTEDBAO(), []string{PhaseInitSet, PhaseCandidateSelection, PhaseMeasurement}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.tn.Name(), func(t *testing.T) {
+			ref := mustTune(t, c.tn, task, sim(5), quickOpts(150, 17))
+
+			opts := quickOpts(150, 17)
+			opts.Phases = NewPhaseTimes()
+			res := mustTune(t, c.tn, task, sim(5), opts)
+			if !sameSampleStream(ref.Samples, res.Samples) {
+				t.Fatalf("enabling Phases changed the sample stream (%d vs %d samples)",
+					len(res.Samples), len(ref.Samples))
+			}
+			snap := opts.Phases.Snapshot()
+			for _, ph := range c.phases {
+				if snap[ph] <= 0 {
+					t.Errorf("phase %q: no time recorded (snapshot %v)", ph, snap)
+				}
+			}
+			ms := opts.Phases.Milliseconds()
+			for k, v := range ms {
+				if v < 0 {
+					t.Errorf("phase %q: negative milliseconds %v", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestPhaseTimesNilSafe checks that a nil accumulator is inert at every
+// call site.
+func TestPhaseTimesNilSafe(t *testing.T) {
+	var p *PhaseTimes
+	p.Add(PhaseMeasurement, 1)
+	p.track(PhaseInitSet)()
+	if p.Snapshot() != nil || p.Milliseconds() != nil {
+		t.Fatal("nil PhaseTimes should snapshot to nil")
+	}
+}

@@ -96,6 +96,11 @@ type Options struct {
 	// same Seed; with an unseeded backend batches fall back to serial
 	// measurement so the shared noise stream keeps its order.
 	Workers int
+	// Phases, when set, accumulates per-phase wall-clock time
+	// (init-set planning, surrogate training, candidate selection,
+	// measurement) across the run. Pure observability: it never feeds back
+	// into tuning decisions, so the sample stream is unchanged.
+	Phases *PhaseTimes
 }
 
 // Normalized returns the options with zero values replaced by the paper's
@@ -248,6 +253,7 @@ func (s *session) measure(ctx context.Context, c space.Config) {
 		return
 	}
 	s.visited[f] = true
+	defer s.opts.Phases.track(PhaseMeasurement)()
 	s.record(c, s.measureRaw(c))
 }
 
@@ -282,6 +288,7 @@ func (s *session) measureBatch(ctx context.Context, batch []space.Config) {
 	if len(plan) == 0 {
 		return
 	}
+	defer s.opts.Phases.track(PhaseMeasurement)()
 	if !s.b.Seeded() {
 		// Shared-stream backend: noise depends on global order, so the
 		// batch must stay serial (and stop measuring once early-stopped or

@@ -1,0 +1,109 @@
+package xgb
+
+import (
+	"math"
+	"testing"
+)
+
+// trainPreds trains with the given worker count and returns the batch
+// predictions over the training rows.
+func trainPreds(t *testing.T, X [][]float64, y []float64, p Params, workers int) (*Model, []float64) {
+	t.Helper()
+	p.Workers = workers
+	m, err := Train(X, y, p)
+	if err != nil {
+		t.Fatalf("Train(workers=%d): %v", workers, err)
+	}
+	return m, m.PredictBatchParallel(X, 1)
+}
+
+// TestXGBTrainWorkerCountInvariance pins the bit-identity contract of the
+// parallel training path: binning, split search and prediction updates must
+// produce the identical model for every worker count, under both objectives
+// and with row/column subsampling active (RNG draws stay on the calling
+// goroutine regardless of workers).
+func TestXGBTrainWorkerCountInvariance(t *testing.T) {
+	X, y := benchData(700, 11, 17)
+	for _, obj := range []Objective{ObjSquaredError, ObjPairwiseRank} {
+		p := DefaultParams()
+		p.NumRounds = 12
+		p.MaxDepth = 5
+		p.MaxBins = 24
+		p.Objective = obj
+		p.Subsample = 0.8
+		p.ColSample = 0.7
+		p.Seed = 42
+		mRef, ref := trainPreds(t, X, y, p, 1)
+		for _, workers := range []int{4, 8} {
+			m, got := trainPreds(t, X, y, p, workers)
+			if m.NumTrees() != mRef.NumTrees() {
+				t.Fatalf("obj=%d workers=%d: %d trees, want %d", obj, workers, m.NumTrees(), mRef.NumTrees())
+			}
+			for i := range ref {
+				if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("obj=%d workers=%d: pred[%d]=%x, serial %x",
+						obj, workers, i, math.Float64bits(got[i]), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestXGBLeafDeltaMatchesPredict pins the fast-path contract Train relies
+// on when Subsample == 1: the leaf weight a row settles into during the
+// build (via bin comparisons) is bit-identical to walking the finished tree
+// with threshold comparisons.
+func TestXGBLeafDeltaMatchesPredict(t *testing.T) {
+	X, y := benchData(400, 7, 9)
+	p := DefaultParams()
+	p.MaxBins = 16
+	b := newBinner(X, p.MaxBins, 1)
+	n := len(X)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range grad {
+		grad[i] = -y[i]
+		hess[i] = 1
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	cols := make([]int, len(X[0]))
+	for i := range cols {
+		cols[i] = i
+	}
+	ws := newTreeScratch(n, len(cols), p.MaxBins)
+	tr := growTree(b, grad, hess, rows, cols, p, ws, 1)
+	for i := range X {
+		want := tr.predict(X[i])
+		if math.Float64bits(ws.leaf[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: leaf delta %x, predict %x", i, math.Float64bits(ws.leaf[i]), math.Float64bits(want))
+		}
+	}
+}
+
+// TestXGBPredictBatchWorkerCountInvariance checks that the sharded batch
+// prediction matches per-row Predict bit-for-bit for every worker count.
+func TestXGBPredictBatchWorkerCountInvariance(t *testing.T) {
+	X, y := benchData(600, 9, 3)
+	p := DefaultParams()
+	p.NumRounds = 10
+	m, err := Train(X, y, p)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	ref := make([]float64, len(X))
+	for i, x := range X {
+		ref[i] = m.Predict(x)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := m.PredictBatchParallel(X, workers)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("workers=%d: out[%d]=%x, want %x",
+					workers, i, math.Float64bits(got[i]), math.Float64bits(ref[i]))
+			}
+		}
+	}
+}

@@ -3,29 +3,48 @@ package xgb
 import (
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
+
+// xgbRowBlock is the fixed row-block size of the parallel binning and
+// prediction-update passes. Fixed (never derived from the worker count) so
+// the decomposition is identical for any workers value; the per-row results
+// are independent, so blocking only shapes scheduling, not bits.
+const xgbRowBlock = 256
+
+// xgbParallelMinWork is the approximate work-item count (rows for the
+// row-parallel stages, rows x features for split search) below which a
+// stage stays on the calling goroutine: pool dispatch costs a few
+// microseconds, which small nodes cannot amortize.
+const xgbParallelMinWork = 4096
 
 // binner quantizes features into at most MaxBins buckets using quantile
 // edges, once per training call. Splits are searched over bin boundaries.
+// Bin indices live in one flat row-major byte matrix, so per-row access in
+// the histogram and partition loops is a contiguous read.
 type binner struct {
-	bins  [][]uint8   // [row][feature] -> bin index
+	bins  []uint8 // n x nfeat flat: [row*nfeat+feature] -> bin index
+	nfeat int
 	edges [][]float64 // [feature][bin] -> upper edge value (split threshold)
 }
 
-func newBinner(X [][]float64, maxBins int) *binner {
+func newBinner(X [][]float64, maxBins, workers int) *binner {
 	n := len(X)
 	nfeat := len(X[0])
 	b := &binner{
-		bins:  make([][]uint8, n),
+		bins:  make([]uint8, n*nfeat),
+		nfeat: nfeat,
 		edges: make([][]float64, nfeat),
 	}
-	vals := make([]float64, n)
-	thresholds := make([][]float64, nfeat)
-	for f := 0; f < nfeat; f++ {
+	// Quantile edges are independent per feature; each worker sorts its own
+	// copy, and the edges only depend on the feature's values, so the
+	// result is identical for any workers value.
+	par.For(nfeat, workers, func(f int) {
+		sorted := make([]float64, n)
 		for i := 0; i < n; i++ {
-			vals[i] = X[i][f]
+			sorted[i] = X[i][f]
 		}
-		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
 		// Distinct quantile edges.
 		var edges []float64
@@ -47,16 +66,26 @@ func newBinner(X [][]float64, maxBins int) *binner {
 				}
 			}
 		}
-		thresholds[f] = edges
+		b.edges[f] = edges
+	})
+	// Row binning is per-row independent; fixed-size blocks keep the
+	// decomposition worker-count invariant.
+	blocks := (n + xgbRowBlock - 1) / xgbRowBlock
+	if n < xgbParallelMinWork {
+		workers = 1
 	}
-	for i := 0; i < n; i++ {
-		row := make([]uint8, nfeat)
-		for f := 0; f < nfeat; f++ {
-			row[f] = uint8(binIndex(thresholds[f], X[i][f]))
+	par.For(blocks, workers, func(bk int) {
+		lo, hi := bk*xgbRowBlock, (bk+1)*xgbRowBlock
+		if hi > n {
+			hi = n
 		}
-		b.bins[i] = row
-	}
-	b.edges = thresholds
+		for i := lo; i < hi; i++ {
+			row := b.bins[i*nfeat : (i+1)*nfeat]
+			for f := 0; f < nfeat; f++ {
+				row[f] = uint8(binIndex(b.edges[f], X[i][f]))
+			}
+		}
+	})
 	return b
 }
 
@@ -75,12 +104,71 @@ func binIndex(edges []float64, v float64) int {
 	return lo
 }
 
+// splitCand is one feature's best split: its gain and bin, with bin < 0
+// meaning no admissible split.
+type splitCand struct {
+	gain float64
+	bin  int
+}
+
+// treeScratch holds the per-Train buffers growTree reuses across rounds and
+// nodes: per-feature histogram segments, the partition temp, the per-feature
+// split candidates, the active-feature list, and the per-row leaf deltas.
+// One allocation per Train call instead of several per tree node.
+type treeScratch struct {
+	// hist interleaves the gradient/hessian histograms as (g, h) pairs so a
+	// bin hit touches one cache line: feature f's bin bi lives at
+	// hist[2*(f*maxBins+bi)] (gradient) and +1 (hessian).
+	hist   []float64
+	part   []int32     // length n: right-half temp of the stable in-place partition
+	best   []splitCand // per-feature split candidates
+	active []int       // cols filtered to features with >= 2 bins
+	// leaf[r] is the leaf weight row r reached in the tree just grown —
+	// recorded as rows settle into leaves during the build, valid for the
+	// sampled rows only.
+	leaf []float64
+}
+
+func newTreeScratch(n, nfeat, maxBins int) *treeScratch {
+	return &treeScratch{
+		hist:   make([]float64, 2*nfeat*maxBins),
+		part:   make([]int32, n),
+		best:   make([]splitCand, nfeat),
+		active: make([]int, 0, nfeat),
+		leaf:   make([]float64, n),
+	}
+}
+
 // growTree builds one regression tree on the sampled rows/features using
 // histogram split finding with the XGBoost gain
 //
 //	gain = GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) - gamma.
-func growTree(b *binner, grad, hess []float64, rows []int32, cols []int, p Params) tree {
+//
+// The histogram accumulation order per (feature, bin) is ascending row
+// order on every path: the serial fill walks rows once with features inner
+// (each bin accumulator still receives its terms in ascending row order),
+// and the parallel fill gives every feature its own pass and its own
+// histogram segment. Each feature's best (gain, bin) comes from a strict
+// greater-than scan, and the winners fold serially in cols order with
+// strict greater-than — the same (feature, bin) the one-loop serial scan
+// selects, including every tie-break, for any worker count.
+//
+// As rows settle into terminal leaves, ws.leaf[r] records the leaf weight:
+// the bin-comparison partition (bins[r][f] <= bin) is exactly the threshold
+// traversal (x[f] <= edges[f][bin]), because binIndex returns the smallest
+// bin whose upper edge is >= x[f]. Train uses this to update predictions
+// without re-walking the tree.
+func growTree(b *binner, grad, hess []float64, rows []int32, cols []int, p Params, ws *treeScratch, workers int) tree {
+	maxBins := p.MaxBins
 	t := tree{}
+	// Features with < 2 bins can never split (the old per-feature guard);
+	// dropping them here keeps the hot fill loops branch-free.
+	active := ws.active[:0]
+	for _, f := range cols {
+		if len(b.edges[f]) >= 2 {
+			active = append(active, f)
+		}
+	}
 	var build func(rows []int32, depth int) int32
 	build = func(rows []int32, depth int) int32 {
 		var G, H float64
@@ -91,63 +179,114 @@ func growTree(b *binner, grad, hess []float64, rows []int32, cols []int, p Param
 		leafValue := -G / (H + p.Lambda) * p.Eta
 		id := int32(len(t.nodes))
 		t.nodes = append(t.nodes, treeNode{feature: -1, value: leafValue})
-		if depth >= p.MaxDepth || len(rows) < 2 {
+		asLeaf := func() int32 {
+			for _, r := range rows {
+				ws.leaf[r] = leafValue
+			}
 			return id
+		}
+		if depth >= p.MaxDepth || len(rows) < 2 || len(active) == 0 {
+			return asLeaf()
 		}
 
 		parentScore := G * G / (H + p.Lambda)
-		bestGain := 0.0
-		bestFeat := -1
-		bestBin := 0
-		var gHist, hHist [256]float64
-		for _, f := range cols {
+		scanFeature := func(f int) {
+			cand := splitCand{bin: -1}
 			nb := len(b.edges[f])
-			if nb < 2 {
-				continue
-			}
-			for i := 0; i < nb; i++ {
-				gHist[i], hHist[i] = 0, 0
-			}
-			for _, r := range rows {
-				bi := b.bins[r][f]
-				gHist[bi] += grad[r]
-				hHist[bi] += hess[r]
-			}
+			hist := ws.hist[2*f*maxBins : 2*(f*maxBins+nb)]
 			var GL, HL float64
 			for bi := 0; bi < nb-1; bi++ {
-				GL += gHist[bi]
-				HL += hHist[bi]
+				GL += hist[2*bi]
+				HL += hist[2*bi+1]
 				GR := G - GL
 				HR := H - HL
 				if HL < p.MinChildWeight || HR < p.MinChildWeight {
 					continue
 				}
 				gain := GL*GL/(HL+p.Lambda) + GR*GR/(HR+p.Lambda) - parentScore - p.Gamma
-				if gain > bestGain {
-					bestGain = gain
-					bestFeat = f
-					bestBin = bi
+				if gain > cand.gain {
+					cand.gain = gain
+					cand.bin = bi
 				}
+			}
+			ws.best[f] = cand
+		}
+		if workers > 1 && len(rows)*len(active) >= xgbParallelMinWork {
+			// Parallel: each feature owns its histogram segment and its
+			// ws.best slot — one fill pass per feature, ascending rows.
+			par.For(len(active), workers, func(ci int) {
+				f := active[ci]
+				nb := len(b.edges[f])
+				hist := ws.hist[2*f*maxBins : 2*(f*maxBins+nb)]
+				for i := range hist {
+					hist[i] = 0
+				}
+				for _, r := range rows {
+					bi := b.bins[int(r)*b.nfeat+f]
+					hist[2*bi] += grad[r]
+					hist[2*bi+1] += hess[r]
+				}
+				scanFeature(f)
+			})
+		} else {
+			// Serial: one pass over rows filling every feature's histogram.
+			// Same per-(feature, bin) accumulation order as above.
+			for _, f := range active {
+				nb := len(b.edges[f])
+				hist := ws.hist[2*f*maxBins : 2*(f*maxBins+nb)]
+				for i := range hist {
+					hist[i] = 0
+				}
+			}
+			for _, r := range rows {
+				row := b.bins[int(r)*b.nfeat:]
+				g, h := grad[r], hess[r]
+				for _, f := range active {
+					bi := int(row[f])
+					ws.hist[2*(f*maxBins+bi)] += g
+					ws.hist[2*(f*maxBins+bi)+1] += h
+				}
+			}
+			for _, f := range active {
+				scanFeature(f)
+			}
+		}
+		bestGain := 0.0
+		bestFeat := -1
+		bestBin := 0
+		for _, f := range active {
+			if c := ws.best[f]; c.bin >= 0 && c.gain > bestGain {
+				bestGain, bestFeat, bestBin = c.gain, f, c.bin
 			}
 		}
 		if bestFeat < 0 {
-			return id
+			return asLeaf()
 		}
 
+		// Stable in-place partition: left rows compact to the front (the
+		// write index never passes the read index), right rows stage in the
+		// shared temp and copy back behind them — same left/right order as
+		// the append-based loop, no per-node allocations. The temp is free
+		// again before either recursive call partitions its own subslice.
 		threshold := b.edges[bestFeat][bestBin]
-		var left, right []int32
+		nl, nr := 0, 0
 		for _, r := range rows {
-			if int(b.bins[r][bestFeat]) <= bestBin {
-				left = append(left, r)
+			if int(b.bins[int(r)*b.nfeat+bestFeat]) <= bestBin {
+				rows[nl] = r
+				nl++
 			} else {
-				right = append(right, r)
+				ws.part[nr] = r
+				nr++
 			}
 		}
-		if len(left) == 0 || len(right) == 0 {
-			return id
+		if nl == 0 || nr == 0 {
+			// rows is still intact here: an all-left partition rewrites
+			// every element in place and an all-right one writes nothing.
+			return asLeaf()
 		}
-		l := build(left, depth+1)
-		r := build(right, depth+1)
+		copy(rows[nl:], ws.part[:nr])
+		l := build(rows[:nl], depth+1)
+		r := build(rows[nl:], depth+1)
 		t.nodes[id] = treeNode{feature: bestFeat, threshold: threshold, left: l, right: r}
 		return id
 	}

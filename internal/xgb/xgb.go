@@ -17,6 +17,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Objective selects the training loss.
@@ -49,6 +51,12 @@ type Params struct {
 	// round under ObjPairwiseRank (default 4).
 	RankPairs int
 	Seed      int64 // RNG seed for subsampling and pair sampling
+	// Workers caps the goroutines used for binning, split search and
+	// per-round prediction updates; <= 0 means par.Workers(). The trained
+	// model is bit-identical for every value: all RNG draws stay on the
+	// calling goroutine, and every parallel stage either works on disjoint
+	// per-row/per-feature state or folds serially in a fixed order.
+	Workers int
 }
 
 // DefaultParams mirrors the compact configuration AutoTVM uses for its
@@ -151,10 +159,28 @@ func (m *Model) Predict(x []float64) float64 {
 
 // PredictBatch evaluates the ensemble on each row of X.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
+	return m.PredictBatchParallel(X, par.Workers())
+}
+
+// PredictBatchParallel is PredictBatch sharded over fixed-size row blocks.
+// Each output element depends only on its own row, so the result is
+// bit-identical for any worker count.
+func (m *Model) PredictBatchParallel(X [][]float64, workers int) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.Predict(x)
+	n := len(X)
+	if n*len(m.trees) < xgbParallelMinWork {
+		workers = 1
 	}
+	blocks := (n + xgbRowBlock - 1) / xgbRowBlock
+	par.For(blocks, workers, func(bk int) {
+		lo, hi := bk*xgbRowBlock, (bk+1)*xgbRowBlock
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = m.Predict(X[i])
+		}
+	})
 	return out
 }
 
@@ -185,7 +211,11 @@ func Train(X [][]float64, y []float64, p Params) (*Model, error) {
 		base /= float64(n)
 	} // rank scores are relative; a zero base keeps them centered
 
-	b := newBinner(X, p.MaxBins)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	b := newBinner(X, p.MaxBins, workers)
 	rng := rand.New(rand.NewSource(p.Seed))
 	m := &Model{params: p, base: base, nfeat: nfeat}
 
@@ -195,6 +225,12 @@ func Train(X [][]float64, y []float64, p Params) (*Model, error) {
 	}
 	grad := make([]float64, n)
 	hess := make([]float64, n)
+	ws := newTreeScratch(n, nfeat, p.MaxBins)
+	predBlocks := (n + xgbRowBlock - 1) / xgbRowBlock
+	predWorkers := workers
+	if n < xgbParallelMinWork {
+		predWorkers = 1
+	}
 
 	for round := 0; round < p.NumRounds; round++ {
 		switch p.Objective {
@@ -208,10 +244,27 @@ func Train(X [][]float64, y []float64, p Params) (*Model, error) {
 		}
 		rows := sampleRows(n, p.Subsample, rng)
 		cols := sampleCols(nfeat, p.ColSample, rng)
-		tr := growTree(b, grad, hess, rows, cols, p)
+		tr := growTree(b, grad, hess, rows, cols, p, ws, workers)
 		m.trees = append(m.trees, tr)
-		for i := range pred {
-			pred[i] += tr.predict(X[i])
+		if p.Subsample >= 1 {
+			// Every row took part in the build, so ws.leaf already holds
+			// tr.predict(X[i]) for each row (the bin-comparison partition is
+			// exactly the threshold traversal — see growTree).
+			for i := range pred {
+				pred[i] += ws.leaf[i]
+			}
+		} else {
+			// Per-row independent update over fixed blocks: bit-identical
+			// for any worker count.
+			par.For(predBlocks, predWorkers, func(bk int) {
+				lo, hi := bk*xgbRowBlock, (bk+1)*xgbRowBlock
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					pred[i] += tr.predict(X[i])
+				}
+			})
 		}
 	}
 	return m, nil
