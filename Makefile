@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench bench-smoke cover lint fmt-check verify
+.PHONY: all build test race determinism bench bench-smoke cover lint lint-sarif fmt-check verify
 
 all: build test lint
 
@@ -52,9 +52,16 @@ cover:
 		{ echo "internal/sched coverage $$pct% is below the 80% floor"; exit 1; }
 
 # In-repo static-analysis suite (internal/analysis): determinism,
-# float-safety, lock hygiene, unchecked errors, library panics.
+# float-safety, lock hygiene, unchecked errors, library panics, plus the
+# dataflow-backed contract analyzers (maprange, walltime, parfold,
+# seedflow, errcmp) and stale-directive detection (deadignore). Gated on
+# the committed baseline: only findings not recorded there fail the run.
 lint:
-	$(GO) run ./cmd/lint ./...
+	$(GO) run ./cmd/lint -baseline cmd/lint/baseline.json ./...
+
+# SARIF 2.1.0 report for CI code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/lint -sarif -baseline cmd/lint/baseline.json ./... > lint.sarif
 
 fmt-check:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func mkFinding(analyzer, file string, line, col int, msg string) finding {
+	return finding{Analyzer: analyzer, File: file, Line: line, Col: col, Message: msg}
+}
+
+func TestToFindingsRelativizesPaths(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod", "root")
+	diags := []analysis.Diagnostic{{
+		Analyzer: "maprange",
+		Pos:      token.Position{Filename: filepath.Join(root, "internal", "x", "x.go"), Line: 3, Column: 7},
+		Message:  "m",
+	}}
+	fs := toFindings(diags, root)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1", len(fs))
+	}
+	want := mkFinding("maprange", "internal/x/x.go", 3, 7, "m")
+	if fs[0] != want {
+		t.Errorf("got %+v, want %+v", fs[0], want)
+	}
+}
+
+func TestApplyBaselineMatchesOnFileAnalyzerMessage(t *testing.T) {
+	b := &baselineFile{Findings: []finding{
+		// Recorded at an old line: must still match after the code moved.
+		mkFinding("walltime", "a.go", 10, 2, "calls time.Now"),
+		mkFinding("maprange", "b.go", 5, 1, "map order escapes"),
+	}}
+	current := []finding{
+		mkFinding("walltime", "a.go", 42, 9, "calls time.Now"), // baselined (moved)
+		mkFinding("maprange", "b.go", 5, 1, "map order escapes"),
+		mkFinding("seedflow", "c.go", 1, 1, "literal seed"), // new
+	}
+	marked, newCount := applyBaseline(current, b)
+	if newCount != 1 {
+		t.Fatalf("newCount = %d, want 1", newCount)
+	}
+	if !marked[0].Baselined || !marked[1].Baselined || marked[2].Baselined {
+		t.Errorf("baselined flags = %v %v %v, want true true false",
+			marked[0].Baselined, marked[1].Baselined, marked[2].Baselined)
+	}
+}
+
+func TestApplyBaselineIsAMultiset(t *testing.T) {
+	// One baseline entry covers exactly one occurrence of an identical
+	// finding; a second identical finding is new.
+	b := &baselineFile{Findings: []finding{mkFinding("errcmp", "a.go", 1, 1, "== sentinel")}}
+	current := []finding{
+		mkFinding("errcmp", "a.go", 1, 1, "== sentinel"),
+		mkFinding("errcmp", "a.go", 9, 1, "== sentinel"),
+	}
+	marked, newCount := applyBaseline(current, b)
+	if newCount != 1 {
+		t.Fatalf("newCount = %d, want 1", newCount)
+	}
+	if !marked[0].Baselined || marked[1].Baselined {
+		t.Errorf("multiset budget not respected: %v %v", marked[0].Baselined, marked[1].Baselined)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []finding{
+		mkFinding("parfold", "z.go", 9, 3, "assigns captured"),
+		mkFinding("maprange", "a.go", 2, 1, "escape"),
+	}
+	if err := writeBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(b.Findings))
+	}
+	// writeBaseline sorts by file, so a.go comes first regardless of the
+	// input order.
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "z.go" {
+		t.Errorf("baseline not sorted: %s, %s", b.Findings[0].File, b.Findings[1].File)
+	}
+	_, newCount := applyBaseline(findings, b)
+	if newCount != 0 {
+		t.Errorf("round-tripped baseline left %d findings new, want 0", newCount)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := loadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline yielded %d findings", len(b.Findings))
+	}
+}
+
+func TestCommittedBaselineIsLoadableAndEmpty(t *testing.T) {
+	b, err := loadBaseline("baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree is lint-clean; any entry here is unexplained debt.
+	if len(b.Findings) != 0 {
+		t.Errorf("committed baseline holds %d findings; the tree should be clean", len(b.Findings))
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	findings := []finding{
+		{Analyzer: "maprange", File: "a.go", Line: 3, Col: 7, Message: "escape", Baselined: true},
+		{Analyzer: "seedflow", File: "b.go", Line: 1, Col: 1, Message: "literal seed"},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, findings, analysis.All(), true); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "repro-lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analysis.All()) {
+		t.Errorf("%d rules, want %d", len(run.Tool.Driver.Rules), len(analysis.All()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	if run.Results[0].BaselineState != "unchanged" || run.Results[1].BaselineState != "new" {
+		t.Errorf("baselineState = %q, %q; want unchanged, new",
+			run.Results[0].BaselineState, run.Results[1].BaselineState)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn != 7 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+func TestSARIFEmptyFindingsStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil, analysis.All(), false); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("results must marshal as [] (never null) for SARIF consumers")
+	}
+}
+
+// TestSeededViolationsCaught runs the real driver over a scratch module
+// seeded with one deliberate violation per contract analyzer and asserts a
+// nonzero exit with every analyzer represented.
+func TestSeededViolationsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a module with the source importer")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.21\n")
+	write("bad/bad.go", `package bad
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+var ErrDone = errors.New("done")
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Seed() *rand.Rand {
+	return rand.New(rand.NewSource(1234))
+}
+
+func IsDone(err error) bool {
+	return err == ErrDone
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	// Capture stdout so the JSON can be decoded.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run([]string{"-json", "-root", dir, "-run", "maprange,seedflow,errcmp"})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	var got []finding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range got {
+		byAnalyzer[f.Analyzer]++
+		if f.File != "bad/bad.go" {
+			t.Errorf("file = %q, want module-relative bad/bad.go", f.File)
+		}
+		if f.Line == 0 || f.Col == 0 {
+			t.Errorf("finding missing position: %+v", f)
+		}
+	}
+	for _, want := range []string{"maprange", "seedflow", "errcmp"} {
+		if byAnalyzer[want] == 0 {
+			t.Errorf("seeded %s violation not caught; findings: %v", want, byAnalyzer)
+		}
+	}
+}
+
+func TestRunRejectsUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-run", "nosuchthing", "-list"}); code != 2 {
+		t.Errorf("exit code = %d, want 2 for unknown analyzer name", code)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -74,7 +75,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in registration order.
+// All returns the full analyzer suite in registration order: the style
+// and hygiene analyzers from the first lint layer, then the
+// determinism-contract analyzers built on the dataflow layer, then the
+// suppression-rot check.
 func All() []Analyzer {
 	return []Analyzer{
 		GlobalRand{},
@@ -83,7 +87,38 @@ func All() []Analyzer {
 		UncheckedErr{},
 		PanicPath{},
 		CtxArg{},
+		MapRange{},
+		Walltime{},
+		ParFold{},
+		SeedFlow{},
+		ErrCmp{},
+		DeadIgnore{},
 	}
+}
+
+// ByNames resolves a comma-separated analyzer name list against the full
+// suite, preserving registration order. Unknown names are returned in the
+// second result so drivers can report them.
+func ByNames(names string) ([]Analyzer, []string) {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []Analyzer
+	for _, a := range All() {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	unknown := make([]string, 0, len(want))
+	for n := range want {
+		unknown = append(unknown, n) //lint:ignore maprange sorted on the next line
+	}
+	sort.Strings(unknown)
+	return out, unknown
 }
 
 // Run applies every analyzer to every package, filters suppressed
@@ -96,11 +131,15 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		out []Diagnostic
 		wg  sync.WaitGroup
 	)
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name()] = true
+	}
 	for _, pkg := range pkgs {
 		wg.Add(1)
 		go func(pkg *Package) {
 			defer wg.Done()
-			diags := runPackage(pkg, analyzers)
+			diags := runPackage(pkg, analyzers, enabled)
 			mu.Lock()
 			out = append(out, diags...)
 			mu.Unlock()
@@ -123,7 +162,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	return out
 }
 
-func runPackage(pkg *Package, analyzers []Analyzer) []Diagnostic {
+func runPackage(pkg *Package, analyzers []Analyzer, enabled map[string]bool) []Diagnostic {
 	sup, supDiags := collectDirectives(pkg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -136,6 +175,12 @@ func runPackage(pkg *Package, analyzers []Analyzer) []Diagnostic {
 		if !sup.suppresses(d) {
 			kept = append(kept, d)
 		}
+	}
+	// The deadignore pass runs over the suppression table once every
+	// enabled analyzer has reported: only now is "this directive silenced
+	// nothing" a fact of the run rather than a race against later passes.
+	if enabled[deadIgnoreName] {
+		supDiags = append(supDiags, sup.dead(enabled)...)
 	}
 	return append(kept, supDiags...)
 }

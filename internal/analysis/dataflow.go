@@ -1,0 +1,426 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the lightweight intra-procedural dataflow layer the
+// determinism-contract analyzers (maprange, parfold, seedflow) are built
+// on. Two complementary lattices are provided:
+//
+//   - taint: a forward may-derive-from analysis. Seeded with objects (a
+//     range statement's iteration variables, a worker closure's index
+//     parameter), it propagates through assignments, declarations, range
+//     statements and expression structure to a fixpoint, answering "may
+//     this expression's value depend on one of the sources?". The lattice
+//     is the powerset of local objects ordered by inclusion; propagation
+//     only ever adds objects, so the fixpoint terminates.
+//
+//   - constOnly: a backward derives-only-from-constants analysis,
+//     answering "is this expression computable at compile time through
+//     local assignments?". Parameters, free variables, fields, non-const
+//     globals and calls (other than constant conversions) are bottom.
+//
+// Both are deliberately conservative in the sound direction for their
+// consumers: taint over-approximates (an analyzer using it as a guard may
+// allow too little, never too much escape), constOnly under-approximates
+// (a seed is only reported constant when every contributing assignment is
+// provably constant).
+
+// taint is the result of one may-derive-from analysis over a single
+// function body or statement subtree.
+type taint struct {
+	info    *types.Info
+	tainted map[types.Object]bool
+}
+
+// taintFrom runs the forward analysis over body, seeding the tainted set
+// with seeds. The body is re-walked until no assignment adds a new object,
+// so taint flows through chains such as w := wl[j]; tr := w.tr regardless
+// of statement order.
+func taintFrom(info *types.Info, body ast.Node, seeds ...types.Object) *taint {
+	t := &taint{info: info, tainted: make(map[types.Object]bool, len(seeds))}
+	for _, o := range seeds {
+		if o != nil {
+			t.tainted[o] = true
+		}
+	}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = t.flowAssign(n) || changed
+			case *ast.RangeStmt:
+				if t.exprTainted(n.X) {
+					changed = t.markIdent(n.Key) || changed
+					changed = t.markIdent(n.Value) || changed
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == len(n.Names) {
+					for i, v := range n.Values {
+						if t.exprTainted(v) {
+							changed = t.markIdent(n.Names[i]) || changed
+						}
+					}
+				} else if anyTainted(t, n.Values) {
+					for _, name := range n.Names {
+						changed = t.markIdent(name) || changed
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return t
+		}
+	}
+}
+
+// flowAssign propagates one assignment: pairwise when the counts match
+// (a, b = x, y), jointly otherwise (a, b = f()).
+func (t *taint) flowAssign(n *ast.AssignStmt) bool {
+	changed := false
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, rhs := range n.Rhs {
+			if t.exprTainted(rhs) {
+				changed = t.markExpr(n.Lhs[i]) || changed
+			}
+		}
+		return changed
+	}
+	if anyTainted(t, n.Rhs) {
+		for _, lhs := range n.Lhs {
+			changed = t.markExpr(lhs) || changed
+		}
+	}
+	return changed
+}
+
+func anyTainted(t *taint, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if t.exprTainted(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// markExpr taints the object behind an assignment target. Only direct
+// identifier targets introduce new taint; element and field writes taint
+// the base object too (x[i] = tainted makes later reads of x tainted),
+// which keeps the analysis a sound over-approximation.
+func (t *taint) markExpr(e ast.Expr) bool {
+	if id, ok := baseIdent(e); ok {
+		return t.markIdent(id)
+	}
+	return false
+}
+
+func (t *taint) markIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := t.info.ObjectOf(id)
+	if obj == nil || t.tainted[obj] {
+		return false
+	}
+	t.tainted[obj] = true
+	return true
+}
+
+// objTainted reports whether an object is in the tainted set.
+func (t *taint) objTainted(o types.Object) bool { return o != nil && t.tainted[o] }
+
+// exprTainted reports whether any value flowing into e derives from a
+// source: an identifier in the tainted set, or any subexpression thereof.
+func (t *taint) exprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		return t.objTainted(t.info.ObjectOf(e))
+	case *ast.SelectorExpr:
+		return t.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return t.exprTainted(e.X) || t.exprTainted(e.Index)
+	case *ast.SliceExpr:
+		return t.exprTainted(e.X) || t.exprTainted(e.Low) || t.exprTainted(e.High) || t.exprTainted(e.Max)
+	case *ast.CallExpr:
+		// Calls propagate taint from every argument and from a method's
+		// receiver: v := m[k]; s := fmt.Sprint(v) keeps s tainted.
+		if t.exprTainted(e.Fun) {
+			return true
+		}
+		return anyTainted(t, e.Args)
+	case *ast.ParenExpr:
+		return t.exprTainted(e.X)
+	case *ast.StarExpr:
+		return t.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		return t.exprTainted(e.X)
+	case *ast.BinaryExpr:
+		return t.exprTainted(e.X) || t.exprTainted(e.Y)
+	case *ast.TypeAssertExpr:
+		return t.exprTainted(e.X)
+	case *ast.CompositeLit:
+		return anyTainted(t, e.Elts)
+	case *ast.KeyValueExpr:
+		return t.exprTainted(e.Key) || t.exprTainted(e.Value)
+	}
+	return false
+}
+
+// baseIdent unwraps selectors, indexing, slicing, derefs and parens down
+// to the root identifier of an lvalue or value chain: wl[j].tr.done has
+// base wl. The second result is false for rootless expressions (calls,
+// literals).
+func baseIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// constScan is the derives-only-from-constants analysis for one function.
+// It memoizes per-object verdicts and treats in-progress objects (cyclic
+// assignment chains) as non-constant.
+type constScan struct {
+	info *types.Info
+	fn   ast.Node // the function whose locals are in scope
+	memo map[types.Object]constVerdict
+}
+
+type constVerdict int
+
+const (
+	constUnknown constVerdict = iota
+	constInProgress
+	constYes
+	constNo
+)
+
+// newConstScan prepares the analysis for one function declaration or
+// literal.
+func newConstScan(info *types.Info, fn ast.Node) *constScan {
+	return &constScan{info: info, fn: fn, memo: map[types.Object]constVerdict{}}
+}
+
+// constOnly reports whether e provably derives from compile-time constants
+// alone: literals, constant expressions and conversions, and local
+// variables whose every assignment in the function is itself constOnly.
+// Anything reaching a parameter, field, free variable, call or channel is
+// not constant.
+func (c *constScan) constOnly(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if tv, ok := c.info.Types[e]; ok && tv.Value != nil {
+		return true // constant-folded by the type checker (covers literals, const idents, int64(42))
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.identConstOnly(e)
+	case *ast.ParenExpr:
+		return c.constOnly(e.X)
+	case *ast.UnaryExpr:
+		return c.constOnly(e.X)
+	case *ast.BinaryExpr:
+		return c.constOnly(e.X) && c.constOnly(e.Y)
+	case *ast.CallExpr:
+		// A conversion of a constant-only value stays constant-only;
+		// any real call is opaque.
+		if tv, ok := c.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.constOnly(e.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// identConstOnly resolves a variable by scanning every assignment to it
+// inside the function.
+func (c *constScan) identConstOnly(id *ast.Ident) bool {
+	obj := c.info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	switch v := c.memo[obj]; v {
+	case constYes:
+		return true
+	case constNo:
+		return false
+	case constInProgress:
+		// Optimistic cycle edge: a self-referential assignment chain
+		// (s = s*2) stays constant-derived unless some other assignment
+		// on the cycle brings in flowing data, which the outer scan will
+		// still see and veto.
+		return true
+	}
+	// Only function-local variables can be resolved; parameters, fields
+	// and package globals may change between runs.
+	vr, ok := obj.(*types.Var)
+	if !ok || vr.Pos() < c.fn.Pos() || vr.Pos() > c.fn.End() {
+		c.memo[obj] = constNo
+		return false
+	}
+	c.memo[obj] = constInProgress
+	verdict := constYes
+	sawInit := false
+	ast.Inspect(c.fn, func(n ast.Node) bool {
+		if verdict == constNo {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				if assignsObj(c.info, n.Lhs, obj) {
+					verdict = constNo // tuple assignment from a call
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				// Plain, define and op-assign all fold the RHS into the
+				// variable, so each one must be constant-only.
+				if lid, ok := lhs.(*ast.Ident); ok && c.info.ObjectOf(lid) == obj {
+					sawInit = true
+					if !c.constOnly(n.Rhs[i]) {
+						verdict = constNo
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.info.ObjectOf(name) == obj {
+					if i < len(n.Values) {
+						sawInit = true
+						if !c.constOnly(n.Values[i]) {
+							verdict = constNo
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			// x++ keeps constness only if x already is constant-only; since
+			// the increment is itself constant, nothing changes.
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if bid, ok := baseIdent(n.X); ok && c.info.ObjectOf(bid) == obj {
+					verdict = constNo // address taken: writes can happen anywhere
+				}
+			}
+		case *ast.RangeStmt:
+			if assignsObj(c.info, []ast.Expr{n.Key, n.Value}, obj) {
+				verdict = constNo
+			}
+		}
+		return true
+	})
+	if !sawInit {
+		verdict = constNo // never assigned here: zero value is constant, but an unseen writer (closure) may exist
+	}
+	c.memo[obj] = verdict
+	return verdict == constYes
+}
+
+func assignsObj(info *types.Info, targets []ast.Expr, obj types.Object) bool {
+	for _, e := range targets {
+		if id, ok := e.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredWithin reports whether obj's declaration lies inside node — the
+// capture test the closure analyzers use: an object declared outside a
+// worker closure is captured shared state.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// funcNode pairs a package function with its declaration, in source order,
+// so analyzers that walk the call graph report findings deterministically.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+}
+
+// packageFuncs returns every function declaration of the package in
+// source order, the node set the intra-package call graph is built over.
+func packageFuncs(pkg *Package) []funcNode {
+	var out []funcNode
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, funcNode{obj: obj, decl: fd})
+			}
+		}
+	}
+	return out
+}
+
+// callGraph returns the intra-package call edges among funcs: for every
+// function, the package-local functions it references (a direct call, a
+// method value, or a function passed as a value all count — any of them
+// can execute the callee).
+func callGraph(pkg *Package, funcs []funcNode) map[*types.Func][]*types.Func {
+	local := make(map[*types.Func]bool, len(funcs))
+	for _, fn := range funcs {
+		local[fn.obj] = true
+	}
+	edges := map[*types.Func][]*types.Func{}
+	for _, fn := range funcs {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok || seen[callee] || !local[callee] {
+				return true
+			}
+			seen[callee] = true
+			edges[fn.obj] = append(edges[fn.obj], callee)
+			return true
+		})
+	}
+	return edges
+}
+
+// reachableFrom runs BFS over the call graph from the given roots.
+func reachableFrom(roots []*types.Func, edges map[*types.Func][]*types.Func) map[*types.Func]bool {
+	reach := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if reach[fn] {
+			continue
+		}
+		reach[fn] = true
+		queue = append(queue, edges[fn]...)
+	}
+	return reach
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// deadIgnoreName is DeadIgnore's analyzer name, referenced by the
+// suppression machinery (deadignore findings point at directives and are
+// themselves never suppressible — a suppression of a stale-suppression
+// report would just be a second place for rot to hide).
+const deadIgnoreName = "deadignore"
+
+// DeadIgnore reports //lint:ignore and //lint:file-ignore directives that
+// no longer suppress anything. Every directive is an exception carved out
+// of a contract; when the code it excused is fixed or moves away, the
+// leftover directive is a standing invitation to reintroduce the bug on
+// that line without any analyzer noticing. The pass runs on the directive
+// table the suite already collects: after all enabled analyzers have
+// reported and suppression has been applied, any directive whose target
+// analyzer ran but which silenced zero findings is stale, and any
+// directive naming an analyzer that does not exist is reported
+// unconditionally.
+//
+// The actual work happens inside the suite driver (Run), because
+// staleness is a property of the whole run, not of one analyzer's view;
+// this type exists so the pass is listable, orderable and selectable
+// (-run deadignore) like every other analyzer.
+type DeadIgnore struct{}
+
+// Name implements Analyzer.
+func (DeadIgnore) Name() string { return deadIgnoreName }
+
+// Doc implements Analyzer.
+func (DeadIgnore) Doc() string {
+	return "flag //lint:ignore and //lint:file-ignore directives that suppress no finding of any enabled analyzer (or name an unknown one); stale suppressions must be deleted"
+}
+
+// Run implements Analyzer. The driver special-cases deadignore after
+// suppression filtering; there is nothing to do per-package here.
+func (DeadIgnore) Run(p *Pass) {}

@@ -16,37 +16,90 @@ const (
 	directiveAnalyzer = "lintdirective"
 )
 
-// suppressions records, per file, which (line, analyzer) pairs and which
-// whole-file analyzers are silenced.
-type suppressions struct {
-	// line maps filename -> line -> analyzer names suppressed at that line.
-	line map[string]map[int]map[string]bool
-	// file maps filename -> analyzer names suppressed for the whole file.
-	file map[string]map[string]bool
+// directive is one well-formed suppression comment. used flips when the
+// directive silences at least one diagnostic in the current run; the
+// deadignore pass reports the ones that never do.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	isFile   bool
+	used     bool
 }
 
-// suppresses reports whether d is silenced by a directive. A line
-// directive covers the line it appears on and the line directly below it,
-// so both end-of-line and standalone-comment placement work:
+// suppressions records, per file, which (line, analyzer) pairs and which
+// whole-file analyzers are silenced, keeping the directive identity so
+// usage can be tracked.
+type suppressions struct {
+	// line maps filename -> line -> analyzer name -> directive.
+	line map[string]map[int]map[string]*directive
+	// file maps filename -> analyzer name -> directive.
+	file map[string]map[string]*directive
+	// all holds every well-formed directive in source order.
+	all []*directive
+}
+
+// suppresses reports whether d is silenced by a directive, marking the
+// directive used. A line directive covers the line it appears on and the
+// line directly below it, so both end-of-line and standalone-comment
+// placement work:
 //
 //	x := a.Clone() //lint:ignore mutexcopy deliberate snapshot
 //
 //	//lint:ignore mutexcopy deliberate snapshot
 //	x := a.Clone()
 func (s *suppressions) suppresses(d Diagnostic) bool {
-	if d.Analyzer == directiveAnalyzer {
+	if d.Analyzer == directiveAnalyzer || d.Analyzer == deadIgnoreName {
 		return false
 	}
-	if byFile := s.file[d.Pos.Filename]; byFile[d.Analyzer] {
+	if dir := s.file[d.Pos.Filename][d.Analyzer]; dir != nil {
+		dir.used = true
 		return true
 	}
 	byLine := s.line[d.Pos.Filename]
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if byLine[ln][d.Analyzer] {
+		if dir := byLine[ln][d.Analyzer]; dir != nil {
+			dir.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// dead returns one diagnostic per directive that silenced nothing in this
+// run, restricted to directives whose target analyzer actually ran (a
+// walltime suppression is not stale just because the driver ran with
+// -run errcmp) plus directives naming an analyzer that does not exist at
+// all.
+func (s *suppressions) dead(enabled map[string]bool) []Diagnostic {
+	registry := map[string]bool{}
+	for _, a := range All() {
+		registry[a.Name()] = true
+	}
+	var out []Diagnostic
+	for _, dir := range s.all {
+		if dir.used {
+			continue
+		}
+		form := "//lint:ignore"
+		if dir.isFile {
+			form = "//lint:file-ignore"
+		}
+		switch {
+		case !registry[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: deadIgnoreName,
+				Pos:      dir.pos,
+				Message:  form + " names unknown analyzer \"" + dir.analyzer + "\"; it can never suppress anything — fix the name or delete the directive",
+			})
+		case enabled[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: deadIgnoreName,
+				Pos:      dir.pos,
+				Message:  form + " " + dir.analyzer + " suppresses no finding; the code it excused has moved or been fixed — delete the stale directive",
+			})
+		}
+	}
+	return out
 }
 
 // collectDirectives scans every comment of the package for lint
@@ -55,8 +108,8 @@ func (s *suppressions) suppresses(d Diagnostic) bool {
 // silently suppressing nothing.
 func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
 	sup := &suppressions{
-		line: map[string]map[int]map[string]bool{},
-		file: map[string]map[string]bool{},
+		line: map[string]map[int]map[string]*directive{},
+		file: map[string]map[string]*directive{},
 	}
 	var diags []Diagnostic
 	bad := func(pos token.Pos, msg string) {
@@ -94,24 +147,26 @@ func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
 				}
 				name := fields[0]
 				pos := pkg.Fset.Position(c.Pos())
+				dir := &directive{pos: pos, analyzer: name, isFile: isFile}
+				sup.all = append(sup.all, dir)
 				if isFile {
 					byFile := sup.file[pos.Filename]
 					if byFile == nil {
-						byFile = map[string]bool{}
+						byFile = map[string]*directive{}
 						sup.file[pos.Filename] = byFile
 					}
-					byFile[name] = true
+					byFile[name] = dir
 					continue
 				}
 				byLine := sup.line[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]*directive{}
 					sup.line[pos.Filename] = byLine
 				}
 				if byLine[pos.Line] == nil {
-					byLine[pos.Line] = map[string]bool{}
+					byLine[pos.Line] = map[string]*directive{}
 				}
-				byLine[pos.Line][name] = true
+				byLine[pos.Line][name] = dir
 			}
 		}
 	}

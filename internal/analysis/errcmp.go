@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp flags == and != comparisons against sentinel error variables.
+// The engine wraps its sentinels — ErrNoValidConfig arrives as
+// fmt.Errorf("%w (tuner %s, ...)", ErrNoValidConfig, ...), cancellation
+// errors arrive wrapped by the session — so a direct identity comparison
+// is a latent always-false: the caller "handles" the sentinel and never
+// matches it. errors.Is unwraps the chain and is the only correct test.
+// Comparisons with nil are untouched.
+type ErrCmp struct{}
+
+// Name implements Analyzer.
+func (ErrCmp) Name() string { return "errcmp" }
+
+// Doc implements Analyzer.
+func (ErrCmp) Doc() string {
+	return "flag ==/!= against sentinel error variables (wrapped sentinels never match identity); use errors.Is"
+}
+
+// Run implements Analyzer.
+func (ErrCmp) Run(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			if name, ok := sentinelError(info, operand); ok {
+				p.Reportf(be.OpPos, "%s compares against sentinel error %s by identity; wrapped sentinels never match — use errors.Is(err, %s)", be.Op, name, name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// sentinelError reports whether e denotes a package-level variable of an
+// error type — the shape of errors.New / fmt.Errorf sentinels like
+// tuner.ErrNoValidConfig or io.EOF.
+func sentinelError(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// errIface is the universe error interface.
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is the error interface or implements it.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errIface)
+}

@@ -13,15 +13,26 @@ var update = flag.Bool("update", false, "rewrite golden files with current analy
 
 // fixturePkgs maps each fixture directory under testdata/src to the import
 // path it is loaded under. The paths sit under repro/internal/ so that the
-// internal-only analyzers (uncheckederr, panicpath) are in scope.
-var fixturePkgs = []string{
-	"globalrand",
-	"floateq",
-	"mutexcopy",
-	"uncheckederr",
-	"panicpath",
-	"ctxarg",
-	"lintdirective",
+// internal-only analyzers (uncheckederr, panicpath) are in scope; the
+// walltime fixture loads under an internal/tuner-suffixed path because
+// that analyzer is scoped to the sample-stream packages.
+var fixturePkgs = []struct {
+	name       string
+	importPath string
+}{
+	{name: "globalrand"},
+	{name: "floateq"},
+	{name: "mutexcopy"},
+	{name: "uncheckederr"},
+	{name: "panicpath"},
+	{name: "ctxarg"},
+	{name: "lintdirective"},
+	{name: "maprange"},
+	{name: "walltime", importPath: "repro/internal/tuner/walltimefixture"},
+	{name: "parfold"},
+	{name: "seedflow"},
+	{name: "errcmp"},
+	{name: "deadignore"},
 }
 
 // TestAnalyzersGolden runs the full suite over each fixture package and
@@ -30,13 +41,17 @@ var fixturePkgs = []string{
 // analyzer must find (positive) and clean code it must not flag
 // (negative): any extra, missing, or moved diagnostic fails.
 func TestAnalyzersGolden(t *testing.T) {
-	for _, name := range fixturePkgs {
+	for _, fx := range fixturePkgs {
+		name, importPath := fx.name, fx.importPath
+		if importPath == "" {
+			importPath = "repro/internal/fixtures/" + name
+		}
 		t.Run(name, func(t *testing.T) {
 			loader, err := NewLoader(".")
 			if err != nil {
 				t.Fatal(err)
 			}
-			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), "repro/internal/fixtures/"+name)
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), importPath)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,8 +83,8 @@ func TestAnalyzersGolden(t *testing.T) {
 // fixture corpus.
 func TestGoldenFilesHavePositives(t *testing.T) {
 	found := map[string]bool{}
-	for _, name := range fixturePkgs {
-		data, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+	for _, fx := range fixturePkgs {
+		data, err := os.ReadFile(filepath.Join("testdata", fx.name+".golden"))
 		if err != nil {
 			t.Fatal(err)
 		}

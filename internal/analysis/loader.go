@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -34,14 +35,27 @@ type Package struct {
 // library imports are satisfied by the toolchain's source importer, so the
 // loader needs nothing outside GOROOT and the module tree — no compiled
 // export data and no network.
+//
+// LoadModule loads concurrently: all package directories are parsed in
+// parallel, then type-checked in dependency waves (every package whose
+// module-local imports are already checked runs concurrently with its
+// wave). The shared FileSet is concurrency-safe by contract; the package
+// and parse caches are guarded by mu, and the stdlib source importer —
+// which is not documented as concurrency-safe — is serialized behind
+// stdMu (its internal cache makes repeat imports cheap, so the first wave
+// pays most of that cost once).
 type Loader struct {
 	fset       *token.FileSet
 	std        types.Importer
 	moduleRoot string
 	modulePath string
 
+	mu      sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
+	parsed  map[string][]*ast.File // dir -> parsed non-test files
+
+	stdMu sync.Mutex
 }
 
 // NewLoader returns a loader rooted at the directory containing go.mod.
@@ -63,6 +77,7 @@ func NewLoader(root string) (*Loader, error) {
 		modulePath: modPath,
 		pkgs:       map[string]*Package{},
 		loading:    map[string]bool{},
+		parsed:     map[string][]*ast.File{},
 	}, nil
 }
 
@@ -101,7 +116,11 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	type target struct {
+		path string
+		dir  string
+	}
+	targets := make([]target, 0, len(dirs))
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(l.moduleRoot, dir)
 		if err != nil {
@@ -111,9 +130,106 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		if rel != "." {
 			path = l.modulePath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(path, dir)
+		targets = append(targets, target{path: path, dir: dir})
+	}
+
+	// Phase 1: parse every directory concurrently, filling the parse cache
+	// the type-check phase reads from.
+	parseErrs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt target) {
+			defer wg.Done()
+			_, parseErrs[i] = l.parseDir(tgt.dir)
+		}(i, tgt)
+	}
+	wg.Wait()
+	for i, err := range parseErrs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("analysis: parsing %s: %w", targets[i].path, err)
+		}
+	}
+
+	// Phase 2: build the module-local import DAG from the parsed files and
+	// type-check in waves — each wave checks, concurrently, every package
+	// whose module-local imports are all done.
+	deps := make(map[string][]string, len(targets))
+	isTarget := make(map[string]bool, len(targets))
+	for _, tgt := range targets {
+		isTarget[tgt.path] = true
+	}
+	for _, tgt := range targets {
+		files, _ := l.parseDir(tgt.dir) // cache hit
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if isTarget[p] && !seen[p] {
+					seen[p] = true
+					deps[tgt.path] = append(deps[tgt.path], p)
+				}
+			}
+		}
+	}
+	index := make(map[string]int, len(targets))
+	for i, tgt := range targets {
+		index[tgt.path] = i
+	}
+	loadErrs := make([]error, len(targets))
+	done := make(map[string]bool, len(targets))
+	remaining := targets
+	for len(remaining) > 0 {
+		var wave, next []target
+		for _, tgt := range remaining {
+			ready := true
+			for _, d := range deps[tgt.path] {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, tgt)
+			} else {
+				next = append(next, tgt)
+			}
+		}
+		if len(wave) == 0 {
+			// A dependency cycle among the remaining packages; fall through
+			// to the sequential loader for its cycle diagnostics.
+			for _, tgt := range next {
+				if _, err := l.load(tgt.path, tgt.dir); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		var wwg sync.WaitGroup
+		for _, tgt := range wave {
+			wwg.Add(1)
+			go func(i int, tgt target) {
+				defer wwg.Done()
+				_, loadErrs[i] = l.load(tgt.path, tgt.dir)
+			}(index[tgt.path], tgt)
+		}
+		wwg.Wait()
+		for _, tgt := range wave {
+			if err := loadErrs[index[tgt.path]]; err != nil {
+				return nil, err
+			}
+			done[tgt.path] = true
+		}
+		remaining = next
+	}
+
+	out := make([]*Package, 0, len(targets))
+	for _, tgt := range targets {
+		l.mu.Lock()
+		pkg := l.pkgs[tgt.path]
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: package %s was never loaded", tgt.path)
 		}
 		out = append(out, pkg)
 	}
@@ -133,16 +249,16 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return l.load(importPath, abs)
 }
 
-// load parses and type-checks one package, memoized by import path.
-func (l *Loader) load(path, dir string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+// parseDir parses the non-test Go sources of one directory, memoized. The
+// shared FileSet is safe for concurrent use, so parsing itself happens
+// outside the lock; only the cache lookups are serialized.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	l.mu.Lock()
+	if files, ok := l.parsed[dir]; ok {
+		l.mu.Unlock()
+		return files, nil
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.mu.Unlock()
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -176,6 +292,46 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
 
+	l.mu.Lock()
+	if prior, ok := l.parsed[dir]; ok {
+		// Another goroutine won the race; keep its files so every consumer
+		// sees one canonical parse of the directory.
+		files = prior
+	} else {
+		l.parsed[dir] = files
+	}
+	l.mu.Unlock()
+	return files, nil
+}
+
+// load parses and type-checks one package, memoized by import path. Wave
+// scheduling in LoadModule guarantees a package's module-local imports are
+// already cached before its own check starts, so recursion through
+// importPkg only hits the cache; the loading map still catches genuine
+// import cycles on the sequential paths (LoadDir and the cycle fallback).
+func (l *Loader) load(path, dir string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	if l.loading[path] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, path)
+		l.mu.Unlock()
+	}()
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
 	info := &types.Info{
 		Types:     map[ast.Expr]types.TypeAndValue{},
 		Defs:      map[*ast.Ident]types.Object{},
@@ -188,7 +344,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.mu.Lock()
 	l.pkgs[path] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
@@ -207,6 +365,8 @@ func (l *Loader) importPkg(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 

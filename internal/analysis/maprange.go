@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags map iteration whose visit order escapes into an ordered
+// sink. Go randomizes map iteration order per run, so a `range m` feeding
+// an append to a slice declared outside the loop, a channel send, or a
+// hash/record/stream writer produces output that differs between two runs
+// of the same seed — exactly the class of bug the golden stream hashes
+// exist to catch, but caught here at lint time instead of at test time.
+//
+// The analyzer taint-tracks the iteration variables through the loop body
+// (assignments, derived locals, call results), so indirect escapes such as
+//
+//	for k, v := range m {
+//		s := fmt.Sprintf("%s=%d", k, v)
+//		lines = append(lines, s) // flagged
+//	}
+//
+// are found too. Order-insensitive uses — writes back into a map, set
+// membership, counting, max/min folds — are not flagged. When the
+// consumer sorts afterwards, suppress with
+// //lint:ignore maprange <sorted below> on the escaping line.
+type MapRange struct{}
+
+// Name implements Analyzer.
+func (MapRange) Name() string { return "maprange" }
+
+// Doc implements Analyzer.
+func (MapRange) Doc() string {
+	return "flag map iteration order escaping into ordered sinks (appends to outer slices, channel sends, hash/record writers); sort keys first or annotate the sorted consumer"
+}
+
+// orderedSinkCalls are callee names through which a per-iteration value
+// makes iteration order observable: stream and hash writers, encoders,
+// and formatted output.
+var orderedSinkCalls = map[string]string{
+	"Write":       "a writer",
+	"WriteString": "a writer",
+	"WriteByte":   "a writer",
+	"WriteRune":   "a writer",
+	"Encode":      "an encoder",
+	"Sum":         "a hash",
+	"Fprint":      "formatted output",
+	"Fprintf":     "formatted output",
+	"Fprintln":    "formatted output",
+	"Print":       "formatted output",
+	"Printf":      "formatted output",
+	"Println":     "formatted output",
+}
+
+// Run implements Analyzer.
+func (MapRange) Run(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(info.TypeOf(rs.X)) {
+			return true
+		}
+		var seeds []types.Object
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				seeds = append(seeds, info.ObjectOf(id))
+			}
+		}
+		if len(seeds) == 0 {
+			// Bare `for range m` exposes only the length; no order escapes
+			// through the iteration variables. Sinks inside the body can
+			// still leak order by side effect count, but without a value
+			// there is nothing ordered to observe.
+			return true
+		}
+		t := taintFrom(info, rs.Body, seeds...)
+		checkMapRangeBody(p, rs, t)
+		return true
+	})
+}
+
+// checkMapRangeBody reports every ordered sink inside one map-range body
+// that a tainted (iteration-order-dependent) value reaches.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, t *taint) {
+	info := p.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || !anyTainted(t, call.Args[1:]) {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				base, ok := baseIdent(n.Lhs[i])
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(base)
+				if obj != nil && !declaredWithin(obj, rs) {
+					p.Reportf(call.Pos(), "append of a map-iteration value to %q, which outlives the loop: iteration order is randomized, so the slice order differs run to run; sort the keys first or sort the result", base.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if t.exprTainted(n.Value) {
+				p.Reportf(n.Arrow, "map-iteration value sent on a channel: the receive order follows the randomized iteration order; sort the keys first")
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, sink := orderedSinkCalls[sel.Sel.Name]
+			if !sink || !anyTainted(t, n.Args) {
+				return true
+			}
+			// Writes into buffers declared inside the loop body are
+			// per-iteration scratch; only escapes past the loop are ordered.
+			if base, ok := baseIdent(sel.X); ok {
+				if obj := info.ObjectOf(base); obj != nil && declaredWithin(obj, rs) {
+					return true
+				}
+			}
+			p.Reportf(n.Pos(), "map-iteration value reaches %s via %s: output order follows the randomized iteration order; sort the keys first", kind, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParFold enforces the internal/par worker contract, the two rules the
+// deterministic parallel engine is built on: a closure handed to par.For /
+// par.ForContext runs concurrently with its siblings, so it must write
+// only to index-addressed slots (results[i] = ...) and return everything
+// else through the pool's index-ordered fold. Direct appends, channel
+// sends, and writes to captured variables from inside a worker make the
+// outcome depend on goroutine scheduling — precisely the nondeterminism
+// the serial-plan/ordered-fold design exists to exclude.
+//
+// Allowed inside a worker closure with index parameter i:
+//   - element writes into captured slices (results[i] = v, grid[a][b] = v):
+//     slot addressing is the contract, and the determinism tests catch
+//     colliding indices;
+//   - any mutation of locals declared inside the closure;
+//   - mutation through pointers selected by the index (w := items[i];
+//     w.field = v) — that is an index-addressed slot reached indirectly.
+//
+// Flagged:
+//   - assignments (including op-assign, ++/--, and x = append(x, ...)) to
+//     captured variables;
+//   - sends on any channel;
+//   - writes into captured maps;
+//   - field/pointer writes through captured state not derived from the
+//     index parameter (t := shared; t.count++).
+type ParFold struct{}
+
+// Name implements Analyzer.
+func (ParFold) Name() string { return "parfold" }
+
+// Doc implements Analyzer.
+func (ParFold) Doc() string {
+	return "par.For/ForContext workers must write only index-addressed slots; no appends, channel sends, or captured-state mutation from worker closures"
+}
+
+// Run implements Analyzer.
+func (ParFold) Run(p *Pass) {
+	inspect(p.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgFuncName(p, call.Fun, "repro/internal/par")
+		if !ok || (name != "For" && name != "ForContext") || len(call.Args) == 0 {
+			return true
+		}
+		worker, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		if !ok {
+			return true // a named worker function is opaque to this intra-procedural check
+		}
+		checkWorker(p, name, worker)
+		return true
+	})
+}
+
+// checkWorker validates one worker closure body against the contract.
+func checkWorker(p *Pass, poolFunc string, worker *ast.FuncLit) {
+	info := p.Pkg.Info
+	var idx types.Object
+	if params := worker.Type.Params; params != nil && len(params.List) == 1 && len(params.List[0].Names) == 1 {
+		idx = info.ObjectOf(params.List[0].Names[0])
+	}
+	t := taintFrom(info, worker.Body, idx)
+	flagWrite := func(pos token.Pos, form, name string) {
+		p.Reportf(pos, "par.%s worker %s %q: workers must write only index-addressed slots and return results through the pool's ordered fold", poolFunc, form, name)
+	}
+	ast.Inspect(worker.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWorkerTarget(p, worker, t, lhs, flagWrite)
+			}
+		case *ast.IncDecStmt:
+			checkWorkerTarget(p, worker, t, n.X, flagWrite)
+		case *ast.SendStmt:
+			p.Reportf(n.Arrow, "par.%s worker sends on a channel: receive order depends on goroutine scheduling; write results[i] and fold in index order instead", poolFunc)
+		case *ast.CallExpr:
+			// delete(m, k) on a captured map is a map write in call clothing.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) > 0 {
+					checkWorkerTarget(p, worker, t, n.Args[0], flagWrite)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWorkerTarget classifies one write target inside a worker closure
+// and reports contract violations through flag.
+func checkWorkerTarget(p *Pass, worker *ast.FuncLit, t *taint, lhs ast.Expr, flag func(pos token.Pos, form, name string)) {
+	info := p.Pkg.Info
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(lhs)
+		if obj != nil && !declaredWithin(obj, worker) {
+			flag(lhs.Pos(), "assigns captured", lhs.Name)
+		}
+	case *ast.IndexExpr:
+		base, ok := baseIdent(lhs.X)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(base)
+		if obj == nil || declaredWithin(obj, worker) {
+			return
+		}
+		if isMapType(info.TypeOf(lhs.X)) {
+			flag(lhs.Pos(), "writes into captured map", base.Name)
+		}
+		// Slice/array element writes are the index-addressed slot contract.
+	case *ast.StarExpr, *ast.SelectorExpr:
+		var inner ast.Expr
+		if se, ok := lhs.(*ast.StarExpr); ok {
+			inner = se.X
+		} else {
+			inner = lhs.(*ast.SelectorExpr).X
+		}
+		base, ok := baseIdent(inner)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(base)
+		if obj == nil {
+			return
+		}
+		if !declaredWithin(obj, worker) {
+			flag(lhs.Pos(), "writes through captured", base.Name)
+			return
+		}
+		// A local alias is fine when it was selected by the index (an
+		// index-addressed slot reached through a pointer); an alias of
+		// captured state that ignores the index is shared mutation.
+		if !t.objTainted(obj) && aliasesCapture(info, worker, base) {
+			flag(lhs.Pos(), "writes shared state through the non-index alias", base.Name)
+		}
+	case *ast.ParenExpr:
+		checkWorkerTarget(p, worker, t, lhs.X, flag)
+	}
+}
+
+// aliasesCapture reports whether the local variable behind id may hold a
+// value derived from state captured from outside the worker: it is tainted
+// by any object declared outside the closure.
+func aliasesCapture(info *types.Info, worker *ast.FuncLit, id *ast.Ident) bool {
+	var captured []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(worker.Body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[use].(*types.Var)
+		if !ok || seen[obj] || declaredWithin(obj, worker) {
+			return true
+		}
+		seen[obj] = true
+		captured = append(captured, obj)
+		return true
+	})
+	t := taintFrom(info, worker.Body, captured...)
+	return t.objTainted(info.ObjectOf(id))
+}

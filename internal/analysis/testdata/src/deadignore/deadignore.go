@@ -1,0 +1,22 @@
+// Package deadignore is a fixture for the deadignore pass: a live
+// directive (suppressing a real finding) is kept, a stale line directive,
+// a stale file directive and a directive naming an unknown analyzer are
+// reported.
+package deadignore
+
+//lint:file-ignore globalrand fixture: stale file directive — nothing in this file touches math/rand
+
+// live triggers floateq and suppresses it: the directive is used.
+func live(a, b float64) bool {
+	//lint:ignore floateq fixture: live directive, suppresses the line below
+	return a == b
+}
+
+// stale carries a directive for a finding that no longer exists.
+func stale(a, b float64) bool {
+	//lint:ignore floateq fixture: stale — the comparison below is integral now
+	return int(a) == int(b)
+}
+
+//lint:ignore frobnicate fixture: no such analyzer exists
+func unknownAnalyzer() {}

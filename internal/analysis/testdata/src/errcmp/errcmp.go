@@ -1,0 +1,49 @@
+// Package errcmp is a fixture for the errcmp analyzer: identity
+// comparisons against local and imported sentinel errors are flagged,
+// errors.Is and nil checks are not, and one comparison is
+// directive-suppressed.
+package errcmp
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrExhausted is a sentinel in the style of tuner.ErrNoValidConfig.
+var ErrExhausted = errors.New("errcmp: space exhausted")
+
+// BadEq compares a (possibly wrapped) error by identity.
+func BadEq(err error) bool {
+	return err == ErrExhausted
+}
+
+// BadNeq is the negated form.
+func BadNeq(err error) bool {
+	return err != ErrExhausted
+}
+
+// BadImported compares against another package's sentinel.
+func BadImported(err error) bool {
+	return err == io.EOF
+}
+
+// GoodIs unwraps properly.
+func GoodIs(err error) bool {
+	return errors.Is(err, ErrExhausted)
+}
+
+// GoodNil is a plain presence check.
+func GoodNil(err error) bool {
+	return err != nil
+}
+
+// GoodLocalCompare compares two flowing errors, neither a sentinel.
+func GoodLocalCompare(a, b error) bool {
+	return a == b
+}
+
+// Suppressed documents an identity check that is genuinely wanted (the
+// sentinel is never wrapped on this path).
+func Suppressed(err error) bool {
+	return err == ErrExhausted //lint:ignore errcmp fixture: this path receives the sentinel unwrapped by construction
+}

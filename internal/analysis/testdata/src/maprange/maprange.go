@@ -1,0 +1,99 @@
+// Package maprange is a fixture for the maprange analyzer: map iteration
+// order escaping through appends, channel sends and writers (positive),
+// order-insensitive map uses (negative), and a directive-suppressed
+// sorted consumer.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadAppend leaks iteration order into the returned slice.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadDerivedAppend leaks through a value derived from the iteration
+// variables (the dataflow propagation case).
+func BadDerivedAppend(m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		line := fmt.Sprintf("%s=%d", k, v)
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// BadSend leaks iteration order through a channel.
+func BadSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// BadWrite leaks iteration order into a stream writer.
+func BadWrite(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		_, _ = fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// GoodMapBuild rebuilds another map: no order escapes.
+func GoodMapBuild(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// GoodFold folds commutatively and tracks a max: order-insensitive.
+func GoodFold(m map[string]int) (int, string) {
+	total := 0
+	bestK := ""
+	bestV := -1
+	for k, v := range m {
+		total += v
+		if v > bestV || (v == bestV && k < bestK) {
+			bestK, bestV = k, v
+		}
+	}
+	return total, bestK
+}
+
+// GoodInnerScratch appends into a slice scoped to the loop body.
+func GoodInnerScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}
+
+// GoodBareRange exposes only the length.
+func GoodBareRange(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SuppressedSorted collects then sorts; the directive records why the
+// escape is safe.
+func SuppressedSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) //lint:ignore maprange sorted on the next line
+	}
+	sort.Strings(keys)
+	return keys
+}

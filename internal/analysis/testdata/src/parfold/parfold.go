@@ -1,0 +1,85 @@
+// Package parfold is a fixture for the parfold analyzer: worker closures
+// violating the index-addressed-slot contract (positive), compliant
+// workers (negative), and a directive-suppressed exception.
+package parfold
+
+import "repro/internal/par"
+
+type item struct {
+	in  int
+	out int
+}
+
+type counter struct{ n int }
+
+// BadAppend grows a captured slice from inside workers: result order
+// depends on goroutine scheduling.
+func BadAppend(xs []int) []int {
+	var out []int
+	par.For(len(xs), 4, func(i int) {
+		out = append(out, xs[i]*2)
+	})
+	return out
+}
+
+// BadSend streams results out of workers in completion order.
+func BadSend(xs []int, ch chan int) {
+	par.For(len(xs), 4, func(i int) {
+		ch <- xs[i]
+	})
+}
+
+// BadSharedCounter mutates captured state through a non-index alias.
+func BadSharedCounter(xs []int, c *counter) {
+	par.For(len(xs), 4, func(i int) {
+		shared := c
+		shared.n++
+	})
+}
+
+// BadScalar writes a captured scalar from every worker.
+func BadScalar(xs []int) int {
+	total := 0
+	par.For(len(xs), 4, func(i int) {
+		total += xs[i]
+	})
+	return total
+}
+
+// BadMapWrite writes into a captured map from workers.
+func BadMapWrite(xs []int, m map[int]int) {
+	par.ForContext(nil, len(xs), 4, func(i int) {
+		m[i] = xs[i]
+	})
+}
+
+// GoodSlots follows the contract: each worker writes only its own
+// index-addressed slot, through locals derived from the index.
+func GoodSlots(items []item, results []int) {
+	par.For(len(items), 4, func(i int) {
+		it := &items[i]
+		it.out = it.in * 2
+		tmp := it.out + 1
+		tmp++
+		results[i] = tmp
+	})
+}
+
+// GoodNested writes grid[a][b] slots selected by the flattened index.
+func GoodNested(grid [][]float64, cols int) {
+	par.For(len(grid)*cols, 4, func(k int) {
+		r, c := k/cols, k%cols
+		grid[r][c] = float64(k)
+	})
+}
+
+// SuppressedProgress bumps a captured atomic-ish progress counter; the
+// directive records why scheduling-order writes are acceptable here.
+func SuppressedProgress(xs []int, results []int) {
+	done := 0
+	par.For(len(xs), 4, func(i int) {
+		results[i] = xs[i]
+		done++ //lint:ignore parfold fixture: progress counter is observability-only (a real one would be atomic)
+	})
+	_ = done
+}

@@ -1,0 +1,54 @@
+// Package seedflow is a fixture for the seedflow analyzer: constant seeds
+// (direct, laundered through locals, and via constant conversions) are
+// flagged; seeds derived from parameters, fields or calls are not; one
+// protocol constant is directive-suppressed.
+package seedflow
+
+import "math/rand"
+
+const defaultSeed = 7
+
+type opts struct{ seed int64 }
+
+// BadLiteral bakes the seed in directly.
+func BadLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// BadConst uses a package constant: still compile-time.
+func BadConst() *rand.Rand {
+	return rand.New(rand.NewSource(defaultSeed))
+}
+
+// BadLaundered assigns the literal through locals first — the dataflow
+// case: every assignment feeding s is constant.
+func BadLaundered() *rand.Rand {
+	base := int64(21)
+	s := base
+	s = s*2 + 0
+	return rand.New(rand.NewSource(s))
+}
+
+// GoodParam derives the seed from flowing data.
+func GoodParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodDerived mixes a constant offset into a flowing seed: the xor
+// decorrelates streams, the parameter keeps it chained.
+func GoodDerived(o opts) *rand.Rand {
+	return rand.New(rand.NewSource(o.seed ^ 0x5DEECE66D))
+}
+
+// GoodChained rebuilds the seed through locals fed by a parameter.
+func GoodChained(seed int64) *rand.Rand {
+	s := seed
+	s = s*6364136223846793005 + 1442695040888963407
+	return rand.New(rand.NewSource(s))
+}
+
+// SuppressedProtocol documents a deliberate fixed stream.
+func SuppressedProtocol() *rand.Rand {
+	//lint:ignore seedflow fixture: protocol-pinned stream, documented default
+	return rand.New(rand.NewSource(1))
+}

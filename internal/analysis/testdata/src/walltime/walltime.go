@@ -1,0 +1,37 @@
+// Package walltime is a fixture for the walltime analyzer, loaded under a
+// repro/internal/tuner-suffixed import path so the package-scope gate
+// applies. Wall-clock reads reachable from the exported API are flagged
+// (including through unexported helpers); unreachable helpers are not;
+// a directive allowlists the observability path.
+package walltime
+
+import "time"
+
+// Step is an exported sample-stream entry point.
+func Step() int {
+	if time.Now().UnixNano()%2 == 0 {
+		return 1
+	}
+	return helper()
+}
+
+// helper is reachable from Step, so its wall-clock read is flagged too.
+func helper() int {
+	time.Sleep(time.Millisecond)
+	return 2
+}
+
+// unreachable is not called from any exported function: its clock read is
+// outside the sample-stream contract.
+func unreachable() time.Time {
+	return time.Now()
+}
+
+// Timed is an exported observability path: the reading is allowlisted
+// with a reason.
+func Timed(f func()) time.Duration {
+	start := time.Now() //lint:ignore walltime fixture: observability-only timing, result is reported not branched on
+	f()
+	//lint:ignore walltime fixture: observability-only timing
+	return time.Since(start)
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Walltime forbids wall-clock reads on sample-stream-producing paths. The
+// engine's core guarantee — bit-identical sample streams for any
+// Workers × task-concurrency point, and bit-identical prefixes under
+// cancellation — only holds if no tuning decision observes real time: a
+// time.Now() feeding a branch, a time.Sleep pacing a loop, or a
+// time.Since-based budget silently couples the stream to machine load.
+//
+// The analyzer applies to the packages that produce sample streams
+// (internal/tuner, internal/active, internal/sched). Within them it builds
+// the intra-package call graph and flags time.Now / time.Since /
+// time.Sleep / time.After / time.Tick / time.NewTimer / time.NewTicker in
+// any function reachable from the package's exported API. Pure
+// observability paths — the PhaseTimes accumulator, per-task Elapsed
+// reporting — are deliberate and stay allowlisted with
+// //lint:ignore walltime <observability-only reason> at each call site (or
+// //lint:file-ignore for a whole timing file).
+type Walltime struct{}
+
+// Name implements Analyzer.
+func (Walltime) Name() string { return "walltime" }
+
+// Doc implements Analyzer.
+func (Walltime) Doc() string {
+	return "forbid time.Now/Since/Sleep (and timer constructors) on paths reachable from the sample-stream-producing APIs of internal/{tuner,active,sched}; annotate observability-only uses"
+}
+
+// walltimePkgs are the import-path suffixes the contract covers: the
+// packages whose exported APIs produce or drive deterministic sample
+// streams.
+var walltimePkgs = []string{
+	"internal/tuner",
+	"internal/active",
+	"internal/sched",
+}
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the wall clock (or a runtime timer).
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Run implements Analyzer.
+func (Walltime) Run(p *Pass) {
+	if !walltimeInScope(p.Pkg.Path) {
+		return
+	}
+	funcs := packageFuncs(p.Pkg)
+	edges := callGraph(p.Pkg, funcs)
+	var roots []*types.Func
+	for _, fn := range funcs {
+		if fn.obj.Exported() {
+			roots = append(roots, fn.obj)
+		}
+	}
+	reach := reachableFrom(roots, edges)
+	for _, fn := range funcs {
+		if !reach[fn.obj] {
+			continue
+		}
+		name := fn.obj.Name()
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fname, ok := pkgFuncName(p, call.Fun, "time")
+			if !ok || !wallClockFuncs[fname] {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s in %s, which is reachable from this package's exported sample-stream API: wall clock must not influence tuning decisions; if this is observability only, annotate //lint:ignore walltime <reason>", fname, name)
+			return true
+		})
+	}
+}
+
+func walltimeInScope(path string) bool {
+	for _, frag := range walltimePkgs {
+		if strings.HasSuffix(path, frag) || strings.Contains(path, frag+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -71,7 +71,7 @@ func Devices() []string {
 	m := hwsim.Devices()
 	out := make([]string, 0, len(m))
 	for name := range m {
-		out = append(out, name)
+		out = append(out, name) //lint:ignore maprange sorted on the next line
 	}
 	sort.Strings(out)
 	return out

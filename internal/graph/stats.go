@@ -68,9 +68,16 @@ func (s Stats) Print(w io.Writer) error {
 		float64(s.ParamBytes)/(1<<20), float64(s.MaxActBytes)/(1<<20))
 	ops := make([]OpType, 0, len(s.OpCounts))
 	for op := range s.OpCounts {
-		ops = append(ops, op)
+		ops = append(ops, op) //lint:ignore maprange sorted below with a total order
 	}
-	sort.Slice(ops, func(i, j int) bool { return s.OpCounts[ops[i]] > s.OpCounts[ops[j]] })
+	// Sort by descending count with the OpType value breaking ties: without
+	// the tie-break, equal-count ops would keep the randomized map order.
+	sort.Slice(ops, func(i, j int) bool {
+		if s.OpCounts[ops[i]] != s.OpCounts[ops[j]] {
+			return s.OpCounts[ops[i]] > s.OpCounts[ops[j]]
+		}
+		return ops[i] < ops[j]
+	})
 	for _, op := range ops {
 		fmt.Fprintf(bw, "  %-18s %4d\n", op, s.OpCounts[op])
 	}

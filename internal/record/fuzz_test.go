@@ -1,0 +1,98 @@
+package record
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fuzzRecords builds a deterministic batch of n records whose fields are
+// derived arithmetically from n, so every fuzz execution is reproducible
+// without an RNG.
+func fuzzRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Task:     fmt.Sprintf("task-%d", i%3),
+			Workload: fmt.Sprintf("conv2d_%dx%d", 1<<(i%5), 3),
+			Tuner:    "bao",
+			Step:     i + 1,
+			Config:   []int{i % 4, (i * 7) % 5, i % 2},
+			GFLOPS:   float64(i) * 1.5,
+			Valid:    i%4 != 3,
+		}
+	}
+	return recs
+}
+
+// FuzzReadTornTail exercises the crash-recovery contract of Read against
+// random truncation, single-byte corruption, and wholly arbitrary input:
+//
+//   - Read must never panic, whatever the bytes;
+//   - truncating a valid stream at ANY byte offset must succeed and return
+//     exactly the records whose lines survived intact (a torn final line is
+//     a crash artifact, not corruption);
+//   - Read must be deterministic: the same bytes always produce the same
+//     records and the same error disposition.
+func FuzzReadTornTail(f *testing.F) {
+	f.Add(uint8(4), uint16(0), uint16(10), byte('}'), []byte("{\"task\":\"t\"}\n"))
+	f.Add(uint8(1), uint16(7), uint16(3), byte(0), []byte("\n\n"))
+	f.Add(uint8(7), uint16(500), uint16(120), byte('\n'), []byte("not json at all"))
+	f.Add(uint8(0), uint16(65535), uint16(65535), byte('"'), []byte{})
+	f.Fuzz(func(t *testing.T, n uint8, cut uint16, pos uint16, corrupt byte, raw []byte) {
+		recs := fuzzRecords(int(n)%8 + 1)
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		stream := buf.Bytes()
+
+		// Torn tail: cut anywhere, including 0 (everything lost) and
+		// len(stream) (nothing lost). Write emits exactly one
+		// newline-terminated line per record with no embedded newlines, so
+		// every surviving '\n' marks an intact record. One more is allowed:
+		// a cut landing between a record's closing brace and its newline
+		// leaves a final unterminated line that is still complete JSON.
+		cutAt := int(cut) % (len(stream) + 1)
+		truncated := stream[:cutAt]
+		intact := bytes.Count(truncated, []byte{'\n'})
+		got, err := Read(bytes.NewReader(truncated))
+		if err != nil {
+			t.Fatalf("torn tail at %d/%d must not be an error, got %v", cutAt, len(stream), err)
+		}
+		if len(got) != intact && len(got) != intact+1 {
+			t.Fatalf("torn tail at %d: got %d records, want the %d intact lines (+1 if the tear hit the final newline)", cutAt, len(got), intact)
+		}
+		if len(got) > 0 && !reflect.DeepEqual(got, append([]Record(nil), recs[:len(got)]...)) {
+			t.Fatalf("torn tail at %d: surviving records are not a prefix of the written records", cutAt)
+		}
+
+		// Mid-file corruption: flip one byte anywhere in the stream. The
+		// result may be an error (mid-file garbage), a silent drop (the flip
+		// hit the final line), or even a still-valid stream (the flip changed
+		// a digit) — but it must never panic and must be deterministic.
+		corrupted := append([]byte(nil), stream...)
+		if len(corrupted) > 0 {
+			corrupted[int(pos)%len(corrupted)] = corrupt
+		}
+		got1, err1 := Read(bytes.NewReader(corrupted))
+		got2, err2 := Read(bytes.NewReader(corrupted))
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(got1, got2) {
+			t.Fatalf("Read is not deterministic on corrupted input: (%v, %v) vs (%v, %v)", got1, err1, got2, err2)
+		}
+		if err1 == nil && len(got1) > len(recs)+1 {
+			t.Fatalf("corruption conjured %d records from %d written", len(got1), len(recs))
+		}
+
+		// Arbitrary bytes, and arbitrary bytes glued after a valid stream:
+		// only the no-panic and determinism guarantees apply.
+		for _, input := range [][]byte{raw, append(append([]byte(nil), stream...), raw...)} {
+			a, errA := Read(bytes.NewReader(input))
+			b, errB := Read(bytes.NewReader(input))
+			if (errA == nil) != (errB == nil) || !reflect.DeepEqual(a, b) {
+				t.Fatalf("Read is not deterministic on arbitrary input")
+			}
+		}
+	})
+}

@@ -167,7 +167,7 @@ func runSequential(ctx context.Context, tn tuner.Opener, b backend.Backend, spec
 		if opts.TaskDeadline > 0 {
 			tctx, cancel = context.WithTimeout(ctx, opts.TaskDeadline)
 		}
-		start := time.Now()
+		start := time.Now() //lint:ignore walltime Outcome.Elapsed observability: recorded for reporting, never read by scheduling
 		sess, err := tn.Open(tctx, sp.Task, b, sp.Opts)
 		if err != nil {
 			cancel()
@@ -175,7 +175,7 @@ func runSequential(ctx context.Context, tn tuner.Opener, b backend.Backend, spec
 		}
 		res, terr := tuner.Drive(tctx, sess)
 		cancel()
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:ignore walltime Outcome.Elapsed observability: reported upward only
 		if fatal(ctx, res, terr) {
 			return outs, &TaskError{TaskName: sp.Task.Name, Index: i, Err: terr}
 		}
@@ -370,7 +370,7 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 		par.For(len(wl), conc, func(j int) {
 			w := wl[j]
 			tr := w.tr
-			start := time.Now()
+			start := time.Now() //lint:ignore walltime Outcome.Elapsed observability: per-task timing is reported, never scheduled on
 			if tctxs[tr.idx] == nil {
 				tctxs[tr.idx] = ctx
 				if opts.TaskDeadline > 0 {
@@ -387,7 +387,7 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 					break
 				}
 			}
-			tr.elapsed += time.Since(start)
+			tr.elapsed += time.Since(start) //lint:ignore walltime Outcome.Elapsed observability: accumulate-only
 			tr.rounds++
 		})
 	}

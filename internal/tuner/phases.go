@@ -1,5 +1,7 @@
 package tuner
 
+//lint:file-ignore walltime this file is the PhaseTimes observability accumulator: wall-clock readings are collected for reporting only and never feed back into tuning decisions (invariance is enforced by TestPhaseTimesInvariance)
+
 import (
 	"sync"
 	"time"
