@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench bench-smoke cover lint lint-sarif fmt-check verify
+.PHONY: all build test race determinism bench bench-smoke bench-check cover lint lint-sarif fmt-check verify
 
 all: build test lint
 
@@ -13,9 +13,9 @@ test:
 # Race-detector pass over the concurrent measurement machinery
 # (hwsim.Simulator, transfer.History, the tuner worker pool, par,
 # the backend wrappers, the graph scheduler, parallel bootstrap training
-# and Gram assembly).
+# and Gram assembly, parallel SA chains).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp ./internal/sa
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
 # must yield bit-identical samples for every tuner, a cancelled or
@@ -26,10 +26,12 @@ race:
 # kernel-level invariance tests ride the same regex: TED/mat-vec/Cholesky
 # (linalg, active), xgb split search + PredictBatch, and the GP kernel
 # build must be bit-identical for any worker count, and the SIMD lane
-# kernels must match the portable reference bit for bit.
+# kernels must match the portable reference bit for bit. Parallel SA
+# chains join through internal/sa (plain and delta objectives, Workers
+# 1/4/8) and the tuner-level SAChains sample-stream invariance test.
 determinism:
 	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp ./internal/sa
 
 # Benchmark smoke pass: every committed benchmark must still compile and
 # run (one iteration; not a timing source).
@@ -41,6 +43,14 @@ bench-smoke:
 # BENCH_tune.json.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_tune.json
+
+# Regression gate against the committed report: a fresh run (written to
+# /tmp, the committed BENCH_tune.json is left alone) must not regress
+# the serial candidate_selection phase beyond -max-regress (default 3x;
+# generous because shared CI hosts are noisy), and the two legs'
+# samples must still be identical.
+bench-check:
+	$(GO) run ./cmd/bench -out /tmp/BENCH_check.json -baseline BENCH_tune.json
 
 # Coverage gate for the scheduler: internal/sched must stay >= 80%
 # covered by its own tests.

@@ -54,12 +54,15 @@ type report struct {
 	ParallelMS       float64 `json:"parallel_ms"`
 	Speedup          float64 `json:"speedup"`
 	IdenticalSamples bool    `json:"identical_samples"`
-	// Per-phase wall-clock breakdown of each leg, in milliseconds, keyed by
-	// tuner phase (init_set, surrogate_train, candidate_selection,
-	// measurement). Phases sum the work of all tasks, so the parallel leg's
-	// total can exceed its wall-clock.
-	SerialPhaseMS   map[string]float64 `json:"serial_phase_ms"`
-	ParallelPhaseMS map[string]float64 `json:"parallel_phase_ms"`
+	// Per-phase breakdown of each leg, in milliseconds, keyed by tuner
+	// phase (init_set, surrogate_train, candidate_selection, measurement).
+	// Phases sum the busy time of all tasks: in the serial leg (one task,
+	// one worker at a time) that sum is wall-clock, but in the parallel leg
+	// concurrent sessions accumulate simultaneously, so its totals are CPU
+	// time — they routinely exceed the leg's wall-clock and are NOT
+	// comparable to serial_phase_ms. The field name says so.
+	SerialPhaseMS      map[string]float64 `json:"serial_phase_ms"`
+	ParallelPhaseCPUMS map[string]float64 `json:"parallel_phase_cpu_ms"`
 }
 
 func main() {
@@ -73,6 +76,8 @@ func main() {
 	taskConc := flag.Int("task-concurrency", 0, "scheduler task concurrency of the parallel leg (<=0: same as -workers)")
 	policyName := flag.String("budget-policy", "uniform", "scheduler budget policy for both legs: uniform | adaptive")
 	out := flag.String("out", "BENCH_tune.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed report to regression-check the serial candidate_selection phase against (typically the repo's BENCH_tune.json); empty: skip")
+	maxRegress := flag.Float64("max-regress", 3.0, "with -baseline: fail if the serial candidate_selection phase exceeds the baseline's by more than this factor (generous by default — shared CI hosts are noisy)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
@@ -86,7 +91,7 @@ func main() {
 	// Profiled body in its own function so deferred profile teardown runs
 	// before os.Exit.
 	if err := profiledRun(ctx, *cpuProfile, *memProfile, func(ctx context.Context) error {
-		return run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out)
+		return run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out, *baseline, *maxRegress)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -240,10 +245,40 @@ func sameSamples(a, b []active.Sample) bool {
 	return true
 }
 
-func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers, taskConc int, policyName, out string) error {
+// checkBaseline compares the fresh report's serial candidate_selection
+// phase against a previously committed report: a regression beyond factor
+// fails the run. The baseline bytes are read by the caller before the
+// output file is written, so -baseline and -out may name the same file.
+func checkBaseline(baseData []byte, path string, cur report, factor float64) error {
+	var base report
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b, ok := base.SerialPhaseMS[tuner.PhaseCandidateSelection]
+	if !ok || b <= 0 {
+		return fmt.Errorf("baseline %s has no serial %s phase", path, tuner.PhaseCandidateSelection)
+	}
+	c := cur.SerialPhaseMS[tuner.PhaseCandidateSelection]
+	limit := b * factor
+	fmt.Printf("baseline check: serial %s %.1f ms vs baseline %.1f ms (limit %.1f ms)\n",
+		tuner.PhaseCandidateSelection, c, b, limit)
+	if c > limit {
+		return fmt.Errorf("serial %s regressed: %.1f ms exceeds baseline %.1f ms x %.1f = %.1f ms",
+			tuner.PhaseCandidateSelection, c, b, factor, limit)
+	}
+	return nil
+}
+
+func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers, taskConc int, policyName, out, baseline string, maxRegress float64) error {
 	policy, err := sched.PolicyByName(policyName)
 	if err != nil {
 		return err
+	}
+	var baseData []byte
+	if baseline != "" {
+		if baseData, err = os.ReadFile(baseline); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
 	}
 	tasks, err := benchTasks(model, nTasks)
 	if err != nil {
@@ -275,21 +310,21 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 	}
 
 	r := report{
-		Model:            model,
-		Tasks:            nTasks,
-		Tuner:            tunerName,
-		Budget:           budget,
-		PlanSize:         plan,
-		Seed:             seed,
-		Workers:          workers,
-		TaskConcurrency:  taskConc,
-		BudgetPolicy:     policy.Name(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		SerialMS:         float64(serialDur.Microseconds()) / 1000,
-		ParallelMS:       float64(parDur.Microseconds()) / 1000,
-		IdenticalSamples: identical,
-		SerialPhaseMS:    serialPhases.Milliseconds(),
-		ParallelPhaseMS:  parPhases.Milliseconds(),
+		Model:              model,
+		Tasks:              nTasks,
+		Tuner:              tunerName,
+		Budget:             budget,
+		PlanSize:           plan,
+		Seed:               seed,
+		Workers:            workers,
+		TaskConcurrency:    taskConc,
+		BudgetPolicy:       policy.Name(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		SerialMS:           float64(serialDur.Microseconds()) / 1000,
+		ParallelMS:         float64(parDur.Microseconds()) / 1000,
+		IdenticalSamples:   identical,
+		SerialPhaseMS:      serialPhases.Milliseconds(),
+		ParallelPhaseCPUMS: parPhases.Milliseconds(),
 	}
 	if r.ParallelMS > 0 {
 		r.Speedup = r.SerialMS / r.ParallelMS
@@ -306,6 +341,9 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 	fmt.Printf("speedup %.2fx, identical samples: %v; wrote %s\n", r.Speedup, identical, out)
 	if !identical {
 		return fmt.Errorf("parallel leg diverged from serial leg")
+	}
+	if baseline != "" {
+		return checkBaseline(baseData, baseline, r, maxRegress)
 	}
 	return nil
 }

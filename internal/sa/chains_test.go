@@ -1,0 +1,176 @@
+package sa
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// countingDelta wraps a BatchObjective as a from-scratch DeltaObjective:
+// proposals are re-scored fully, ignoring the delta hints. Because every
+// score equals the from-scratch evaluation, FindMaximaDelta over it must
+// reproduce FindMaxima bit for bit.
+type countingDelta struct {
+	obj     BatchObjective
+	mu      sync.Mutex
+	inits   int
+	rounds  int
+	commits int
+	forks   int
+}
+
+func (d *countingDelta) InitBatch(points []space.Config) []float64 {
+	d.mu.Lock()
+	d.inits++
+	d.mu.Unlock()
+	return d.obj(points)
+}
+
+func (d *countingDelta) ProposeBatch(proposals []space.Config, changed []int) []float64 {
+	d.mu.Lock()
+	d.rounds++
+	d.mu.Unlock()
+	return d.obj(proposals)
+}
+
+func (d *countingDelta) Commit(int) {
+	d.mu.Lock()
+	d.commits++
+	d.mu.Unlock()
+}
+
+func (d *countingDelta) Fork() DeltaObjective {
+	d.mu.Lock()
+	d.forks++
+	d.mu.Unlock()
+	return d
+}
+
+func sameConfigs(a, b []space.Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Flat() != b[i].Flat() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFindMaximaDeltaMatchesBatch pins engine parity: the delta-objective
+// entry point with a from-scratch scorer must walk the identical RNG
+// stream and return the identical best-first candidate list as the legacy
+// BatchObjective path.
+func TestFindMaximaDeltaMatchesBatch(t *testing.T) {
+	sp := gridSpace()
+	opts := Options{ParallelSize: 24, Iters: 60}
+	for seed := int64(0); seed < 5; seed++ {
+		want := FindMaxima(sp, peakObjective, 8, nil, opts, rand.New(rand.NewSource(seed)))
+		d := &countingDelta{obj: peakObjective}
+		got := FindMaximaDelta(sp, d, 8, nil, opts, rand.New(rand.NewSource(seed)))
+		if !sameConfigs(want, got) {
+			t.Fatalf("seed %d: delta path diverges from batch path", seed)
+		}
+		if d.inits != 1 || d.rounds != opts.Iters {
+			t.Fatalf("seed %d: %d inits / %d proposal rounds, want 1 / %d", seed, d.inits, d.rounds, opts.Iters)
+		}
+		if d.commits == 0 {
+			t.Fatalf("seed %d: no commits recorded over %d rounds", seed, d.rounds)
+		}
+	}
+}
+
+// TestChainsWorkerCountInvariance is the determinism contract of the
+// parallel-chain mode: for a fixed chain count, the merged top-k is
+// bit-identical (same configs, same order) whether 1, 4 or 8 workers run
+// the chains — the worker count schedules chains, it never changes what
+// any chain computes or the fixed merge order.
+func TestChainsWorkerCountInvariance(t *testing.T) {
+	sp := gridSpace()
+	for _, chains := range []int{2, 3, 8} {
+		var ref []space.Config
+		for _, workers := range []int{1, 4, 8} {
+			opts := Options{ParallelSize: 32, Iters: 40, Chains: chains, Workers: workers}
+			rng := rand.New(rand.NewSource(42))
+			got := FindMaxima(sp, peakObjective, 10, nil, opts, rng)
+			if workers == 1 {
+				ref = got
+				continue
+			}
+			if !sameConfigs(ref, got) {
+				t.Fatalf("chains=%d workers=%d: results diverge from workers=1", chains, workers)
+			}
+		}
+	}
+}
+
+// TestChainsDeltaWorkerCountInvariance runs the same grid through the
+// delta entry point, exercising Fork() under concurrent chains.
+func TestChainsDeltaWorkerCountInvariance(t *testing.T) {
+	sp := gridSpace()
+	for _, chains := range []int{2, 4} {
+		var ref []space.Config
+		for _, workers := range []int{1, 4, 8} {
+			opts := Options{ParallelSize: 32, Iters: 40, Chains: chains, Workers: workers}
+			d := &countingDelta{obj: peakObjective}
+			got := FindMaximaDelta(sp, d, 10, nil, opts, rand.New(rand.NewSource(7)))
+			if d.forks != chains-1 {
+				t.Fatalf("chains=%d: %d forks, want %d", chains, d.forks, chains-1)
+			}
+			if workers == 1 {
+				ref = got
+				continue
+			}
+			if !sameConfigs(ref, got) {
+				t.Fatalf("chains=%d workers=%d: delta results diverge from workers=1", chains, workers)
+			}
+		}
+	}
+}
+
+// TestChainsFindPeak checks the parallel-chain mode still optimizes: with
+// several chains the merged result must contain the global peak.
+func TestChainsFindPeak(t *testing.T) {
+	sp := gridSpace()
+	opts := Options{ParallelSize: 96, Iters: 120, Chains: 4}
+	rng := rand.New(rand.NewSource(3))
+	got := FindMaxima(sp, peakObjective, 5, nil, opts, rng)
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	best := got[0]
+	if best.Index[0] != 15 || best.Index[1] != 5 || best.Index[2] != 10 {
+		t.Fatalf("best = %v, want peak (15,5,10)", best.Index)
+	}
+}
+
+// TestChainsRespectExclude checks the exclude set applies inside every
+// chain and in the merge.
+func TestChainsRespectExclude(t *testing.T) {
+	sp := gridSpace()
+	peak, err := sp.FromIndices([]int{15, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := map[uint64]bool{peak.Flat(): true}
+	rng := rand.New(rand.NewSource(4))
+	got := FindMaxima(sp, peakObjective, 8, exclude, Options{ParallelSize: 64, Iters: 80, Chains: 4}, rng)
+	for _, c := range got {
+		if c.Flat() == peak.Flat() {
+			t.Fatal("excluded config returned from chained run")
+		}
+	}
+}
+
+// TestChainsMoreThanWalkers clamps the chain count at the walker count.
+func TestChainsMoreThanWalkers(t *testing.T) {
+	sp := gridSpace()
+	rng := rand.New(rand.NewSource(5))
+	got := FindMaxima(sp, peakObjective, 4, nil, Options{ParallelSize: 3, Iters: 20, Chains: 16}, rng)
+	if len(got) == 0 {
+		t.Fatal("no results from chains > walkers")
+	}
+}

@@ -129,12 +129,35 @@ func TestOptionsNormalized(t *testing.T) {
 	}
 }
 
+// TestOptionsNormalizedSchedule pins the temperature-schedule contract:
+// an inverted schedule never anneals upward (it truncates to a constant
+// TempStart), negative temperatures clamp to a greedy zero, and the zero
+// value still selects the package default.
+func TestOptionsNormalizedSchedule(t *testing.T) {
+	o := Options{TempStart: 1, TempEnd: 5}.normalized()
+	if o.TempStart != 1 || o.TempEnd != 1 {
+		t.Fatalf("inverted schedule must clamp TempEnd to TempStart, got start=%v end=%v", o.TempStart, o.TempEnd)
+	}
+	o = Options{TempStart: -3, TempEnd: -1}.normalized()
+	if o.TempStart != 0 || o.TempEnd != 0 {
+		t.Fatalf("negative temperatures must clamp to greedy zero, got start=%v end=%v", o.TempStart, o.TempEnd)
+	}
+	o = Options{TempEnd: 0.5}.normalized()
+	if o.TempStart != 1.0 || o.TempEnd != 0.5 {
+		t.Fatalf("zero TempStart must select the default, got start=%v end=%v", o.TempStart, o.TempEnd)
+	}
+	o = Options{Chains: -2}.normalized()
+	if o.Chains != 0 {
+		t.Fatalf("negative Chains must normalize to 0, got %d", o.Chains)
+	}
+}
+
 func TestMutateChangesOneKnob(t *testing.T) {
 	sp := gridSpace()
 	rng := rand.New(rand.NewSource(5))
 	c := sp.Random(rng)
 	for i := 0; i < 100; i++ {
-		m := mutate(sp, c, rng)
+		m, ki := mutate(sp, c, rng)
 		diff := 0
 		for k := range m.Index {
 			if m.Index[k] != c.Index[k] {
@@ -144,18 +167,49 @@ func TestMutateChangesOneKnob(t *testing.T) {
 		if diff != 1 {
 			t.Fatalf("mutation changed %d knobs", diff)
 		}
+		if ki < 0 || m.Index[ki] == c.Index[ki] {
+			t.Fatalf("reported knob %d does not match the mutation", ki)
+		}
 	}
 }
 
 func TestMutateSingleOptionKnobs(t *testing.T) {
 	// A space where every knob has one option cannot be mutated; mutate
-	// must terminate and return a copy.
+	// must terminate, return a copy, and report no knob changed.
 	sp := space.New(space.NewEnumKnob("only", 3))
 	rng := rand.New(rand.NewSource(6))
 	c := sp.Random(rng)
-	m := mutate(sp, c, rng)
+	m, ki := mutate(sp, c, rng)
 	if !m.Equal(c) {
 		t.Fatal("immutable space should return unchanged copy")
+	}
+	if ki != -1 {
+		t.Fatalf("degenerate mutation reported knob %d, want -1", ki)
+	}
+}
+
+// TestFindMaximaDegenerateSpace is the regression test for the
+// no-mutable-knob stall: on a space where every knob has one option, the
+// annealer must score the single point once and bail out instead of
+// re-offering the unmutated clone for Iters rounds.
+func TestFindMaximaDegenerateSpace(t *testing.T) {
+	sp := space.New(space.NewEnumKnob("a", 7), space.NewEnumKnob("b", 1))
+	calls := 0
+	obj := func(batch []space.Config) []float64 {
+		calls++
+		out := make([]float64, len(batch))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(8))
+	got := FindMaxima(sp, obj, 5, nil, Options{ParallelSize: 16, Iters: 200}, rng)
+	if len(got) != 1 {
+		t.Fatalf("one-point space returned %d configs", len(got))
+	}
+	if calls != 1 {
+		t.Fatalf("objective called %d times on a degenerate space, want 1 (init only)", calls)
 	}
 }
 

@@ -72,14 +72,8 @@ func (t *ChameleonTuner) Open(_ context.Context, task *Task, b backend.Backend, 
 		model := t.Inner.trainModel(task, s, rng)
 		var batch []space.Config
 		if model != nil {
-			obj := func(cands []space.Config) []float64 {
-				out := make([]float64, len(cands))
-				for i, c := range cands {
-					out[i] = model.Predict(c.Features())
-				}
-				return out
-			}
-			proposals := sa.FindMaxima(task.Space, obj, pf*opts.PlanSize, s.visited, t.Inner.SA, rng)
+			obj := newSAObjective(model, task.Space)
+			proposals := sa.FindMaximaDelta(task.Space, obj, pf*opts.PlanSize, s.visited, t.Inner.saOptions(opts), rng)
 			batch = adaptiveSample(proposals, int(mf*float64(opts.PlanSize)), rng)
 		}
 		planned := make(map[uint64]bool, len(batch))

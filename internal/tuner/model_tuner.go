@@ -67,6 +67,18 @@ func (t *ModelTuner) Name() string {
 	return "autotvm"
 }
 
+// saOptions resolves the SA configuration for one run: when the caller
+// opted into parallel chains without pinning a chain-worker cap, the
+// session's measurement worker count doubles as the cap — results stay
+// bit-identical for every value, so this only shapes scheduling.
+func (t *ModelTuner) saOptions(opts Options) sa.Options {
+	so := t.SA
+	if so.Chains > 1 && so.Workers <= 0 {
+		so.Workers = opts.Workers
+	}
+	return so
+}
+
 func (t *ModelTuner) xgbParams() xgb.Params {
 	p := t.XGB
 	if p.NumRounds == 0 {
@@ -93,6 +105,11 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		eps = 0.05
 	}
 	inited := false
+	// The SA objective is pooled across rounds: the space never changes
+	// within a session, so each round's retrained surrogate is compiled
+	// into the previous round's buffers (resetSAObjective rebuilds every
+	// model-derived field, keeping rounds independent bit-for-bit).
+	var saObj *saObjective
 	step := func(ctx context.Context) bool {
 		if s.exhausted(ctx) {
 			return true
@@ -120,14 +137,11 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		selectDone := opts.Phases.track(PhaseCandidateSelection)
 		var cands []space.Config
 		if model != nil {
-			obj := func(batch []space.Config) []float64 {
-				out := make([]float64, len(batch))
-				for i, c := range batch {
-					out[i] = model.Predict(c.Features())
-				}
-				return out
-			}
-			cands = sa.FindMaxima(task.Space, obj, opts.PlanSize, s.visited, t.SA, rng)
+			// Compiled SoA surrogate + delta-encoded feature rows: scores
+			// are bit-identical to model.Predict(c.Features()) per
+			// candidate, so the sample stream matches the naive objective.
+			saObj = resetSAObjective(saObj, model, task.Space)
+			cands = sa.FindMaximaDelta(task.Space, saObj, opts.PlanSize, s.visited, t.saOptions(opts), rng)
 		}
 		// Epsilon-greedy exploration plus padding when SA under-delivers.
 		// The batch is planned serially (all RNG draws happen here), then
