@@ -29,9 +29,13 @@ race:
 # kernels must match the portable reference bit for bit. Parallel SA
 # chains join through internal/sa (plain and delta objectives, Workers
 # 1/4/8) and the tuner-level SAChains sample-stream invariance test.
+# Checkpoint|Snapshot pulls in the serializable-session layer: snapshot →
+# restore → continue must be bit-identical for every tuner, for the
+# scheduler across its Workers x task-concurrency grid, and for the
+# crash-resume rehearsal of cmd/tune.
 determinism:
-	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp ./internal/sa
+	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches|Checkpoint|Snapshot' \
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp ./internal/sa ./internal/snap ./internal/rng ./cmd/tune
 
 # Benchmark smoke pass: every committed benchmark must still compile and
 # run (one iteration; not a timing source).
@@ -52,14 +56,17 @@ bench:
 bench-check:
 	$(GO) run ./cmd/bench -out /tmp/BENCH_check.json -baseline BENCH_tune.json
 
-# Coverage gate for the scheduler: internal/sched must stay >= 80%
-# covered by its own tests.
+# Coverage gates: the scheduler and the checkpoint codec must each stay
+# >= 80% covered by their own tests.
 cover:
-	@$(GO) test -coverprofile=/tmp/sched_cover.out ./internal/sched >/dev/null
-	@pct=$$($(GO) tool cover -func=/tmp/sched_cover.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
-	echo "internal/sched coverage: $$pct%"; \
-	awk -v p="$$pct" 'BEGIN { exit (p+0 >= 80.0) ? 0 : 1 }' || \
-		{ echo "internal/sched coverage $$pct% is below the 80% floor"; exit 1; }
+	@for pkg in internal/sched internal/snap; do \
+		name=$$(basename $$pkg); \
+		$(GO) test -coverprofile=/tmp/$${name}_cover.out ./$$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=/tmp/$${name}_cover.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct%"; \
+		awk -v p="$$pct" 'BEGIN { exit (p+0 >= 80.0) ? 0 : 1 }' || \
+			{ echo "$$pkg coverage $$pct% is below the 80% floor"; exit 1; }; \
+	done
 
 # In-repo static-analysis suite (internal/analysis): determinism,
 # float-safety, lock hygiene, unchecked errors, library panics, plus the

@@ -40,18 +40,22 @@ import (
 
 // report is the BENCH_tune.json schema.
 type report struct {
-	Model            string  `json:"model"`
-	Tasks            int     `json:"tasks"`
-	Tuner            string  `json:"tuner"`
-	Budget           int     `json:"budget"`
-	PlanSize         int     `json:"plan_size"`
-	Seed             int64   `json:"seed"`
-	Workers          int     `json:"workers"`
-	TaskConcurrency  int     `json:"task_concurrency"`
-	BudgetPolicy     string  `json:"budget_policy"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Model           string `json:"model"`
+	Tasks           int    `json:"tasks"`
+	Tuner           string `json:"tuner"`
+	Budget          int    `json:"budget"`
+	PlanSize        int    `json:"plan_size"`
+	Seed            int64  `json:"seed"`
+	Workers         int    `json:"workers"`
+	TaskConcurrency int    `json:"task_concurrency"`
+	BudgetPolicy    string `json:"budget_policy"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+	// SerialMS and ParallelWallMS are each leg's wall-clock, directly
+	// comparable to each other (Speedup is their ratio). The parallel field
+	// says "wall" explicitly to keep it from being read against
+	// parallel_phase_cpu_ms, which is CPU time and routinely larger.
 	SerialMS         float64 `json:"serial_ms"`
-	ParallelMS       float64 `json:"parallel_ms"`
+	ParallelWallMS   float64 `json:"parallel_wall_ms"`
 	Speedup          float64 `json:"speedup"`
 	IdenticalSamples bool    `json:"identical_samples"`
 	// Per-phase breakdown of each leg, in milliseconds, keyed by tuner
@@ -245,28 +249,39 @@ func sameSamples(a, b []active.Sample) bool {
 	return true
 }
 
-// checkBaseline compares the fresh report's serial candidate_selection
-// phase against a previously committed report: a regression beyond factor
-// fails the run. The baseline bytes are read by the caller before the
-// output file is written, so -baseline and -out may name the same file.
+// checkBaseline compares the fresh report's candidate_selection phase
+// against a previously committed report, for both legs: the serial phase is
+// pure single-thread math (the most stable number a shared host produces),
+// and the parallel leg's CPU-time phase catches slowdowns that only appear
+// when sessions run concurrently — contention, false sharing, per-session
+// duplicated work — which the serial gate cannot see. A regression beyond
+// factor on either leg fails the run. The baseline bytes are read by the
+// caller before the output file is written, so -baseline and -out may name
+// the same file.
 func checkBaseline(baseData []byte, path string, cur report, factor float64) error {
 	var base report
 	if err := json.Unmarshal(baseData, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	b, ok := base.SerialPhaseMS[tuner.PhaseCandidateSelection]
-	if !ok || b <= 0 {
-		return fmt.Errorf("baseline %s has no serial %s phase", path, tuner.PhaseCandidateSelection)
+	check := func(leg string, basePhases, curPhases map[string]float64) error {
+		b, ok := basePhases[tuner.PhaseCandidateSelection]
+		if !ok || b <= 0 {
+			return fmt.Errorf("baseline %s has no %s %s phase", path, leg, tuner.PhaseCandidateSelection)
+		}
+		c := curPhases[tuner.PhaseCandidateSelection]
+		limit := b * factor
+		fmt.Printf("baseline check: %s %s %.1f ms vs baseline %.1f ms (limit %.1f ms)\n",
+			leg, tuner.PhaseCandidateSelection, c, b, limit)
+		if c > limit {
+			return fmt.Errorf("%s %s regressed: %.1f ms exceeds baseline %.1f ms x %.1f = %.1f ms",
+				leg, tuner.PhaseCandidateSelection, c, b, factor, limit)
+		}
+		return nil
 	}
-	c := cur.SerialPhaseMS[tuner.PhaseCandidateSelection]
-	limit := b * factor
-	fmt.Printf("baseline check: serial %s %.1f ms vs baseline %.1f ms (limit %.1f ms)\n",
-		tuner.PhaseCandidateSelection, c, b, limit)
-	if c > limit {
-		return fmt.Errorf("serial %s regressed: %.1f ms exceeds baseline %.1f ms x %.1f = %.1f ms",
-			tuner.PhaseCandidateSelection, c, b, factor, limit)
+	if err := check("serial", base.SerialPhaseMS, cur.SerialPhaseMS); err != nil {
+		return err
 	}
-	return nil
+	return check("parallel", base.ParallelPhaseCPUMS, cur.ParallelPhaseCPUMS)
 }
 
 func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int, seed int64, workers, taskConc int, policyName, out, baseline string, maxRegress float64) error {
@@ -321,13 +336,13 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 		BudgetPolicy:       policy.Name(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		SerialMS:           float64(serialDur.Microseconds()) / 1000,
-		ParallelMS:         float64(parDur.Microseconds()) / 1000,
+		ParallelWallMS:     float64(parDur.Microseconds()) / 1000,
 		IdenticalSamples:   identical,
 		SerialPhaseMS:      serialPhases.Milliseconds(),
 		ParallelPhaseCPUMS: parPhases.Milliseconds(),
 	}
-	if r.ParallelMS > 0 {
-		r.Speedup = r.SerialMS / r.ParallelMS
+	if r.ParallelWallMS > 0 {
+		r.Speedup = r.SerialMS / r.ParallelWallMS
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -13,6 +13,12 @@
 // qualitative shape; -scale paper uses the full settings (10 trials,
 // budget 1024, early stop 400, 600 latency runs) and takes on the order of
 // an hour of CPU time.
+//
+// Paper-scale Table I runs are checkpointable: -checkpoint <prefix> streams
+// per-trial scheduler state to <prefix>.table1.<model>.<method>.trial<k>.snap
+// files, and rerunning with -resume skips trials that finished and restores
+// the interrupted one from its last checkpoint — with the same settings, the
+// resumed study's numbers match an uninterrupted run's exactly.
 package main
 
 import (
@@ -37,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override base seed")
 	taskConc := flag.Int("task-concurrency", 1, "tasks tuned concurrently by the graph scheduler in pipeline experiments")
 	budgetPolicy := flag.String("budget-policy", "uniform", "scheduler budget policy: uniform | adaptive")
+	checkpoint := flag.String("checkpoint", "", "file prefix for per-trial scheduler checkpoints (table1); interrupted studies resume with -resume")
+	resume := flag.Bool("resume", false, "continue from -checkpoint files: skip finished trials, restore in-flight ones")
 	verbose := flag.Bool("v", false, "print progress lines")
 	flag.Parse()
 
@@ -55,6 +63,12 @@ func main() {
 	}
 	cfg.TaskConcurrency = *taskConc
 	cfg.BudgetPolicy = *budgetPolicy
+	cfg.Checkpoint = *checkpoint
+	cfg.Resume = *resume
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "repro: -resume requires -checkpoint (the prefix the interrupted run wrote to)")
+		os.Exit(1)
+	}
 	if *verbose {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -66,6 +80,7 @@ func main() {
 
 	// Ctrl-C cancels the experiment context; partially-computed studies are
 	// abandoned (their numbers would be misleading) and the exit is nonzero.
+	// With -checkpoint, abandoned trials stay resumable from their files.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

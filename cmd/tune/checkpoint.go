@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// tuneCheckpointKind tags cmd/tune's checkpoint frames. The checkpoint file
+// is a snap stream: one self-contained frame per scheduler boundary,
+// appended with a single write so an interrupt at any instant leaves a
+// valid file (at worst a torn final frame, which the tolerant reader
+// drops). Resume loads the last complete frame.
+const tuneCheckpointKind = "tune-checkpoint/v1"
+
+// tuneCheckpoint is one checkpoint frame: the run inputs that must match on
+// resume (the scheduler state is only meaningful against the exact model,
+// tuner, seeds, and budget shape that produced it), the record-log position
+// the frame is aligned with, and the scheduler's serialized state.
+//
+// -workers and -task-timeout are deliberately absent: measurement results
+// are worker-count invariant, and per-task deadline clocks restart on
+// resume by design.
+type tuneCheckpoint struct {
+	Model     string `json:"model"`
+	Tuner     string `json:"tuner"`
+	Device    string `json:"device"`
+	Ops       string `json:"ops"`
+	Seed      int64  `json:"seed"`
+	Budget    int    `json:"budget"`
+	EarlyStop int    `json:"early_stop"`
+	PlanSize  int    `json:"plan_size"`
+	Runs      int    `json:"runs"`
+	TaskConc  int    `json:"task_concurrency"`
+	Policy    string `json:"budget_policy"`
+	// Records counts the record-log entries flushed before this frame was
+	// written. Resume truncates the log back to exactly this many records,
+	// discarding measurements from the interrupted tail, and continues
+	// appending from there.
+	Records int               `json:"records"`
+	Sched   *sched.Checkpoint `json:"sched"`
+
+	// path is the file this checkpoint was loaded from, so a resumed run
+	// that checkpoints to the same file appends instead of truncating.
+	path string
+}
+
+// validate rejects a resume whose flags differ from the checkpointed run's.
+func (tc *tuneCheckpoint) validate(model string, cfg runConfig, seed int64) error {
+	checks := []struct {
+		flag      string
+		got, want any
+	}{
+		{"model", tc.Model, model},
+		{"tuner", tc.Tuner, cfg.tuner},
+		{"device", tc.Device, cfg.device},
+		{"ops", tc.Ops, cfg.ops},
+		{"seed", tc.Seed, seed},
+		{"budget", tc.Budget, cfg.budget},
+		{"earlystop", tc.EarlyStop, cfg.earlyStop},
+		{"plan", tc.PlanSize, cfg.planSize},
+		{"runs", tc.Runs, cfg.runs},
+		{"task-concurrency", tc.TaskConc, cfg.taskConc},
+		{"budget-policy", tc.Policy, cfg.budgetPolicy},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("checkpoint was written with -%s %v, this run has %v (resume with the original flags)", c.flag, c.got, c.want)
+		}
+	}
+	if tc.Sched == nil {
+		return fmt.Errorf("checkpoint frame carries no scheduler state")
+	}
+	return nil
+}
+
+// sniffCheckpoint reports whether path starts with the snap magic, which
+// distinguishes a checkpoint file from a record log (JSON lines) so -resume
+// can accept either.
+func sniffCheckpoint(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	buf := make([]byte, len(snap.Magic)+1)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		// Too short to hold a frame header; treat as a (possibly empty)
+		// record log and let the record reader complain if it is neither.
+		return false, nil
+	}
+	return string(buf[:len(snap.Magic)]) == snap.Magic && buf[len(snap.Magic)] == ' ', nil
+}
+
+// loadTuneCheckpoint returns the last complete checkpoint frame in path.
+func loadTuneCheckpoint(path string) (*tuneCheckpoint, error) {
+	frames, err := snap.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	fr, ok := snap.Last(frames, tuneCheckpointKind)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint %s holds no complete %q frame", path, tuneCheckpointKind)
+	}
+	tc := &tuneCheckpoint{}
+	if err := fr.Unmarshal(tc); err != nil {
+		return nil, fmt.Errorf("decoding checkpoint %s: %w", path, err)
+	}
+	tc.path = path
+	return tc, nil
+}

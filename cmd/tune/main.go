@@ -20,6 +20,16 @@
 // and flushed at batch boundaries, so an interrupt (Ctrl-C) leaves a clean
 // checkpoint that -resume can pick up. Interrupted runs exit nonzero.
 //
+// -checkpoint goes further than the record log: every scheduler boundary
+// appends a self-contained snapshot frame (run flags, record-log position,
+// full tuner/scheduler state), each written atomically enough that Ctrl-C
+// at any instant leaves a resumable file. -resume detects a checkpoint file
+// by its magic and continues the run bit-identically — the remaining
+// measurements, the record log, and the final summary come out exactly as
+// an uninterrupted run's. Resume requires the original flags (model, tuner,
+// seed, budget shape); mismatches fail loudly. The record log, when also
+// given, is rewound to the checkpoint's position and extended in place.
+//
 // Within a model, -task-concurrency hands the task list to the graph
 // scheduler: 1 (the default) is the classic sequential pipeline, higher
 // values tune tasks concurrently in deterministic rounds with identical
@@ -52,6 +62,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/sched"
+	"repro/internal/snap"
 	"repro/internal/tuner"
 )
 
@@ -65,7 +76,10 @@ func main() {
 	runs := flag.Int("runs", 600, "end-to-end latency runs")
 	seed := flag.Int64("seed", 2021, "random seed")
 	logPath := flag.String("log", "", "stream tuning records (JSON lines) to this file")
-	resumePath := flag.String("resume", "", "resume from a previous record log (JSON lines)")
+	resumePath := flag.String("resume", "", "resume from a previous record log (JSON lines) or a -checkpoint file")
+	checkpointPath := flag.String("checkpoint", "", "stream run checkpoints to this file; -resume from it continues the run bit-identically")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "minimum new measurements between checkpoints (0: every scheduler boundary)")
+	stopAfter := flag.Int("stop-after-checkpoints", 0, "testing hook: interrupt the run after N checkpoints (0 disables)")
 	device := flag.String("device", "gtx1080ti", "simulated device: "+strings.Join(backend.Devices(), " | "))
 	workers := flag.Int("workers", 0, "measurement worker pool per task (<=0: GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "models tuned concurrently (<=0: GOMAXPROCS, capped at model count)")
@@ -84,17 +98,19 @@ func main() {
 	defer stop()
 
 	cfg := runConfig{
-		tuner:        *tunerName,
-		ops:          *ops,
-		device:       *device,
-		budget:       *budget,
-		earlyStop:    *earlyStop,
-		planSize:     *planSize,
-		runs:         *runs,
-		workers:      *workers,
-		timeout:      *timeout,
-		taskConc:     *taskConc,
-		budgetPolicy: *budgetPolicy,
+		tuner:           *tunerName,
+		ops:             *ops,
+		device:          *device,
+		budget:          *budget,
+		earlyStop:       *earlyStop,
+		planSize:        *planSize,
+		runs:            *runs,
+		workers:         *workers,
+		timeout:         *timeout,
+		taskConc:        *taskConc,
+		budgetPolicy:    *budgetPolicy,
+		checkpointEvery: *checkpointEvery,
+		stopAfter:       *stopAfter,
 	}
 	if *dryRun {
 		if err := printDryRun(os.Stdout, resolveModels(*model), cfg); err != nil {
@@ -106,10 +122,10 @@ func main() {
 	// Profiled body in its own function so deferred profile teardown runs
 	// before os.Exit.
 	if err := profiledRun(ctx, *cpuProfile, *memProfile, func(ctx context.Context) error {
-		return run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *parallel)
+		return run(ctx, resolveModels(*model), cfg, *seed, *logPath, *resumePath, *checkpointPath, *parallel)
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "tune: interrupted; record log checkpointed:", err)
+			fmt.Fprintln(os.Stderr, "tune: interrupted; record log and checkpoint flushed:", err)
 		} else {
 			fmt.Fprintln(os.Stderr, "tune:", err)
 		}
@@ -157,17 +173,19 @@ func profiledRun(ctx context.Context, cpuProfile, memProfile string, body func(c
 // runConfig carries the per-model tuning settings shared by every model of
 // a multi-model run.
 type runConfig struct {
-	tuner        string
-	ops          string
-	device       string
-	budget       int
-	earlyStop    int
-	planSize     int
-	runs         int
-	workers      int
-	timeout      time.Duration
-	taskConc     int
-	budgetPolicy string
+	tuner           string
+	ops             string
+	device          string
+	budget          int
+	earlyStop       int
+	planSize        int
+	runs            int
+	workers         int
+	timeout         time.Duration
+	taskConc        int
+	budgetPolicy    string
+	checkpointEvery int
+	stopAfter       int // testing hook: cancel the run after N checkpoints
 }
 
 func (c runConfig) extract() graph.ExtractOpts {
@@ -250,26 +268,48 @@ func newTuner(name string) (tuner.Tuner, error) {
 	}
 }
 
-func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPath, resumePath string, parallel int) error {
+func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPath, resumePath, cpPath string, parallel int) error {
 	if len(models) == 0 {
 		return fmt.Errorf("no models given")
 	}
 	var resume []record.Record
+	var resumeCp *tuneCheckpoint
 	if resumePath != "" {
-		f, err := os.Open(resumePath)
+		isCp, err := sniffCheckpoint(resumePath)
 		if err != nil {
 			return err
 		}
-		resume, err = record.Read(f)
-		f.Close()
-		if err != nil {
-			return err
+		if isCp {
+			if len(models) != 1 {
+				return fmt.Errorf("-resume with a checkpoint file drives a single model (a multi-model run writes one checkpoint per model)")
+			}
+			if resumeCp, err = loadTuneCheckpoint(resumePath); err != nil {
+				return err
+			}
+			fmt.Printf("resuming %s from checkpoint %s (round %d, %d records)\n",
+				resumeCp.Model, resumePath, resumeCp.Sched.Round, resumeCp.Records)
+		} else {
+			if cpPath != "" {
+				// A checkpoint only continues bit-identically when the resumed
+				// run rebuilds the exact inputs, and the warm-start records
+				// behind a record-log -resume are not part of the frame.
+				return fmt.Errorf("-checkpoint cannot be combined with a record-log -resume; resume from the checkpoint file instead")
+			}
+			f, err := os.Open(resumePath)
+			if err != nil {
+				return err
+			}
+			resume, err = record.Read(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resuming from %d records in %s\n", len(resume), resumePath)
 		}
-		fmt.Printf("resuming from %d records in %s\n", len(resume), resumePath)
 	}
 
 	if len(models) == 1 {
-		return runModel(ctx, os.Stdout, models[0], cfg, seed, logPath, resume)
+		return runModel(ctx, os.Stdout, models[0], cfg, seed, logPath, resume, cpPath, resumeCp)
 	}
 
 	if parallel <= 0 {
@@ -290,7 +330,11 @@ func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPat
 		if lp != "" {
 			lp = fmt.Sprintf("%s.%s", logPath, models[i])
 		}
-		errs[i] = runModel(ctx, &outs[i], models[i], cfg, seed+int64(i)*104729, lp, resume)
+		cp := cpPath
+		if cp != "" {
+			cp = fmt.Sprintf("%s.%s", cpPath, models[i])
+		}
+		errs[i] = runModel(ctx, &outs[i], models[i], cfg, seed+int64(i)*104729, lp, resume, cp, nil)
 	})
 	var firstErr error
 	for i, m := range models {
@@ -311,7 +355,7 @@ func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPat
 	return firstErr
 }
 
-func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record) (err error) {
+func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record, cpPath string, resumeCp *tuneCheckpoint) (err error) {
 	tn, err := newTuner(cfg.tuner)
 	if err != nil {
 		return err
@@ -320,6 +364,20 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 	if err != nil {
 		return err
 	}
+	if (cpPath != "" || resumeCp != nil) && !b.Seeded() {
+		// An unseeded backend's shared noise-stream position is not part of
+		// any checkpoint, so a resumed run could not continue bit-identically.
+		return fmt.Errorf("checkpointing requires a seeded backend; %s is not", cfg.device)
+	}
+	if resumeCp != nil {
+		if err := resumeCp.validate(model, cfg, seed); err != nil {
+			return err
+		}
+	}
+	// -stop-after-checkpoints interrupts through the same path Ctrl-C does:
+	// cancelling the run context after the Nth checkpoint lands.
+	ctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 	// Per-task wall-clock report, collected from completion events (which the
 	// pipeline serializes, so plain map writes are safe).
 	elapsed := make(map[string]time.Duration)
@@ -349,19 +407,32 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 	}
 
 	// Stream the record log: one JSON line per measurement, flushed at each
-	// batch boundary so an interrupt loses at most one in-progress batch.
+	// batch boundary so an interrupt loses at most one in-progress batch. A
+	// checkpoint resume first rewinds the log to the records the checkpoint
+	// counted, then appends from there with the count carried over so batch
+	// boundaries land exactly where an uninterrupted run's would.
 	var sw *record.StreamWriter
 	if logPath != "" {
-		f, err := os.Create(logPath)
-		if err != nil {
-			return err
+		var f *os.File
+		if resumeCp != nil {
+			if err := record.TruncatePrefix(logPath, resumeCp.Records); err != nil {
+				return err
+			}
+			if f, err = os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+				return err
+			}
+			sw = record.NewStreamWriterAt(f, resumeCp.Records)
+		} else {
+			if f, err = os.Create(logPath); err != nil {
+				return err
+			}
+			sw = record.NewStreamWriter(f)
 		}
 		defer func() {
 			if cerr := f.Close(); cerr != nil && err == nil {
 				err = cerr
 			}
 		}()
-		sw = record.NewStreamWriter(f)
 		opts.OnRecord = func(rec record.Record) {
 			if aerr := sw.Append(rec); aerr != nil {
 				return // latched; reported at the final Flush below
@@ -372,12 +443,61 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 		}
 	}
 
+	// Stream checkpoints: each scheduler boundary appends one self-contained
+	// frame with a single write, so an interrupt at any instant leaves a
+	// valid checkpoint file. The record log flushes first — a frame's record
+	// count must never exceed what the log actually holds.
+	var cpErr error
+	if cpPath != "" {
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if resumeCp != nil && resumeCp.path == cpPath {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		cpFile, oerr := os.OpenFile(cpPath, mode, 0o644)
+		if oerr != nil {
+			return oerr
+		}
+		defer func() {
+			if cerr := cpFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		checkpoints := 0
+		opts.CheckpointEvery = cfg.checkpointEvery
+		opts.OnCheckpoint = func(cp *sched.Checkpoint) {
+			count := 0
+			if sw != nil {
+				_ = sw.Flush() // latched; reported at the final Flush below
+				count = sw.Count()
+			}
+			tc := &tuneCheckpoint{
+				Model: model, Tuner: cfg.tuner, Device: cfg.device, Ops: cfg.ops,
+				Seed: seed, Budget: cfg.budget, EarlyStop: cfg.earlyStop,
+				PlanSize: cfg.planSize, Runs: cfg.runs, TaskConc: cfg.taskConc,
+				Policy: cfg.budgetPolicy, Records: count, Sched: cp,
+			}
+			if aerr := snap.Append(cpFile, tuneCheckpointKind, tc); aerr != nil && cpErr == nil {
+				cpErr = aerr
+			}
+			checkpoints++
+			if cfg.stopAfter > 0 && checkpoints >= cfg.stopAfter {
+				cancelRun()
+			}
+		}
+	}
+	if resumeCp != nil {
+		opts.ResumeCheckpoint = resumeCp.Sched
+	}
+
 	dep, derr := core.OptimizeModel(ctx, model, tn, b, opts)
 	if sw != nil {
 		if ferr := sw.Flush(); ferr != nil && derr == nil {
 			return ferr
 		}
 		fmt.Fprintf(w, "streamed %d records to %s\n", sw.Count(), logPath)
+	}
+	if cpErr != nil && derr == nil {
+		return cpErr
 	}
 	if derr != nil {
 		return derr

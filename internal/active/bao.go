@@ -151,8 +151,10 @@ type BAOParams struct {
 	// Stop, when non-nil, is polled before every iteration; a true return
 	// ends the loop immediately. The tuning engine uses it for cooperative
 	// cancellation, so BAO's expensive per-step bootstrap trainings never
-	// run on after the session's context is done.
-	Stop func() bool
+	// run on after the session's context is done. Being a hook, it is not
+	// part of a run's serializable state: RestoreBAORun leaves it nil and
+	// the restoring driver re-imposes its own stopping policy.
+	Stop func() bool `json:"-"`
 }
 
 // DefaultBAOParams returns the paper's experimental settings.
@@ -211,8 +213,8 @@ type StepObserver func(step int, s Sample)
 // measurement order. BAO is the one-shot driver over BAORun; stepwise
 // callers (the tuner session layer) use NewBAORun/Step directly.
 func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p BAOParams, rng *rand.Rand, obs StepObserver) []Sample {
-	r := NewBAORun(sp, tr, init, p, rng)
-	for !r.Step(measure, obs) {
+	r := NewBAORun(sp, tr, init, p)
+	for !r.Step(rng, measure, obs) {
 	}
 	return r.Samples()
 }
@@ -223,11 +225,15 @@ func BAO(sp *space.Space, tr EvalTrainer, init []Sample, measure MeasureFunc, p 
 // searching scope, select via bootstrap, deploy one configuration — and is
 // bit-identical to the corresponding iteration of the one-shot BAO call
 // (the RNG is consumed in the same order). A BAORun is single-goroutine.
+//
+// The run holds no RNG of its own: the driver passes one to every Step, so
+// the whole iteration state is plain serializable data (State/
+// RestoreBAORun) and the RNG's continuity is the driver's concern — the
+// tuner layer threads a counted rng.Source through, snapshotted alongside.
 type BAORun struct {
 	sp           *space.Space
 	tr           EvalTrainer
 	p            BAOParams
-	rng          *rand.Rand
 	samples      []Sample
 	measured     map[uint64]bool
 	bestIdx      int // incumbent index into samples; -1 while nothing valid
@@ -239,8 +245,8 @@ type BAORun struct {
 
 // NewBAORun prepares a run over the measured initialization set. Iteration
 // only happens in Step; construction consumes no randomness.
-func NewBAORun(sp *space.Space, tr EvalTrainer, init []Sample, p BAOParams, rng *rand.Rand) *BAORun {
-	r := &BAORun{sp: sp, tr: tr, p: p.normalized(), rng: rng, t: 1, bestIdx: -1}
+func NewBAORun(sp *space.Space, tr EvalTrainer, init []Sample, p BAOParams) *BAORun {
+	r := &BAORun{sp: sp, tr: tr, p: p.normalized(), t: 1, bestIdx: -1}
 	r.samples = append([]Sample(nil), init...)
 	r.measured = make(map[uint64]bool, len(r.samples)+r.p.T)
 	for _, s := range r.samples {
@@ -271,8 +277,9 @@ func (r *BAORun) Samples() []Sample { return r.samples }
 
 // Step performs one iteration of Algorithm 4, deploying (at most) one
 // configuration through measure, and reports whether the run is finished.
-// A finished run's Step is a no-op returning true.
-func (r *BAORun) Step(measure MeasureFunc, obs StepObserver) bool {
+// A finished run's Step is a no-op returning true. All randomness of the
+// iteration is drawn from rng, in a fixed order.
+func (r *BAORun) Step(rng *rand.Rand, measure MeasureFunc, obs StepObserver) bool {
 	if r.Done() {
 		r.stopped = true
 		return true
@@ -294,20 +301,20 @@ func (r *BAORun) Step(measure MeasureFunc, obs StepObserver) bool {
 	useGlobal := r.p.GlobalFallbackAfter > 0 && r.sinceImprove >= r.p.GlobalFallbackAfter
 	if r.bestIdx >= 0 && !useGlobal {
 		cands = r.sp.Neighborhood(r.samples[r.bestIdx].Config, radius,
-			space.NeighborhoodOpts{MaxCandidates: r.p.MaxCandidates, Exclude: r.measured}, r.rng)
+			space.NeighborhoodOpts{MaxCandidates: r.p.MaxCandidates, Exclude: r.measured}, rng)
 	} else if useGlobal {
-		cands = globalPool(r.sp, r.p.MaxCandidates, r.measured, r.rng)
+		cands = globalPool(r.sp, r.p.MaxCandidates, r.measured, rng)
 	}
 	var next space.Config
 	picked := false
 	if len(cands) > 0 {
-		if i, err := BootstrapSelect(r.tr, r.samples, cands, r.p.Gamma, r.rng); err == nil {
+		if i, err := BootstrapSelect(r.tr, r.samples, cands, r.p.Gamma, rng); err == nil {
 			next = cands[i]
 			picked = true
 		}
 	}
 	if !picked {
-		c, ok := randomUnmeasured(r.sp, r.measured, r.rng)
+		c, ok := randomUnmeasured(r.sp, r.measured, rng)
 		if !ok {
 			// The space is effectively exhausted: a re-measurement would
 			// only duplicate a known sample and burn a budget step.

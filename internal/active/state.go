@@ -1,0 +1,111 @@
+package active
+
+import (
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// SampleState is the serializable form of Sample: the knob indices of the
+// configuration plus the measurement. Indices (not flat codes) keep the
+// encoding self-describing and validatable against the space on restore;
+// GFLOPS round-trips bit-exactly through JSON (Go emits the shortest form
+// that parses back to the same float64).
+type SampleState struct {
+	Config []int   `json:"config"`
+	GFLOPS float64 `json:"gflops"`
+	Valid  bool    `json:"valid"`
+}
+
+// SamplesToState converts measured samples to their serializable form.
+func SamplesToState(samples []Sample) []SampleState {
+	out := make([]SampleState, len(samples))
+	for i, s := range samples {
+		out[i] = SampleState{
+			Config: append([]int(nil), s.Config.Index...),
+			GFLOPS: s.GFLOPS,
+			Valid:  s.Valid,
+		}
+	}
+	return out
+}
+
+// SamplesFromState rebinds serialized samples to the space, validating
+// every configuration.
+func SamplesFromState(sp *space.Space, st []SampleState) ([]Sample, error) {
+	out := make([]Sample, len(st))
+	for i, s := range st {
+		c, err := sp.FromIndices(s.Config)
+		if err != nil {
+			return nil, fmt.Errorf("active: sample %d: %w", i, err)
+		}
+		out[i] = Sample{Config: c, GFLOPS: s.GFLOPS, Valid: s.Valid}
+	}
+	return out, nil
+}
+
+// BAOState is the serializable state of a BAORun at a Step boundary.
+// Everything a continuation needs is explicit: the normalized parameters
+// (minus the non-serializable Stop hook), every sample in measurement
+// order, and the incumbent/trajectory/stall counters. The measured set is
+// rebuilt from the samples on restore.
+type BAOState struct {
+	Params       BAOParams     `json:"params"`
+	Samples      []SampleState `json:"samples"`
+	BestIdx      int           `json:"best_idx"`
+	BestTrace    []float64     `json:"best_trace"`
+	SinceImprove int           `json:"since_improve"`
+	T            int           `json:"t"`
+	Stopped      bool          `json:"stopped"`
+}
+
+// State captures the run at a Step boundary. Restoring through
+// RestoreBAORun and continuing with the same RNG stream is bit-identical
+// to never having stopped.
+func (r *BAORun) State() BAOState {
+	return BAOState{
+		Params:       r.p,
+		Samples:      SamplesToState(r.samples),
+		BestIdx:      r.bestIdx,
+		BestTrace:    append([]float64(nil), r.bestTrace...),
+		SinceImprove: r.sinceImprove,
+		T:            r.t,
+		Stopped:      r.stopped,
+	}
+}
+
+// RestoreBAORun rebuilds a run from a State captured on the same search
+// space. The trainer is supplied fresh (trainers are pure functions of
+// their arguments and carry no run state); Params.Stop is left nil — the
+// restoring driver re-imposes its own stopping policy.
+func RestoreBAORun(sp *space.Space, tr EvalTrainer, st BAOState) (*BAORun, error) {
+	samples, err := SamplesFromState(sp, st.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("active: restore BAO run: %w", err)
+	}
+	if st.BestIdx >= len(samples) {
+		return nil, fmt.Errorf("active: restore BAO run: best index %d out of range (%d samples)", st.BestIdx, len(samples))
+	}
+	if len(st.BestTrace) == 0 {
+		return nil, fmt.Errorf("active: restore BAO run: empty best trace")
+	}
+	r := &BAORun{
+		sp:           sp,
+		tr:           tr,
+		p:            st.Params.normalized(),
+		samples:      samples,
+		bestIdx:      st.BestIdx,
+		bestTrace:    append([]float64(nil), st.BestTrace...),
+		sinceImprove: st.SinceImprove,
+		t:            st.T,
+		stopped:      st.Stopped,
+	}
+	if r.bestIdx < 0 {
+		r.bestIdx = -1
+	}
+	r.measured = make(map[uint64]bool, len(samples)+r.p.T)
+	for _, s := range samples {
+		r.measured[s.Config.Flat()] = true
+	}
+	return r, nil
+}

@@ -92,6 +92,7 @@ func All() []Analyzer {
 		ParFold{},
 		SeedFlow{},
 		ErrCmp{},
+		RNGField{},
 		DeadIgnore{},
 	}
 }

@@ -32,6 +32,7 @@ var fixturePkgs = []struct {
 	{name: "parfold"},
 	{name: "seedflow"},
 	{name: "errcmp"},
+	{name: "rngfield"},
 	{name: "deadignore"},
 }
 

@@ -1,0 +1,53 @@
+// Package rngfield is a fixture for the rngfield analyzer: snapshot-intent
+// structs (…Session, …State, …Run, …Snapshot, …Checkpoint) holding bare
+// math/rand generators are flagged; transient RNG holders without snapshot
+// intent, serializable counted state, and suppressed sites are not.
+package rngfield
+
+import "math/rand"
+
+// SearchSession looks serializable but embeds an unserializable generator.
+type SearchSession struct {
+	Step int
+	rng  *rand.Rand
+}
+
+// WalkState hides the generator behind the Source interface — the dynamic
+// state is just as unserializable.
+type WalkState struct {
+	src rand.Source
+}
+
+// ChainRun does the same through Source64.
+type ChainRun struct {
+	Src rand.Source64
+}
+
+// Sampler carries an injected generator but announces no snapshot intent;
+// transient pass-through holders are fine.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// CountedState is what serializable state should look like: plain values
+// that a codec can round-trip.
+type CountedState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// scratchState is a per-call scratch struct whose name collides with the
+// suffix list; the directive records why it is exempt.
+type scratchState struct {
+	//lint:ignore rngfield transient per-call scratch, never snapshotted
+	rng *rand.Rand
+	sum float64
+}
+
+// use keeps the unexported fixtures referenced.
+func use(s SearchSession, w WalkState, sc scratchState, sm Sampler) (int, rand.Source, *rand.Rand, *rand.Rand) {
+	_ = sc.sum
+	return s.Step, w.src, sc.rng, sm.rng
+}
+
+var _ = use

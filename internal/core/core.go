@@ -88,6 +88,22 @@ type PipelineOptions struct {
 	// "adaptive" reallocates the graph-wide budget each round toward the
 	// tasks with the highest marginal GFLOPS gain.
 	BudgetPolicy string
+	// OnCheckpoint, when non-nil, receives the scheduler's serializable run
+	// state at boundaries (see sched.Options.OnCheckpoint). Like every
+	// other pipeline callback it is serialized under the callback mutex.
+	OnCheckpoint func(*sched.Checkpoint)
+	// CheckpointEvery rate-limits checkpoints by new measurements
+	// (sched.Options.CheckpointEvery); 0 captures at every boundary.
+	CheckpointEvery int
+	// ResumeCheckpoint continues a previous run from a scheduler
+	// checkpoint instead of starting fresh. The caller must rebuild the
+	// pipeline with the same model, tuner, backend seeds, and options the
+	// original run used (including Resume records, if any); restored
+	// outcomes are returned without re-firing OnTaskDone, and their
+	// deployment configurations are re-selected deterministically. Only
+	// seeded backends continue bit-identically: an unseeded backend's
+	// shared noise-stream position is not part of the checkpoint.
+	ResumeCheckpoint *sched.Checkpoint
 }
 
 // TaskEvent is the per-task completion report delivered to OnTaskDone.
@@ -257,13 +273,38 @@ func OptimizeGraph(ctx context.Context, g *graph.Graph, tn tuner.Tuner, b backen
 			cbMu.Unlock()
 		}
 	}
+	sopts.CheckpointEvery = opts.CheckpointEvery
+	sopts.Resume = opts.ResumeCheckpoint
+	if opts.OnCheckpoint != nil {
+		sopts.OnCheckpoint = func(cp *sched.Checkpoint) {
+			cbMu.Lock()
+			opts.OnCheckpoint(cp)
+			cbMu.Unlock()
+		}
+	}
 
-	if _, err := sched.Run(ctx, tuner.AsOpener(tn), b, specs, sopts); err != nil {
+	outs, err := sched.Run(ctx, tuner.AsOpener(tn), b, specs, sopts)
+	if err != nil {
 		var te *sched.TaskError
 		if errors.As(err, &te) {
 			return nil, fmt.Errorf("core: tuning task %s: %w", te.TaskName, te.Err)
 		}
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Outcomes restored from a resumed checkpoint never pass through
+	// OnTaskDone (scheduler callbacks fire only for post-checkpoint events),
+	// so their deployment selections are filled in here. selectDeployConfig
+	// derives per-config measurement seeds on seeded backends, making the
+	// late selection bit-identical to the original boundary-time one.
+	for _, o := range outs {
+		if taskOuts[o.Index].Task != nil {
+			continue
+		}
+		task := specs[o.Index].Task
+		deployed := selectDeployConfig(task, o.Result, b,
+			specs[o.Index].Opts.Seed, opts.ReMeasureTopK, opts.ReMeasureRepeats)
+		taskOuts[o.Index] = TaskOutcome{Task: task, Result: o.Result, Deployed: deployed}
+		hdeps[o.Index] = hwsim.Deployment{Workload: task.Workload, Config: deployed, Count: task.Count}
 	}
 	for i := range taskOuts {
 		dep.Tasks = append(dep.Tasks, taskOuts[i])

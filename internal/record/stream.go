@@ -2,6 +2,7 @@ package record
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,17 @@ type StreamWriter struct {
 func NewStreamWriter(w io.Writer) *StreamWriter {
 	bw := bufio.NewWriter(w)
 	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewStreamWriterAt is NewStreamWriter for a log that already holds count
+// records: a resumed run opens the truncated log in append mode and keeps
+// counting from where the interrupted run's checkpoint left off, so batch
+// boundaries (Count modulo plan size) land where an uninterrupted run's
+// would.
+func NewStreamWriterAt(w io.Writer, count int) *StreamWriter {
+	s := NewStreamWriter(w)
+	s.count = count
+	return s
 }
 
 // Append encodes one record. After the first failure every later call
@@ -66,6 +78,36 @@ func (s *StreamWriter) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.count
+}
+
+// TruncatePrefix rewrites the log at path down to its first n records,
+// discarding measurements recorded after the checkpoint a resuming run is
+// rewinding to. The log is read tolerantly (a torn final line from the
+// interrupting crash is dropped) but must still hold at least n records —
+// a shorter log means it does not belong to the checkpoint's run. The
+// rewrite goes through WriteFileAtomic, so a crash mid-truncation leaves
+// either the old or the new log, never a blend.
+func TruncatePrefix(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("record: truncating %s: %w", path, err)
+	}
+	recs, err := Read(f)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("record: truncating %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("record: truncating %s: %w", path, closeErr)
+	}
+	if len(recs) < n {
+		return fmt.Errorf("record: %s holds %d records, cannot rewind to %d (log does not match the checkpoint)", path, len(recs), n)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs[:n]); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // WriteFileAtomic writes data to path via a temporary file in the same

@@ -107,6 +107,58 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 }
 
+func TestTruncatePrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.jsonl")
+	recs := make([]Record, 5)
+	for i := range recs {
+		recs[i] = Record{Task: "t", Workload: "w", Tuner: "random", Step: i + 1, Config: []int{i}, GFLOPS: float64(i), Valid: true}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	// A torn final line (crash mid-append) must not count as a record.
+	if err := os.WriteFile(path, append(buf.Bytes(), []byte(`{"task":"t","wo`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncatePrefix(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Step != 3 {
+		t.Fatalf("truncated log = %+v", got)
+	}
+	if err := TruncatePrefix(path, 4); err == nil {
+		t.Fatal("rewinding past the end of the log must error")
+	}
+	if err := TruncatePrefix(filepath.Join(dir, "missing.jsonl"), 0); err == nil {
+		t.Fatal("truncating a missing log must error")
+	}
+}
+
+func TestStreamWriterAtContinuesCount(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriterAt(&buf, 7)
+	if sw.Count() != 7 {
+		t.Fatalf("initial count = %d, want 7", sw.Count())
+	}
+	if err := sw.Append(Record{Task: "t", Workload: "w", Step: 8, Config: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != 8 {
+		t.Fatalf("count after append = %d, want 8", sw.Count())
+	}
+}
+
 func TestWriteFileAtomicBadDir(t *testing.T) {
 	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "f.txt"), []byte("x"), 0o644)
 	if err == nil {

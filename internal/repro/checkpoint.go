@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// Checkpointing for long studies. With Config.Checkpoint set, every trial
+// pipeline streams its scheduler state to a per-trial snap file named
+// "<prefix>.<study>.<model>.<method>.trial<k>.snap"; a trial that finishes
+// stamps a terminal result frame into the same file. Config.Resume walks
+// those files before re-running anything: trials with a result frame are
+// skipped outright (their stored numbers are reused), trials with only
+// checkpoint frames continue from the last one, and everything else runs
+// from scratch. The resuming Config must match the interrupted run's —
+// mismatched inputs fail loudly when the scheduler or a tuner session
+// rejects its snapshot.
+const (
+	trialCheckpointKind = "repro-checkpoint/v1"
+	trialResultKind     = "repro-result/v1"
+)
+
+// trialResult is the terminal frame of a completed trial's checkpoint file.
+type trialResult struct {
+	LatencyMS float64 `json:"latency_ms"`
+	Variance  float64 `json:"variance"`
+}
+
+// trialCheckpointPath names one trial's checkpoint file under the prefix.
+func (c Config) trialCheckpointPath(study, model, method string, trial int) string {
+	m := strings.ToLower(strings.ReplaceAll(method, "+", "-"))
+	return fmt.Sprintf("%s.%s.%s.%s.trial%d.snap", c.Checkpoint, study, model, m, trial)
+}
+
+// checkpointStride spaces checkpoints by new measurements: the explicit
+// override when given, otherwise about four frames per task budget so a
+// paper-scale study stays resumable without drowning in frames.
+func (c Config) checkpointStride() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return c.Budget / 4
+}
+
+// runTrialPipeline runs one (study, model, method, trial) pipeline with the
+// Config's checkpointing applied, returning the trial's latency statistics.
+func runTrialPipeline(ctx context.Context, cfg Config, study, model string, mi, trial int, b backend.Backend, popts core.PipelineOptions) (latencyMS, variance float64, err error) {
+	if cfg.Checkpoint == "" {
+		dep, err := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
+		if err != nil {
+			return 0, 0, err
+		}
+		return dep.LatencyMS, dep.Variance, nil
+	}
+
+	path := cfg.trialCheckpointPath(study, model, Methods[mi], trial)
+	appendMode := false
+	if cfg.Resume {
+		frames, rerr := snap.ReadFile(path)
+		switch {
+		case rerr == nil:
+			if fr, ok := snap.Last(frames, trialResultKind); ok {
+				var tr trialResult
+				if err := fr.Unmarshal(&tr); err != nil {
+					return 0, 0, fmt.Errorf("repro: decoding result in %s: %w", path, err)
+				}
+				cfg.progress("%s %s %s trial %d/%d: complete in checkpoint, skipping", study, model, Methods[mi], trial+1, cfg.Trials)
+				return tr.LatencyMS, tr.Variance, nil
+			}
+			if fr, ok := snap.Last(frames, trialCheckpointKind); ok {
+				cp := &sched.Checkpoint{}
+				if err := fr.Unmarshal(cp); err != nil {
+					return 0, 0, fmt.Errorf("repro: decoding checkpoint in %s: %w", path, err)
+				}
+				popts.ResumeCheckpoint = cp
+				appendMode = true
+				cfg.progress("%s %s %s trial %d/%d: resuming from round %d", study, model, Methods[mi], trial+1, cfg.Trials, cp.Round)
+			}
+		case errors.Is(rerr, os.ErrNotExist):
+			// Nothing checkpointed for this trial yet; run it from scratch.
+		default:
+			return 0, 0, rerr
+		}
+	}
+
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if appendMode {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	// Frame appends are single writes, so an interrupt mid-study leaves at
+	// worst a torn final frame that the tolerant reader drops on resume.
+	var cpErr error
+	popts.CheckpointEvery = cfg.checkpointStride()
+	popts.OnCheckpoint = func(cp *sched.Checkpoint) {
+		if aerr := snap.Append(f, trialCheckpointKind, cp); aerr != nil && cpErr == nil {
+			cpErr = aerr
+		}
+	}
+
+	dep, derr := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
+	if derr != nil {
+		return 0, 0, derr
+	}
+	if cpErr != nil {
+		return 0, 0, fmt.Errorf("repro: checkpointing %s: %w", path, cpErr)
+	}
+	if aerr := snap.Append(f, trialResultKind, trialResult{LatencyMS: dep.LatencyMS, Variance: dep.Variance}); aerr != nil {
+		return 0, 0, fmt.Errorf("repro: finalizing %s: %w", path, aerr)
+	}
+	return dep.LatencyMS, dep.Variance, nil
+}

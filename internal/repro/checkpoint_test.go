@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// TestTable1CheckpointResume runs a checkpointed Table I study three ways —
+// uninterrupted, resumed-with-everything-complete (every trial skipped via
+// its result frame), and resumed mid-trial (one result frame stripped so
+// that trial restores from its last scheduler checkpoint) — and demands
+// identical numbers from all of them.
+func TestTable1CheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tunes a whole model x 3 methods, repeatedly")
+	}
+	cfg := tinyCfg()
+	cfg.Budget = 24
+	cfg.PlanSize = 8
+	cfg.EarlyStop = -1
+	cfg.CheckpointEvery = 8
+	models := []string{"squeezenet-v1.1"}
+
+	ref, err := Table1(context.Background(), cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%+v", ref)
+
+	dir := t.TempDir()
+	cfg.Checkpoint = filepath.Join(dir, "study")
+	checkpointed, err := Table1(context.Background(), cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%+v", checkpointed); got != want {
+		t.Fatalf("checkpointing changed the results:\nwant %s\ngot  %s", want, got)
+	}
+	files, err := filepath.Glob(cfg.Checkpoint + ".table1.*")
+	if err != nil || len(files) != len(Methods)*cfg.Trials {
+		t.Fatalf("trial files = %v (err %v), want %d", files, err, len(Methods)*cfg.Trials)
+	}
+
+	// Every trial carries a result frame, so a resume reuses the stored
+	// numbers without tuning anything.
+	cfg.Resume = true
+	var lines []string
+	cfg.Progress = func(s string) { lines = append(lines, s) }
+	skipped, err := Table1(context.Background(), cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%+v", skipped); got != want {
+		t.Fatalf("resume from complete study diverged:\nwant %s\ngot  %s", want, got)
+	}
+	var skips int
+	for _, l := range lines {
+		if strings.Contains(l, "skipping") {
+			skips++
+		}
+	}
+	if skips != len(Methods)*cfg.Trials {
+		t.Fatalf("skipped %d trials, want %d (progress: %q)", skips, len(Methods)*cfg.Trials, lines)
+	}
+
+	// Strip one trial's result frame, keeping only its last scheduler
+	// checkpoint — exactly what an interrupt mid-trial leaves behind. The
+	// resumed study must restore that trial and land on the same numbers.
+	cfg.Progress = nil
+	path := cfg.trialCheckpointPath("table1", models[0], Methods[2], 0)
+	frames, err := snap.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := snap.Last(frames, trialCheckpointKind)
+	if !ok {
+		t.Fatalf("%s holds no checkpoint frame", path)
+	}
+	cp := &sched.Checkpoint{}
+	if err := fr.Unmarshal(cp); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Append(f, trialCheckpointKind, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Table1(context.Background(), cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%+v", resumed); got != want {
+		t.Fatalf("mid-trial resume diverged:\nwant %s\ngot  %s", want, got)
+	}
+	// The restored trial must have stamped a fresh result frame.
+	frames, err = snap.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Last(frames, trialResultKind); !ok {
+		t.Fatalf("%s missing result frame after resume", path)
+	}
+}
+
+func TestConfigCheckpointNaming(t *testing.T) {
+	c := Config{Checkpoint: "/tmp/x", Budget: 64}
+	got := c.trialCheckpointPath("table1", "mobilenet-v1", "BTED+BAO", 3)
+	if got != "/tmp/x.table1.mobilenet-v1.bted-bao.trial3.snap" {
+		t.Fatalf("path = %q", got)
+	}
+	if c.checkpointStride() != 16 {
+		t.Fatalf("stride = %d", c.checkpointStride())
+	}
+	c.CheckpointEvery = 5
+	if c.checkpointStride() != 5 {
+		t.Fatalf("override stride = %d", c.checkpointStride())
+	}
+}

@@ -50,6 +50,20 @@ type Config struct {
 	// BudgetPolicy selects the scheduler's budget policy by name ("",
 	// "uniform", or "adaptive"); see core.PipelineOptions.
 	BudgetPolicy string
+	// Checkpoint, when non-empty, is a file prefix: each trial of a
+	// checkpointed study (currently Table1) streams its scheduler state to
+	// "<prefix>.<study>.<model>.<method>.trial<k>.snap" and stamps a result
+	// frame on completion, so an interrupted study can continue instead of
+	// restarting (see checkpoint.go).
+	Checkpoint string
+	// Resume continues from the Checkpoint prefix's files: finished trials
+	// are skipped (their stored results reused), in-flight trials restore
+	// from their last checkpoint frame. The rest of the Config must match
+	// the interrupted run's.
+	Resume bool
+	// CheckpointEvery spaces checkpoints by new measurements; 0 derives a
+	// stride of a quarter of the per-task budget.
+	CheckpointEvery int
 	// Progress, when non-nil, receives coarse progress lines.
 	Progress func(string)
 }

@@ -57,12 +57,12 @@ func Table1(ctx context.Context, cfg Config, models []string) (*Table1Result, er
 					TaskConcurrency: cfg.TaskConcurrency,
 					BudgetPolicy:    cfg.BudgetPolicy,
 				}
-				dep, err := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
+				lat, v, err := runTrialPipeline(ctx, cfg, "table1", model, mi, trial, b, popts)
 				if err != nil {
 					return nil, err
 				}
-				lats = append(lats, dep.LatencyMS)
-				vars = append(vars, dep.Variance)
+				lats = append(lats, lat)
+				vars = append(vars, v)
 			}
 			row.LatencyMS[mi] = meanOf(lats)
 			row.Variance[mi] = meanOf(vars)

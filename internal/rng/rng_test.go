@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// The whole determinism story hangs off this: a Rand built over Source
+// must emit exactly the stream rand.New(rand.NewSource(seed)) does, across
+// every method the tuners call.
+func TestStreamMatchesStdlibSeeded(t *testing.T) {
+	for _, seed := range []int64{0, 1, 17, -5, 1 << 40} {
+		want := rand.New(rand.NewSource(seed))
+		got := New(seed).Rand()
+		for i := 0; i < 2000; i++ {
+			switch i % 6 {
+			case 0:
+				if w, g := want.Int63(), got.Int63(); w != g {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, g, w)
+				}
+			case 1:
+				if w, g := want.Uint64(), got.Uint64(); w != g {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, g, w)
+				}
+			case 2:
+				if w, g := want.Float64(), got.Float64(); w != g {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, g, w)
+				}
+			case 3:
+				if w, g := want.Intn(97), got.Intn(97); w != g {
+					t.Fatalf("seed %d draw %d: Intn %d != %d", seed, i, g, w)
+				}
+			case 4:
+				if w, g := want.Int63n(1<<50), got.Int63n(1<<50); w != g {
+					t.Fatalf("seed %d draw %d: Int63n %d != %d", seed, i, g, w)
+				}
+			case 5:
+				wp, gp := want.Perm(7), got.Perm(7)
+				for j := range wp {
+					if wp[j] != gp[j] {
+						t.Fatalf("seed %d draw %d: Perm %v != %v", seed, i, gp, wp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Snapshot mid-stream, restore, and the continuation must be the same
+// instance of the stream — bit-identical, draw for draw.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	for _, cut := range []int{0, 1, 13, 250} {
+		src := New(17)
+		r := src.Rand()
+		for i := 0; i < cut; i++ {
+			r.Float64()
+			r.Intn(10)
+		}
+		st := src.State()
+
+		// Reference continuation from the live source.
+		var want []uint64
+		ref := FromState(st)
+		for i := 0; i < 200; i++ {
+			want = append(want, ref.Rand().Uint64())
+		}
+		for i := 0; i < 200; i++ {
+			if g := r.Uint64(); g != want[i] {
+				t.Fatalf("cut %d draw %d: restored %d != live %d", cut, i, want[i], g)
+			}
+		}
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	src := New(-99)
+	for i := 0; i < 37; i++ {
+		src.Rand().Int63()
+	}
+	st := src.State()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got State
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("round trip %+v != %+v", got, st)
+	}
+	if a, b := FromState(got).Rand().Uint64(), FromState(st).Rand().Uint64(); a != b {
+		t.Fatalf("restored streams diverge: %d != %d", a, b)
+	}
+}
+
+// Reseeding resets the counter so a snapshot taken after Seed reflects the
+// new stream.
+func TestSeedResetsCounter(t *testing.T) {
+	src := New(3)
+	src.Rand().Int63()
+	src.Seed(11)
+	if st := src.State(); st != (State{Seed: 11, N: 0}) {
+		t.Fatalf("state after Seed = %+v", st)
+	}
+	if a, b := src.Int63(), rand.NewSource(11).Int63(); a != b {
+		t.Fatalf("post-Seed stream %d != fresh source %d", a, b)
+	}
+}

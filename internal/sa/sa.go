@@ -291,6 +291,7 @@ func findMaxima(sp *space.Space, mk func() scorer, k int, exclude map[uint64]boo
 	// per-chain bests merge in chain order — Workers only schedules, it
 	// never changes what is computed.
 	type chainState struct {
+		//lint:ignore rngfield per-call scratch for one findMaxima invocation, never snapshotted
 		rng     *rand.Rand
 		sc      scorer
 		walkers int

@@ -97,6 +97,29 @@ type Options struct {
 	// the next round boundary (in task-index order) in the round driver.
 	// Both drivers invoke it from a single goroutine, never concurrently.
 	OnTaskDone func(Outcome)
+	// OnCheckpoint, when non-nil, receives the run's serializable state at
+	// boundaries (see Checkpoint): round boundaries in the round driver,
+	// step and finalization boundaries in the sequential one. It is invoked
+	// from the driver goroutine, never concurrently with stepping, and the
+	// checkpoint is fully detached — the callback may serialize it at
+	// leisure. A session that cannot snapshot aborts the run with a
+	// *TaskError the first time a checkpoint is due.
+	OnCheckpoint func(*Checkpoint)
+	// CheckpointEvery is the minimum number of new measurements between
+	// checkpoints; boundaries reached earlier are skipped. 0 captures at
+	// every boundary. The run-completing boundary always captures, so the
+	// final checkpoint of a finished run has every task finalized.
+	CheckpointEvery int
+	// Resume, when non-nil, continues a previous run from its checkpoint
+	// instead of starting fresh. The caller supplies the same specs,
+	// backend, policy, and concurrency it originally ran with — with fresh
+	// (empty) transfer histories, which resume repopulates from the
+	// checkpoint — and the continued run's outcomes are bit-identical to
+	// the uninterrupted run's. Callbacks fire only for events after the
+	// checkpoint; outcomes restored from it are returned but not re-fired
+	// through OnTaskDone. Per-task deadlines restart at the first
+	// post-resume step.
+	Resume *Checkpoint
 }
 
 // TaskError reports the fatal failure of one task, aborting the run.
@@ -153,39 +176,162 @@ func Run(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []Spec, 
 // runSequential is the legacy pipeline driver: open, drive to completion
 // and finalize each task in order, with the shared transfer history chaining
 // live from task to task. Bit-identical to the pre-scheduler per-task loop.
+// The Drive loop is inlined as an explicit step loop so a checkpoint can be
+// captured at every step boundary and after every finalization.
 func runSequential(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []Spec, opts Options) ([]Outcome, error) {
 	outs := make([]Outcome, 0, len(specs))
-	for i, sp := range specs {
-		if opts.OnTaskStart != nil {
+	var published []int // indices in transfer-publication order
+	first := 0
+	var liveState *tuner.SessionState
+	var liveElapsed time.Duration
+	totalDone := 0 // measurements recorded by finalized tasks
+	lastCp := 0    // totalMeasured at the last captured checkpoint
+
+	if cp := opts.Resume; cp != nil {
+		if err := cp.validate(DriverSequential, specs); err != nil {
+			return nil, err
+		}
+		// Finalized tasks form a prefix in this driver; rebuild their
+		// outcomes and replay their transfer publications.
+		for i, tc := range cp.Tasks {
+			if tc.Outcome == nil {
+				break
+			}
+			out, err := tc.restoreOutcome(specs[i].Task)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, out)
+			totalDone += out.Result.Measurements
+		}
+		first = len(outs)
+		for i := first; i < len(cp.Tasks); i++ {
+			if cp.Tasks[i].Outcome != nil {
+				return nil, fmt.Errorf("sched: resume: sequential checkpoint finalized task %d before task %d", i, first)
+			}
+			if cp.Tasks[i].Session != nil && i != first {
+				return nil, fmt.Errorf("sched: resume: sequential checkpoint carries a session for task %d, want %d", i, first)
+			}
+		}
+		if first < len(cp.Tasks) {
+			liveState = cp.Tasks[first].Session
+			liveElapsed = time.Duration(cp.Tasks[first].ElapsedNS)
+		}
+		for _, idx := range cp.Published {
+			if idx < 0 || idx >= first {
+				return nil, fmt.Errorf("sched: resume: published task %d is not finalized", idx)
+			}
+			sp := specs[idx]
+			if sp.Opts.Transfer != nil && len(outs[idx].Result.Samples) > 0 {
+				sp.Opts.Transfer.Add(sp.Task.Name, sp.Task.Workload.Op, outs[idx].Result.Samples)
+			}
+			published = append(published, idx)
+		}
+		lastCp = totalDone
+	}
+
+	for i := first; i < len(specs); i++ {
+		sp := specs[i]
+		st := liveState
+		liveState = nil
+		prior := time.Duration(0)
+		if st != nil {
+			prior = liveElapsed
+		} else if opts.OnTaskStart != nil {
+			// A restored task already announced itself before the
+			// checkpoint; only fresh tasks fire the callback.
 			opts.OnTaskStart(i+1, len(specs), sp.Task.Name)
 		}
 		// The per-task deadline is layered under the caller's ctx: either
 		// can end the search, and the session returns the samples measured
-		// so far in both cases.
+		// so far in both cases. The deadline clock restarts on resume.
 		tctx := ctx
 		cancel := func() {}
 		if opts.TaskDeadline > 0 {
 			tctx, cancel = context.WithTimeout(ctx, opts.TaskDeadline)
 		}
 		start := time.Now() //lint:ignore walltime Outcome.Elapsed observability: recorded for reporting, never read by scheduling
-		sess, err := tn.Open(tctx, sp.Task, b, sp.Opts)
+		var sess tuner.Session
+		var err error
+		if st != nil {
+			sess, err = tn.Restore(tctx, sp.Task, b, sp.Opts, *st)
+		} else {
+			sess, err = tn.Open(tctx, sp.Task, b, sp.Opts)
+		}
 		if err != nil {
 			cancel()
 			return outs, &TaskError{TaskName: sp.Task.Name, Index: i, Err: err}
 		}
-		res, terr := tuner.Drive(tctx, sess)
+		for {
+			done, serr := sess.Step(tctx)
+			if done || serr != nil {
+				break
+			}
+			if opts.OnCheckpoint == nil {
+				continue
+			}
+			if tm := totalDone + sess.Measured(); tm-lastCp >= opts.CheckpointEvery {
+				snap, cerr := snapshotSession(sess, sp.Task.Name, i)
+				if cerr != nil {
+					cancel()
+					return outs, cerr
+				}
+				//lint:ignore walltime Outcome.Elapsed observability: carried through the checkpoint for reporting only
+				cp := seqCheckpoint(specs, outs, published, i, snap, prior+time.Since(start))
+				lastCp = tm
+				opts.OnCheckpoint(cp)
+			}
+		}
+		res, terr := sess.Result()
 		cancel()
-		elapsed := time.Since(start) //lint:ignore walltime Outcome.Elapsed observability: reported upward only
+		elapsed := prior + time.Since(start) //lint:ignore walltime Outcome.Elapsed observability: reported upward only
 		if fatal(ctx, res, terr) {
 			return outs, &TaskError{TaskName: sp.Task.Name, Index: i, Err: terr}
 		}
 		out := Outcome{Index: i, Task: sp.Task, Result: res, Err: terr, Elapsed: elapsed, Rounds: 1}
 		outs = append(outs, out)
+		totalDone += res.Measurements
+		if sp.Opts.Transfer != nil && len(res.Samples) > 0 {
+			// The session itself published to the shared history in
+			// Result; record the order so resume can replay the Add.
+			published = append(published, i)
+		}
 		if opts.OnTaskDone != nil {
 			opts.OnTaskDone(out)
 		}
+		if opts.OnCheckpoint != nil {
+			if last := i == len(specs)-1; last || totalDone-lastCp >= opts.CheckpointEvery {
+				cp := seqCheckpoint(specs, outs, published, i+1, nil, 0)
+				lastCp = totalDone
+				opts.OnCheckpoint(cp)
+			}
+		}
 	}
 	return outs, nil
+}
+
+// seqCheckpoint assembles the sequential driver's checkpoint: the finalized
+// prefix, optionally the live session's snapshot, and empty placeholders
+// for tasks not yet started.
+func seqCheckpoint(specs []Spec, outs []Outcome, published []int, next int, live *tuner.SessionState, liveElapsed time.Duration) *Checkpoint {
+	cp := &Checkpoint{Version: CheckpointVersion, Driver: DriverSequential, Round: next,
+		Published: append([]int(nil), published...), Tasks: make([]TaskCheckpoint, len(specs))}
+	for i, sp := range specs {
+		tc := TaskCheckpoint{Index: i, Name: sp.Task.Name}
+		switch {
+		case i < len(outs):
+			tc.Rounds = outs[i].Rounds
+			tc.ElapsedNS = int64(outs[i].Elapsed)
+			tc.PrevMeasured = outs[i].Result.Measurements
+			st := outcomeState(outs[i])
+			tc.Outcome = &st
+		case i == next && live != nil:
+			tc.Session = live
+			tc.ElapsedNS = int64(liveElapsed)
+		}
+		cp.Tasks[i] = tc
+	}
+	return cp
 }
 
 // taskRun is the round driver's per-task state. Fields written by worker
@@ -208,6 +354,28 @@ type taskRun struct {
 	rounds     int
 	prevMeas   int
 	prevBest   float64
+	// finalMeasured / finalBest stand in for the session's accounting view
+	// when a finalized task was restored from a checkpoint without one.
+	finalMeasured int
+	finalBest     float64
+}
+
+// measured is the task's budget-accounting view: the live session's count,
+// or the restored outcome's for a checkpoint-restored finalized task.
+func (tr *taskRun) measured() int {
+	if tr.sess != nil {
+		return tr.sess.Measured()
+	}
+	return tr.finalMeasured
+}
+
+// best mirrors measured for the best-valid-GFLOPS view.
+func (tr *taskRun) best() float64 {
+	if tr.sess != nil {
+		b, _ := tr.sess.BestGFLOPS()
+		return b
+	}
+	return tr.finalBest
 }
 
 // runRounds is the round driver: all sessions open up front, and each round
@@ -220,6 +388,13 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 		totalBudget += sp.Opts.Normalized().Budget
 	}
 
+	cp := opts.Resume
+	if cp != nil {
+		if err := cp.validate(DriverRounds, specs); err != nil {
+			return nil, err
+		}
+	}
+
 	runs := make([]*taskRun, len(specs))
 	defer func() {
 		for _, tr := range runs {
@@ -228,35 +403,106 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 			}
 		}
 	}()
+	outs := make([]Outcome, len(specs))
+	finalized := 0
+	var published []int // indices in transfer-publication order
+
+	// Pass 1: per-task bookkeeping, and restored outcomes for tasks the
+	// checkpoint had already finalized. Opening the sessions waits until the
+	// master transfer histories are rebuilt (pass 2) so restored sessions
+	// clone warm-start views with the same content the original ones held.
 	for i, sp := range specs {
-		if opts.OnTaskStart != nil {
+		if cp == nil && opts.OnTaskStart != nil {
+			// On resume every task already announced itself before the
+			// checkpoint (this driver opens all tasks up front).
 			opts.OnTaskStart(i+1, len(specs), sp.Task.Name)
 		}
 		nopts := sp.Opts.Normalized()
 		tr := &taskRun{idx: i, spec: sp, ownBudget: nopts.Budget, planSize: nopts.PlanSize}
 		tr.sessBudget = opts.Policy.SessionBudget(nopts.Budget, totalBudget)
-		nopts.Budget = tr.sessBudget
 		if sp.Opts.Transfer != nil {
 			tr.master = sp.Opts.Transfer
+		}
+		runs[i] = tr
+		if cp == nil {
+			continue
+		}
+		tc := cp.Tasks[i]
+		tr.rounds = tc.Rounds
+		tr.elapsed = time.Duration(tc.ElapsedNS)
+		tr.prevMeas = tc.PrevMeasured
+		tr.prevBest = tc.PrevBest
+		if tc.Outcome != nil {
+			out, err := tc.restoreOutcome(sp.Task)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+			tr.finalized = true
+			tr.finalMeasured = out.Result.Measurements
+			if out.Result.Found {
+				tr.finalBest = out.Result.Best.GFLOPS
+			}
+			finalized++
+		} else if tc.Session == nil {
+			return nil, fmt.Errorf("sched: resume: live task %s has no session snapshot", sp.Task.Name)
+		}
+	}
+
+	// Pass 2: replay transfer publications into the caller's fresh master
+	// histories, in the original publication order.
+	if cp != nil {
+		for _, idx := range cp.Published {
+			if idx < 0 || idx >= len(runs) || !runs[idx].finalized {
+				return nil, fmt.Errorf("sched: resume: published task %d is not finalized", idx)
+			}
+			tr := runs[idx]
+			if tr.master != nil && len(outs[idx].Result.Samples) > 0 {
+				tr.master.Add(tr.spec.Task.Name, tr.spec.Task.Workload.Op, outs[idx].Result.Samples)
+			}
+			published = append(published, idx)
+		}
+	}
+
+	// Pass 3: open (or restore) the live sessions.
+	for i, sp := range specs {
+		tr := runs[i]
+		if tr.finalized {
+			continue
+		}
+		nopts := sp.Opts.Normalized()
+		nopts.Budget = tr.sessBudget
+		if tr.master != nil {
 			tr.view = tr.master.Clone()
 			nopts.Transfer = tr.view
 		}
-		sess, err := tn.Open(ctx, sp.Task, b, nopts)
+		var sess tuner.Session
+		var err error
+		if cp != nil {
+			sess, err = tn.Restore(ctx, sp.Task, b, nopts, *cp.Tasks[i].Session)
+		} else {
+			sess, err = tn.Open(ctx, sp.Task, b, nopts)
+		}
 		if err != nil {
 			return nil, &TaskError{TaskName: sp.Task.Name, Index: i, Err: err}
 		}
 		tr.sess = sess
-		runs[i] = tr
 	}
-
-	outs := make([]Outcome, len(specs))
 	// Per-task stepping contexts (parent ctx, optionally under the task
 	// deadline), created lazily at a task's first step so the deadline clock
-	// starts when the task does. Each slot is touched by one worker per
-	// round and rounds are barriers, so plain access is safe.
+	// starts when the task does (and restarts there on resume). Each slot is
+	// touched by one worker per round and rounds are barriers, so plain
+	// access is safe.
 	tctxs := make([]context.Context, len(specs))
-	finalized := 0
-	for round := 0; ; round++ {
+	firstRound := 0
+	if cp != nil {
+		// Re-enter the loop at the checkpointed boundary: the boundary code
+		// is idempotent for already-finalized tasks, and policies see the
+		// same round numbers the uninterrupted run fed them.
+		firstRound = cp.Round
+	}
+	lastCp := 0 // totalMeasured at the last captured checkpoint
+	for round := firstRound; ; round++ {
 		// A parent cancellation aborts the whole run, like the legacy
 		// pipeline. Sessions cancelled mid-round latch the ctx error and are
 		// reported as a fatal TaskError below instead.
@@ -266,7 +512,7 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 		// ---- Round boundary (single goroutine) --------------------------
 		totalMeasured := 0
 		for _, tr := range runs {
-			totalMeasured += tr.sess.Measured()
+			totalMeasured += tr.measured()
 		}
 		budgetSpent := totalMeasured >= totalBudget
 		for i, tr := range runs {
@@ -287,9 +533,11 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 				return doneOutcomes(outs, runs), &TaskError{TaskName: tr.spec.Task.Name, Index: i, Err: rerr}
 			}
 			// Publish to the master history exactly as the session's own
-			// finalization published to its discarded view.
+			// finalization published to its discarded view, recording the
+			// order so resume can replay the Adds.
 			if tr.master != nil && len(res.Samples) > 0 {
 				tr.master.Add(tr.spec.Task.Name, tr.spec.Task.Workload.Op, res.Samples)
+				published = append(published, i)
 			}
 			outs[i] = Outcome{Index: i, Task: tr.spec.Task, Result: res, Err: rerr,
 				Elapsed: tr.elapsed, Rounds: tr.rounds}
@@ -302,6 +550,30 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 				tr.view.CopyFrom(tr.master)
 			}
 		}
+		// The checkpoint is captured after finalization and view refresh,
+		// before allocation: resume re-enters this boundary, skips the
+		// already-finalized tasks, and re-runs the same Allocate call.
+		if opts.OnCheckpoint != nil && (finalized == len(specs) || totalMeasured-lastCp >= opts.CheckpointEvery) {
+			rcp := &Checkpoint{Version: CheckpointVersion, Driver: DriverRounds, Round: round,
+				Published: append([]int(nil), published...), Tasks: make([]TaskCheckpoint, len(specs))}
+			for i, tr := range runs {
+				tc := TaskCheckpoint{Index: i, Name: tr.spec.Task.Name, Rounds: tr.rounds,
+					ElapsedNS: int64(tr.elapsed), PrevMeasured: tr.prevMeas, PrevBest: tr.prevBest}
+				if tr.finalized {
+					st := outcomeState(outs[i])
+					tc.Outcome = &st
+				} else {
+					snap, err := snapshotSession(tr.sess, tr.spec.Task.Name, i)
+					if err != nil {
+						return doneOutcomes(outs, runs), err
+					}
+					tc.Session = snap
+				}
+				rcp.Tasks[i] = tc
+			}
+			lastCp = totalMeasured
+			opts.OnCheckpoint(rcp)
+		}
 		if finalized == len(specs) {
 			return outs, nil
 		}
@@ -309,13 +581,12 @@ func runRounds(ctx context.Context, tn tuner.Opener, b backend.Backend, specs []
 		// ---- Allocation -------------------------------------------------
 		states := make([]TaskState, len(specs))
 		for i, tr := range runs {
-			best, _ := tr.sess.BestGFLOPS()
 			states[i] = TaskState{
 				Index: i, Name: tr.spec.Task.Name, Done: tr.finalized,
-				Measured: tr.sess.Measured(), PrevMeasured: tr.prevMeas,
+				Measured: tr.measured(), PrevMeasured: tr.prevMeas,
 				Budget: tr.ownBudget, PlanSize: tr.planSize,
 				Weight: tr.spec.Task.Count,
-				Best:   best, PrevBest: tr.prevBest,
+				Best:   tr.best(), PrevBest: tr.prevBest,
 			}
 		}
 		grants := opts.Policy.Allocate(round, states)

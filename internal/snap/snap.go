@@ -1,0 +1,197 @@
+// Package snap is the versioned checkpoint codec shared by the tuner,
+// scheduler, and CLI layers.
+//
+// A checkpoint file is an append-only sequence of self-describing frames,
+// one per line:
+//
+//	SNAP1 <kind> <len> <fnv64a> <payload>\n
+//
+// where <kind> is a caller-chosen token that names the payload schema and
+// carries its own version (e.g. "sched-checkpoint/v1"), <len> is the
+// payload length in bytes, <fnv64a> is the FNV-1a 64-bit checksum of the
+// kind token followed by the payload in fixed-width hex, and <payload> is
+// compact JSON. The magic
+// "SNAP1" versions the framing itself; payload schemas version
+// independently through their kind tokens.
+//
+// Determinism: Encode uses encoding/json, whose output is a pure function
+// of the value (struct fields in declaration order, map keys sorted,
+// floats in shortest round-trip form), so encode→decode→encode is
+// byte-identical.
+//
+// Crash safety mirrors internal/record's contract: a write interrupted by
+// a crash can tear only the final frame, so Read drops a defective final
+// frame and returns the intact prefix, while a defect anywhere before the
+// final frame means real corruption and fails with a *CorruptError
+// (errors.Is(err, ErrCorrupt)). Appending a frame is a single Write of the
+// full line.
+package snap
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Magic identifies the framing version. A future incompatible framing
+// bumps this token; readers reject unknown magics frame-by-frame.
+const Magic = "SNAP1"
+
+// ErrCorrupt is the sentinel wrapped by every *CorruptError.
+var ErrCorrupt = errors.New("snap: corrupt checkpoint stream")
+
+// CorruptError reports a defective frame that is not the final one (or a
+// structurally invalid final frame when tolerance is off). Frame numbers
+// are 1-based line numbers.
+type CorruptError struct {
+	Frame  int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("snap: corrupt frame %d: %s", e.Frame, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Frame is one decoded checkpoint entry.
+type Frame struct {
+	Kind    string
+	Payload []byte
+}
+
+// Unmarshal decodes the frame payload into v.
+func (f Frame) Unmarshal(v any) error {
+	return json.Unmarshal(f.Payload, v)
+}
+
+// Encode renders one complete frame line (including the trailing newline)
+// for the given kind and value. The kind must be a non-empty token with no
+// spaces or newlines.
+func Encode(kind string, v any) ([]byte, error) {
+	if kind == "" || strings.ContainsAny(kind, " \n\r\t") {
+		return nil, fmt.Errorf("snap: invalid frame kind %q", kind)
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("snap: encode %s: %w", kind, err)
+	}
+	if bytes.ContainsAny(payload, "\n\r") {
+		// json.Marshal never emits raw newlines; guard the framing
+		// invariant anyway in case v is a json.RawMessage.
+		return nil, fmt.Errorf("snap: payload for %s contains newline", kind)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(kind)) //lint:ignore uncheckederr hash.Hash.Write never errors
+	h.Write(payload)      //lint:ignore uncheckederr hash.Hash.Write never errors
+	var buf bytes.Buffer
+	buf.Grow(len(Magic) + len(kind) + len(payload) + 40)
+	fmt.Fprintf(&buf, "%s %s %d %016x ", Magic, kind, len(payload), h.Sum64())
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Append encodes the value and writes the frame to w as a single Write
+// call, so a crash tears at most the final frame.
+func Append(w io.Writer, kind string, v any) error {
+	b, err := Encode(kind, v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// parseFrame decodes one complete line (without its newline).
+func parseFrame(line []byte) (Frame, error) {
+	rest, ok := bytes.CutPrefix(line, []byte(Magic+" "))
+	if !ok {
+		return Frame{}, fmt.Errorf("missing %s magic", Magic)
+	}
+	kind, rest, ok := bytes.Cut(rest, []byte(" "))
+	if !ok || len(kind) == 0 {
+		return Frame{}, errors.New("missing frame kind")
+	}
+	lenField, rest, ok := bytes.Cut(rest, []byte(" "))
+	if !ok {
+		return Frame{}, errors.New("missing payload length")
+	}
+	n, err := strconv.Atoi(string(lenField))
+	if err != nil || n < 0 {
+		return Frame{}, fmt.Errorf("bad payload length %q", lenField)
+	}
+	sumField, payload, ok := bytes.Cut(rest, []byte(" "))
+	if !ok {
+		return Frame{}, errors.New("missing checksum")
+	}
+	want, err := strconv.ParseUint(string(sumField), 16, 64)
+	if err != nil || len(sumField) != 16 {
+		return Frame{}, fmt.Errorf("bad checksum field %q", sumField)
+	}
+	if len(payload) != n {
+		return Frame{}, fmt.Errorf("payload length %d, header says %d", len(payload), n)
+	}
+	h := fnv.New64a()
+	h.Write(kind)    //lint:ignore uncheckederr hash.Hash.Write never errors
+	h.Write(payload) //lint:ignore uncheckederr hash.Hash.Write never errors
+	if h.Sum64() != want {
+		return Frame{}, errors.New("checksum mismatch")
+	}
+	if !json.Valid(payload) {
+		return Frame{}, errors.New("payload is not valid JSON")
+	}
+	return Frame{Kind: string(kind), Payload: append([]byte(nil), payload...)}, nil
+}
+
+// Read decodes every intact frame from data. A defective final frame —
+// torn mid-write, missing its newline, failing its checksum — is dropped
+// and the intact prefix returned with a nil error. A defective frame
+// followed by further data is corruption, not a crash artifact, and fails
+// with a *CorruptError carrying the 1-based frame number. Read never
+// panics on arbitrary input.
+func Read(data []byte) ([]Frame, error) {
+	var frames []Frame
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		line, rest, complete := bytes.Cut(data, []byte("\n"))
+		f, err := parseFrame(line)
+		if err != nil {
+			// Only the final line may be defective (torn tail). A
+			// complete line followed by more data is mid-stream.
+			if complete && len(rest) > 0 {
+				return frames, &CorruptError{Frame: lineNo, Reason: err.Error()}
+			}
+			return frames, nil
+		}
+		frames = append(frames, f)
+		data = rest
+	}
+	return frames, nil
+}
+
+// ReadFile reads and decodes a checkpoint file with Read's tolerance for
+// a torn final frame.
+func ReadFile(path string) ([]Frame, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(data)
+}
+
+// Last returns the payload of the latest frame with the given kind, or
+// false if none exists.
+func Last(frames []Frame, kind string) (Frame, bool) {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if frames[i].Kind == kind {
+			return frames[i], true
+		}
+	}
+	return Frame{}, false
+}

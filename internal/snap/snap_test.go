@@ -1,0 +1,202 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string    `json:"name"`
+	Seed  int64     `json:"seed"`
+	Vals  []float64 `json:"vals,omitempty"`
+	Note  string    `json:"note,omitempty"`
+	Valid bool      `json:"valid"`
+}
+
+func sample() []payload {
+	return []payload{
+		{Name: "a", Seed: 17, Vals: []float64{1.5, 0.1, -3.25e-17}, Valid: true},
+		{Name: "b with spaces", Seed: -1, Note: "newline \n tab \t quote \""},
+		{Name: "c", Seed: 1 << 62},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for i, p := range sample() {
+		kind := "test/v1"
+		if i == 2 {
+			kind = "other/v2"
+		}
+		if err := Append(&buf, kind, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, err := Read(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	for i, f := range frames {
+		var got payload
+		if err := f.Unmarshal(&got); err != nil {
+			t.Fatal(err)
+		}
+		want := sample()[i]
+		if got.Name != want.Name || got.Seed != want.Seed || got.Note != want.Note || got.Valid != want.Valid {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+		for j := range want.Vals {
+			if got.Vals[j] != want.Vals[j] {
+				t.Fatalf("frame %d val %d: %v != %v", i, j, got.Vals[j], want.Vals[j])
+			}
+		}
+	}
+	if f, ok := Last(frames, "test/v1"); !ok || f.Kind != "test/v1" {
+		t.Fatalf("Last(test/v1) = %+v, %v", f, ok)
+	}
+	if _, ok := Last(frames, "missing"); ok {
+		t.Fatal("Last found a frame for an unknown kind")
+	}
+}
+
+// Encoding the decoded payload again must reproduce the original frame
+// bytes exactly — the codec is deterministic.
+func TestSnapshotEncodeDecodeEncodeByteIdentical(t *testing.T) {
+	first, err := Encode("rt/v1", sample()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := Read(first)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("Read: %v (%d frames)", err, len(frames))
+	}
+	var p payload
+	if err := frames[0].Unmarshal(&p); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Encode("rt/v1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-encode differs:\n%q\n%q", first, second)
+	}
+}
+
+// A torn final frame — any strict prefix of the last line — must be
+// dropped silently; every complete frame before it survives.
+func TestSnapshotTornTailDropped(t *testing.T) {
+	var buf bytes.Buffer
+	for _, p := range sample() {
+		if err := Append(&buf, "test/v1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	prefixLen := len(lines[0]) + len(lines[1])
+	for cut := prefixLen; cut < len(full); cut++ {
+		frames, err := Read(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Cutting only the trailing newline leaves a complete,
+		// newline-less final frame, which must still parse — the same
+		// guarantee record.Read gives its final line.
+		want := 2
+		if cut == len(full)-1 {
+			want = 3
+		}
+		if len(frames) != want {
+			t.Fatalf("cut %d: got %d frames, want %d", cut, len(frames), want)
+		}
+	}
+	// The complete file parses all three.
+	if frames, err := Read(full); err != nil || len(frames) != 3 {
+		t.Fatalf("full: %v (%d frames)", err, len(frames))
+	}
+}
+
+// Corruption before the final frame is not a crash artifact and must fail
+// with the typed error.
+func TestSnapshotMidStreamCorruptionTyped(t *testing.T) {
+	var buf bytes.Buffer
+	for _, p := range sample() {
+		if err := Append(&buf, "test/v1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[10] ^= 0xff // inside the first frame
+	frames, err := Read(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Frame != 1 {
+		t.Fatalf("corrupt error = %#v", err)
+	}
+	if len(frames) != 0 {
+		t.Fatalf("frames before corruption = %d, want 0", len(frames))
+	}
+}
+
+func TestEncodeRejectsBadKinds(t *testing.T) {
+	for _, kind := range []string{"", "two words", "new\nline", "tab\tbed"} {
+		if _, err := Encode(kind, 1); err == nil {
+			t.Fatalf("Encode(%q) accepted", kind)
+		}
+	}
+	if _, err := Encode("chan/v1", make(chan int)); err == nil {
+		t.Fatal("Encode accepted an unmarshalable value")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(f, "test/v1", sample()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadFile(path)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("ReadFile: %v (%d frames)", err, len(frames))
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("ReadFile on a missing path succeeded")
+	}
+}
+
+// Arbitrary bytes never panic Read and either parse cleanly or fail with
+// the typed corruption error; valid frames re-encode byte-identically.
+func FuzzReadArbitrary(f *testing.F) {
+	seedFrame, _ := Encode("fuzz/v1", sample()[0])
+	f.Add(seedFrame)
+	f.Add([]byte("SNAP1 "))
+	f.Add([]byte("SNAP1 k 3 0000000000000000 {}\n"))
+	f.Add(append(append([]byte{}, seedFrame...), seedFrame...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := Read(data)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-typed error: %v", err)
+		}
+		for _, fr := range frames {
+			var v any
+			if err := fr.Unmarshal(&v); err != nil {
+				t.Fatalf("intact frame fails to unmarshal: %v", err)
+			}
+		}
+	})
+}

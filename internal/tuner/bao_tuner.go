@@ -2,7 +2,7 @@ package tuner
 
 import (
 	"context"
-	"math/rand"
+	"fmt"
 	"time"
 
 	"repro/internal/active"
@@ -41,12 +41,40 @@ func (*AdvancedTuner) Name() string { return "bted+bao" }
 // neighborhood depends on the previous measurement — so it deploys one
 // configuration at a time regardless of Workers).
 func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
-	opts = opts.normalized()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, b, opts)
+	return t.open(task, b, opts, nil)
+}
 
+// Restore implements Opener. The BAO iteration state (incumbent,
+// trajectory, stall counters, every sample it has deployed) rides in the
+// snapshot; the bootstrap trainer is rebuilt fresh, trainers being pure
+// functions of their arguments.
+func (t *AdvancedTuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return t.open(task, b, opts, &st)
+}
+
+func (t *AdvancedTuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
+	opts = opts.normalized()
+	s, err := openSession(t.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
+	rng := s.src.Rand()
+	trainer := t.Trainer
+	if trainer == nil {
+		trainer = active.NewXGBTrainer()
+	}
+
+	ex := &advancedState{}
+	if err := unmarshalExtra(st, ex); err != nil {
+		return nil, err
+	}
 	var run *active.BAORun
-	inited := false
+	if ex.BAO != nil {
+		run, err = active.RestoreBAORun(task.Space, trainer, *ex.BAO)
+		if err != nil {
+			return nil, fmt.Errorf("tuner: restore %s: %w", t.Name(), err)
+		}
+	}
 	step := func(ctx context.Context) bool {
 		// Polled before every iteration, this check plays the role of the
 		// one-shot path's BAOParams.Stop hook: the run ends as soon as the
@@ -54,9 +82,9 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 		if s.exhausted(ctx) {
 			return true
 		}
-		if !inited {
+		if !ex.Inited {
 			// ---- Initialization: BTED (Algorithms 1 & 2) -----------------
-			inited = true
+			ex.Inited = true
 			bp := t.BTED
 			bp.M0 = opts.PlanSize
 			initDone := opts.Phases.track(PhaseInitSet)
@@ -65,10 +93,6 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 			s.measureBatch(ctx, init)
 
 			// ---- Iterative optimization: BAO (Algorithms 3 & 4) ----------
-			trainer := t.Trainer
-			if trainer == nil {
-				trainer = active.NewXGBTrainer()
-			}
 			bao := t.BAO
 			bao.T = opts.Budget - len(s.samples)
 			if opts.EarlyStop > 0 {
@@ -81,7 +105,7 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 			if bao.T <= 0 || s.exhausted(ctx) {
 				return true
 			}
-			run = active.NewBAORun(task.Space, trainer, s.knowledge(), bao, rng)
+			run = active.NewBAORun(task.Space, trainer, s.knowledge(), bao)
 			return false
 		}
 		if run == nil {
@@ -109,12 +133,20 @@ func (t *AdvancedTuner) Open(_ context.Context, task *Task, b backend.Backend, o
 			last := s.samples[len(s.samples)-1]
 			return last.GFLOPS, last.Valid
 		}
-		stop := run.Step(measure, nil) || s.exhausted(ctx)
+		stop := run.Step(rng, measure, nil) || s.exhausted(ctx)
 		//lint:ignore walltime PhaseTimes observability: reported upward only, tuning decisions never read it
 		opts.Phases.Add(PhaseCandidateSelection, time.Since(stepStart)-measured)
 		return stop
 	}
-	return newStepSession(t.Name(), s, step), nil
+	ss := newStepSession(t.Name(), s, step).restoredFrom(st)
+	return ss.withExtra(func() (any, error) {
+		out := advancedState{Inited: ex.Inited}
+		if run != nil {
+			bs := run.State()
+			out.BAO = &bs
+		}
+		return out, nil
+	}), nil
 }
 
 // Tune implements Tuner.

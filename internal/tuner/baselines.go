@@ -19,9 +19,21 @@ func (RandomTuner) Name() string { return "random" }
 
 // Open implements Opener: each step plans and measures one uniform batch.
 func (t RandomTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return t.open(task, b, opts, nil)
+}
+
+// Restore implements Opener.
+func (t RandomTuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return t.open(task, b, opts, &st)
+}
+
+func (t RandomTuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
 	opts = opts.normalized()
-	s := newSession(task, b, opts)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	s, err := openSession(t.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
+	rng := s.src.Rand()
 	step := func(ctx context.Context) bool {
 		if s.exhausted(ctx) {
 			return true
@@ -37,7 +49,7 @@ func (t RandomTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		s.measureBatch(ctx, batch)
 		return s.exhausted(ctx)
 	}
-	return newStepSession(t.Name(), s, step), nil
+	return newStepSession(t.Name(), s, step).restoredFrom(st), nil
 }
 
 // Tune implements Tuner.
@@ -59,8 +71,20 @@ func (GridTuner) Name() string { return "grid" }
 // Open implements Opener: each step measures the next PlanSize-long slice
 // of the golden-ratio sweep.
 func (t GridTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return t.open(task, b, opts, nil)
+}
+
+// Restore implements Opener.
+func (t GridTuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return t.open(task, b, opts, &st)
+}
+
+func (t GridTuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
 	opts = opts.normalized()
-	s := newSession(task, b, opts)
+	s, err := openSession(t.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
 	size := task.Space.Size()
 	gstep := goldenStep(size)
 	// The golden-ratio sweep is a permutation of the space: after Size()
@@ -71,22 +95,26 @@ func (t GridTuner) Open(_ context.Context, task *Task, b backend.Backend, opts O
 	if size < limit {
 		limit = size
 	}
-	var i uint64
+	ex := &gridState{}
+	if err := unmarshalExtra(st, ex); err != nil {
+		return nil, err
+	}
 	step := func(ctx context.Context) bool {
 		if s.exhausted(ctx) {
 			return true
 		}
 		batch := make([]space.Config, 0, opts.PlanSize)
-		for ; i < limit && len(batch) < opts.PlanSize; i++ {
-			batch = append(batch, task.Space.FromFlat((i*gstep)%size))
+		for ; ex.I < limit && len(batch) < opts.PlanSize; ex.I++ {
+			batch = append(batch, task.Space.FromFlat((ex.I*gstep)%size))
 		}
 		if len(batch) == 0 {
 			return true
 		}
 		s.measureBatch(ctx, batch)
-		return i >= limit || s.exhausted(ctx)
+		return ex.I >= limit || s.exhausted(ctx)
 	}
-	return newStepSession(t.Name(), s, step), nil
+	ss := newStepSession(t.Name(), s, step).restoredFrom(st)
+	return ss.withExtra(func() (any, error) { return *ex, nil }), nil
 }
 
 // Tune implements Tuner.
@@ -140,6 +168,15 @@ func (GATuner) Name() string { return "ga" }
 // Open implements Opener: the first step measures the seed population, each
 // later step plans and measures one generation.
 func (g GATuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return g.open(task, b, opts, nil)
+}
+
+// Restore implements Opener.
+func (g GATuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return g.open(task, b, opts, &st)
+}
+
+func (g GATuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
 	opts = opts.normalized()
 	if g.PopSize <= 0 {
 		g.PopSize = opts.PlanSize
@@ -150,15 +187,21 @@ func (g GATuner) Open(_ context.Context, task *Task, b backend.Backend, opts Opt
 	if g.MutateProb <= 0 || g.MutateProb > 1 {
 		g.MutateProb = 0.1
 	}
-	s := newSession(task, b, opts)
-	rng := rand.New(rand.NewSource(opts.Seed))
-	inited := false
+	s, err := openSession(g.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
+	rng := s.src.Rand()
+	ex := &initedState{}
+	if err := unmarshalExtra(st, ex); err != nil {
+		return nil, err
+	}
 	step := func(ctx context.Context) bool {
 		if s.exhausted(ctx) {
 			return true
 		}
-		if !inited {
-			inited = true
+		if !ex.Inited {
+			ex.Inited = true
 			s.measureBatch(ctx, task.Space.RandomSample(g.PopSize, rng))
 			return s.exhausted(ctx)
 		}
@@ -200,7 +243,8 @@ func (g GATuner) Open(_ context.Context, task *Task, b backend.Backend, opts Opt
 		}
 		return s.exhausted(ctx)
 	}
-	return newStepSession(g.Name(), s, step), nil
+	ss := newStepSession(g.Name(), s, step).restoredFrom(st)
+	return ss.withExtra(func() (any, error) { return *ex, nil }), nil
 }
 
 // Tune implements Tuner.

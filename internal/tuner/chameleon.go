@@ -45,9 +45,21 @@ func (*ChameleonTuner) Name() string { return "chameleon" }
 // initialization set, each later step proposes candidates via the cost
 // model, adaptively samples them by clustering, and measures the survivors.
 func (t *ChameleonTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return t.open(task, b, opts, nil)
+}
+
+// Restore implements Opener.
+func (t *ChameleonTuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return t.open(task, b, opts, &st)
+}
+
+func (t *ChameleonTuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
 	opts = opts.normalized()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, b, opts)
+	s, err := openSession(t.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
+	rng := s.src.Rand()
 
 	pf := t.ProposalFactor
 	if pf <= 0 {
@@ -58,13 +70,16 @@ func (t *ChameleonTuner) Open(_ context.Context, task *Task, b backend.Backend, 
 		mf = 0.5
 	}
 
-	inited := false
+	ex := &initedState{}
+	if err := unmarshalExtra(st, ex); err != nil {
+		return nil, err
+	}
 	step := func(ctx context.Context) bool {
 		if s.exhausted(ctx) {
 			return true
 		}
-		if !inited {
-			inited = true
+		if !ex.Inited {
+			ex.Inited = true
 			s.measureBatch(ctx, active.RandomInit(task.Space, opts.PlanSize, rng))
 			return s.exhausted(ctx)
 		}
@@ -94,7 +109,8 @@ func (t *ChameleonTuner) Open(_ context.Context, task *Task, b backend.Backend, 
 		}
 		return s.exhausted(ctx)
 	}
-	return newStepSession(t.Name(), s, step), nil
+	ss := newStepSession(t.Name(), s, step).restoredFrom(st)
+	return ss.withExtra(func() (any, error) { return *ex, nil }), nil
 }
 
 // Tune implements Tuner.

@@ -1,0 +1,86 @@
+package tuner
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/snap"
+)
+
+// FuzzSnapshotRoundTrip mirrors record's FuzzReadTornTail for the snapshot
+// codec: arbitrary valid session states survive encode→decode→encode
+// byte-identically, and truncated or corrupted checkpoint bytes never
+// panic — they either parse to an intact prefix or report the typed
+// corruption error.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(17), uint64(3), uint(4), 123.5, true, uint(2), uint(7))
+	f.Add(int64(-1), uint64(0), uint(0), 0.0, false, uint(0), uint(0))
+	f.Add(int64(1<<40), uint64(9999), uint(40), 1e-300, true, uint(31), uint(255))
+	f.Fuzz(func(t *testing.T, seed int64, draws uint64, nSamples uint, gflops float64, valid bool, cutAt, flip uint) {
+		if math.IsNaN(gflops) || math.IsInf(gflops, 0) {
+			// Sessions only ever record finite measurements; JSON cannot
+			// carry the rest.
+			gflops = 0
+		}
+		st := SessionState{
+			Version: SessionStateVersion,
+			Tuner:   "random",
+			Task:    "fuzz.task",
+			Base: BaseState{
+				Seed:     seed,
+				RNG:      rng.State{Seed: seed, N: draws},
+				StepDone: valid,
+			},
+		}
+		n := int(nSamples % 64)
+		for i := 0; i < n; i++ {
+			st.Base.Samples = append(st.Base.Samples, SampleState{
+				Config: []int{i % 5, (i * 7) % 3, i % 2},
+				GFLOPS: gflops * float64(i+1),
+				Valid:  valid || i%3 == 0,
+			})
+		}
+
+		frame, err := snap.Encode("tuner-session/v1", st)
+		if err != nil {
+			t.Fatalf("encode valid state: %v", err)
+		}
+		frames, err := snap.Read(frame)
+		if err != nil || len(frames) != 1 {
+			t.Fatalf("read own frame: %v (%d frames)", err, len(frames))
+		}
+		var back SessionState
+		if err := frames[0].Unmarshal(&back); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		again, err := snap.Encode("tuner-session/v1", back)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("encode→decode→encode not byte-identical:\n%q\n%q", frame, again)
+		}
+
+		// Truncation: every prefix must parse without panicking, yielding
+		// either nothing (torn tail dropped) or the intact frame.
+		cut := int(cutAt % uint(len(frame)+1))
+		if fs, err := snap.Read(frame[:cut]); err != nil {
+			t.Fatalf("truncated read errored: %v", err)
+		} else if len(fs) > 1 {
+			t.Fatalf("truncated read produced %d frames", len(fs))
+		}
+
+		// Corruption: flipping any byte must never panic; the outcome is an
+		// intact parse (flip hit a redundant spot — it cannot, with a
+		// checksum over kind+payload, but stay defensive), a dropped tail,
+		// or the typed error when followed by more frames.
+		two := append(append([]byte(nil), frame...), frame...)
+		two[int(flip)%len(two)] ^= 0x41
+		if _, err := snap.Read(two); err != nil && !errors.Is(err, snap.ErrCorrupt) {
+			t.Fatalf("corrupted read returned a non-typed error: %v", err)
+		}
+	})
+}

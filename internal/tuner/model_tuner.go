@@ -97,14 +97,32 @@ func (t *ModelTuner) xgbParams() xgb.Params {
 // (random or BTED), each later step trains the cost model, runs the SA
 // argmax, and measures one planned batch.
 func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts Options) (Session, error) {
+	return t.open(task, b, opts, nil)
+}
+
+// Restore implements Opener. The pooled SA objective and the cost model
+// are not part of the snapshot: the model is retrained from the samples
+// every round, and resetSAObjective rebuilds every model-derived field of
+// a fresh objective exactly as it does a pooled one.
+func (t *ModelTuner) Restore(_ context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error) {
+	return t.open(task, b, opts, &st)
+}
+
+func (t *ModelTuner) open(task *Task, b backend.Backend, opts Options, st *SessionState) (Session, error) {
 	opts = opts.normalized()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSession(task, b, opts)
+	s, err := openSession(t.Name(), task, b, opts, st)
+	if err != nil {
+		return nil, err
+	}
+	rng := s.src.Rand()
 	eps := t.Epsilon
 	if eps <= 0 {
 		eps = 0.05
 	}
-	inited := false
+	ex := &initedState{}
+	if err := unmarshalExtra(st, ex); err != nil {
+		return nil, err
+	}
 	// The SA objective is pooled across rounds: the space never changes
 	// within a session, so each round's retrained surrogate is compiled
 	// into the previous round's buffers (resetSAObjective rebuilds every
@@ -114,9 +132,9 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		if s.exhausted(ctx) {
 			return true
 		}
-		if !inited {
+		if !ex.Inited {
 			// ---- Initialization stage ---------------------------------
-			inited = true
+			ex.Inited = true
 			initDone := opts.Phases.track(PhaseInitSet)
 			var init []space.Config
 			if t.Init == InitBTED {
@@ -183,7 +201,8 @@ func (t *ModelTuner) Open(_ context.Context, task *Task, b backend.Backend, opts
 		s.measureBatch(ctx, batch)
 		return s.exhausted(ctx)
 	}
-	return newStepSession(t.Name(), s, step), nil
+	ss := newStepSession(t.Name(), s, step).restoredFrom(st)
+	return ss.withExtra(func() (any, error) { return *ex, nil }), nil
 }
 
 // Tune implements Tuner.

@@ -2,6 +2,8 @@ package tuner
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
 	"repro/internal/backend"
 )
@@ -54,6 +56,15 @@ type Opener interface {
 	// observed, never stored: a context already done at Open simply makes
 	// the first Step latch cancellation.
 	Open(ctx context.Context, task *Task, b backend.Backend, opts Options) (Session, error)
+	// Restore rebuilds a session from a snapshot taken at a Step boundary
+	// (see Snapshotter). The caller supplies the same task, backend, and
+	// options — including Resume samples and the Transfer handle — it
+	// would pass to Open; the snapshot carries only the run's own state,
+	// and stepping the restored session continues the original run
+	// bit-identically. Mismatched tuner/task/seed fail with an error, as
+	// does AsOpener's wrapper for tuners without stepwise sessions
+	// (ErrSnapshotUnsupported).
+	Restore(ctx context.Context, task *Task, b backend.Backend, opts Options, st SessionState) (Session, error)
 }
 
 // Drive advances a session to completion and finalizes it.
@@ -76,6 +87,7 @@ type stepSession struct {
 	name      string
 	s         *session
 	step      func(ctx context.Context) bool
+	extra     func() (any, error) // tuner-specific snapshot state; nil = none
 	done      bool
 	finalized bool
 	res       Result
@@ -84,6 +96,50 @@ type stepSession struct {
 
 func newStepSession(name string, s *session, step func(ctx context.Context) bool) *stepSession {
 	return &stepSession{name: name, s: s, step: step}
+}
+
+// withExtra registers the tuner-specific state captured into snapshots and
+// returns the session for chaining.
+func (ts *stepSession) withExtra(fn func() (any, error)) *stepSession {
+	ts.extra = fn
+	return ts
+}
+
+// restoredFrom applies the snapshot's step-loop flags after a Restore.
+func (ts *stepSession) restoredFrom(st *SessionState) *stepSession {
+	if st != nil && st.Base.StepDone {
+		ts.done = true
+	}
+	return ts
+}
+
+// Snapshot implements Snapshotter: the complete session state at the
+// current Step boundary. Callers must not snapshot concurrently with Step;
+// a finalized session refuses (its Result already fed the transfer
+// history, so a restored continuation would double-publish).
+func (ts *stepSession) Snapshot() (SessionState, error) {
+	if ts.finalized {
+		return SessionState{}, fmt.Errorf("tuner: %s on task %s: cannot snapshot a finalized session", ts.name, ts.s.task.Name)
+	}
+	st := SessionState{
+		Version: SessionStateVersion,
+		Tuner:   ts.name,
+		Task:    ts.s.task.Name,
+		Base:    ts.s.baseState(),
+	}
+	st.Base.StepDone = ts.done
+	if ts.extra != nil {
+		v, err := ts.extra()
+		if err != nil {
+			return SessionState{}, fmt.Errorf("tuner: %s on task %s: snapshot: %w", ts.name, ts.s.task.Name, err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return SessionState{}, fmt.Errorf("tuner: %s on task %s: snapshot: %w", ts.name, ts.s.task.Name, err)
+		}
+		st.Extra = raw
+	}
+	return st, nil
 }
 
 // Step implements Session.
@@ -143,6 +199,12 @@ func (m monoOpener) Open(_ context.Context, task *Task, b backend.Backend, opts 
 	return &monoSession{t: m.Tuner, task: task, b: b, opts: opts}, nil
 }
 
+// Restore implements Opener. A wrapped third-party tuner has no step
+// boundaries, so there is nothing a snapshot could have captured.
+func (m monoOpener) Restore(_ context.Context, _ *Task, _ backend.Backend, _ Options, _ SessionState) (Session, error) {
+	return nil, fmt.Errorf("%w (tuner %s runs as one indivisible step)", ErrSnapshotUnsupported, m.Name())
+}
+
 // monoSession runs an entire Tune call as its single step.
 type monoSession struct {
 	t    Tuner
@@ -183,7 +245,9 @@ func (m *monoSession) BestGFLOPS() (float64, bool) {
 	return 0, false
 }
 
-// Compile-time proof that every tuner supports stepwise sessions.
+// Compile-time proof that every tuner supports stepwise sessions (and,
+// through Opener.Restore plus the step sessions' Snapshotter, serializable
+// ones).
 var (
 	_ Opener = RandomTuner{}
 	_ Opener = GridTuner{}
@@ -191,4 +255,6 @@ var (
 	_ Opener = (*ModelTuner)(nil)
 	_ Opener = (*ChameleonTuner)(nil)
 	_ Opener = (*AdvancedTuner)(nil)
+
+	_ Snapshotter = (*stepSession)(nil)
 )

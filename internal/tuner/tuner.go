@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hwsim"
 	"repro/internal/par"
+	"repro/internal/rng"
 	"repro/internal/space"
 	"repro/internal/tensor"
 	"repro/internal/transfer"
@@ -154,10 +155,17 @@ type Tuner interface {
 // method that may observe cancellation (enforced repo-wide by the ctxarg
 // analyzer), and the first observation latches into err so the run's
 // cancellation point is decided exactly once.
+//
+// All randomness of the run flows through src, a counted serializable
+// source seeded from Options.Seed (its Rand() view is bit-identical to the
+// rand.New(rand.NewSource(opts.Seed)) each tuner used to build): holding
+// the source instead of a bare *rand.Rand is what makes sessions
+// snapshottable, and the rngfield analyzer keeps it that way.
 type session struct {
 	task    *Task
 	b       backend.Backend
 	opts    Options
+	src     *rng.Source
 	prior   []active.Sample // resumed samples: training data, not budget
 	samples []active.Sample
 	visited map[uint64]bool
@@ -168,7 +176,7 @@ type session struct {
 }
 
 func newSession(task *Task, b backend.Backend, opts Options) *session {
-	s := &session{task: task, b: b, opts: opts, visited: make(map[uint64]bool, opts.Budget)}
+	s := &session{task: task, b: b, opts: opts, src: rng.New(opts.Seed), visited: make(map[uint64]bool, opts.Budget)}
 	for _, p := range opts.Resume {
 		s.visited[p.Config.Flat()] = true
 		s.prior = append(s.prior, p)
