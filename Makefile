@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench bench-smoke bench-check cover lint lint-sarif fmt-check verify
+.PHONY: all build test race determinism bench bench-smoke bench-check serve-smoke cover lint lint-sarif fmt-check verify
 
 all: build test lint
 
@@ -13,9 +13,10 @@ test:
 # Race-detector pass over the concurrent measurement machinery
 # (hwsim.Simulator, transfer.History, the tuner worker pool, par,
 # the backend wrappers, the graph scheduler, parallel bootstrap training
-# and Gram assembly, parallel SA chains).
+# and Gram assembly, parallel SA chains, the job manager's record fan-out
+# and the daemon's SSE subscribers).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp ./internal/sa
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp ./internal/sa ./internal/job ./cmd/served
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
 # must yield bit-identical samples for every tuner, a cancelled or
@@ -32,10 +33,14 @@ race:
 # Checkpoint|Snapshot pulls in the serializable-session layer: snapshot →
 # restore → continue must be bit-identical for every tuner, for the
 # scheduler across its Workers x task-concurrency grid, and for the
-# crash-resume rehearsal of cmd/tune.
+# crash-resume rehearsals of the whole job lifecycle — the runner killed
+# at a checkpoint boundary (internal/job), the manager shut down mid-job
+# and recovered, and a served job whose daemon is killed and restarted
+# (cmd/served) — each of which must leave a record log byte-identical to
+# an uninterrupted run.
 determinism:
 	$(GO) test -race -run 'WorkerCountInvariance|Parallel|Concurrent|Seeded|NoiseSeed|Cancel|Deadline|ForContext|Golden|Session|Invariance|SequentialMatches|Checkpoint|Snapshot' \
-		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp ./internal/sa ./internal/snap ./internal/rng ./cmd/tune
+		./internal/tuner ./internal/active ./internal/linalg ./internal/hwsim ./internal/par ./internal/backend ./internal/sched ./internal/core ./internal/xgb ./internal/gp ./internal/sa ./internal/snap ./internal/rng ./internal/job ./cmd/tune ./cmd/served
 
 # Benchmark smoke pass: every committed benchmark must still compile and
 # run (one iteration; not a timing source).
@@ -56,10 +61,44 @@ bench:
 bench-check:
 	$(GO) run ./cmd/bench -out /tmp/BENCH_check.json -baseline BENCH_tune.json
 
-# Coverage gates: the scheduler and the checkpoint codec must each stay
-# >= 80% covered by their own tests.
+# End-to-end smoke of the real daemon binary: start cmd/served on a
+# loopback port, submit a small job over HTTP, wait for it to finish,
+# and require the served record stream to be byte-identical to a
+# cmd/tune run of the same spec and seed. Override the port with
+# SERVE_SMOKE_ADDR if 18231 is taken.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18231
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/served ./cmd/served; \
+	$$tmp/served -addr $(SERVE_SMOKE_ADDR) -store $$tmp/jobs & pid=$$!; \
+	trap "kill $$pid 2>/dev/null; rm -rf $$tmp" EXIT; \
+	up=0; for i in $$(seq 1 50); do \
+		curl -fs http://$(SERVE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.2; \
+	done; \
+	[ "$$up" = 1 ] || { echo "serve-smoke: daemon never came up on $(SERVE_SMOKE_ADDR)"; exit 1; }; \
+	curl -fs -X POST http://$(SERVE_SMOKE_ADDR)/v1/jobs \
+		-d '{"id":"smoke-1","model":"mobilenet-v1","tuner":"autotvm","ops":"conv","seed":1,"budget":16,"early_stop":-1,"plan_size":8,"runs":20}' >/dev/null; \
+	state=pending; for i in $$(seq 1 150); do \
+		state=$$(curl -fs http://$(SERVE_SMOKE_ADDR)/v1/jobs/smoke-1 | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1); \
+		[ "$$state" = done ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = done ] || { echo "serve-smoke: job state '$$state', want done"; exit 1; }; \
+	curl -fs http://$(SERVE_SMOKE_ADDR)/v1/jobs/smoke-1/result | grep -q '"state": *"done"' || \
+		{ echo "serve-smoke: result endpoint did not report done"; exit 1; }; \
+	curl -fs http://$(SERVE_SMOKE_ADDR)/v1/jobs/smoke-1/records > $$tmp/served.jsonl; \
+	n=$$(wc -l < $$tmp/served.jsonl); \
+	[ "$$n" -gt 0 ] || { echo "serve-smoke: no records streamed"; exit 1; }; \
+	$(GO) run ./cmd/tune -model mobilenet-v1 -tuner autotvm -ops conv -seed 1 \
+		-budget 16 -earlystop -1 -plan 8 -runs 20 -log $$tmp/tune.jsonl >/dev/null; \
+	cmp $$tmp/served.jsonl $$tmp/tune.jsonl || \
+		{ echo "serve-smoke: served record stream differs from cmd/tune's for the same spec/seed"; exit 1; }; \
+	echo "serve-smoke: ok ($$n records, byte-identical to cmd/tune)"
+
+# Coverage gates: the scheduler, the checkpoint codec, and the job
+# lifecycle layer must each stay >= 80% covered by their own tests.
 cover:
-	@for pkg in internal/sched internal/snap; do \
+	@for pkg in internal/sched internal/snap internal/job; do \
 		name=$$(basename $$pkg); \
 		$(GO) test -coverprofile=/tmp/$${name}_cover.out ./$$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=/tmp/$${name}_cover.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \

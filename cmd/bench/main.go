@@ -33,6 +33,7 @@ import (
 	"repro/internal/active"
 	"repro/internal/backend"
 	"repro/internal/graph"
+	"repro/internal/job"
 	"repro/internal/record"
 	"repro/internal/sched"
 	"repro/internal/tuner"
@@ -168,7 +169,7 @@ func benchTasks(model string, n int) ([]*tuner.Task, error) {
 // concurrency and measurement worker pool and returns the results in task
 // order plus the wall-clock.
 func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, plan int, seed int64, taskConc, measureWorkers int, policy sched.Policy) ([]tuner.Result, time.Duration, *tuner.PhaseTimes, error) {
-	tn, err := newTuner(tunerName)
+	tn, err := job.NewTuner(tunerName)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -204,25 +205,6 @@ func leg(ctx context.Context, tasks []*tuner.Task, tunerName string, budget, pla
 		results[o.Index] = o.Result
 	}
 	return results, elapsed, phases, nil
-}
-
-func newTuner(name string) (tuner.Tuner, error) {
-	switch name {
-	case "autotvm":
-		return tuner.NewAutoTVM(), nil
-	case "bted":
-		return tuner.NewBTED(), nil
-	case "bted+bao":
-		return tuner.NewBTEDBAO(), nil
-	case "random":
-		return tuner.RandomTuner{}, nil
-	case "grid":
-		return tuner.GridTuner{}, nil
-	case "ga":
-		return tuner.GATuner{}, nil
-	default:
-		return nil, fmt.Errorf("unknown tuner %q", name)
-	}
 }
 
 // printPhases writes the per-phase breakdown in a stable order.

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/graph"
+	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/tensor"
@@ -93,27 +94,6 @@ func parseWorkload(spec string) (tensor.Workload, error) {
 	}
 }
 
-func newTuner(name string) (tuner.Tuner, error) {
-	switch name {
-	case "random":
-		return tuner.RandomTuner{}, nil
-	case "grid":
-		return tuner.GridTuner{}, nil
-	case "ga":
-		return tuner.GATuner{}, nil
-	case "chameleon":
-		return tuner.NewChameleon(), nil
-	case "autotvm":
-		return tuner.NewAutoTVM(), nil
-	case "bted":
-		return tuner.NewBTED(), nil
-	case "bted+bao":
-		return tuner.NewBTEDBAO(), nil
-	default:
-		return nil, fmt.Errorf("unknown tuner %q", name)
-	}
-}
-
 func run(ctx context.Context, model string, taskIdx int, workloadSpec, deviceName string, budget, plan, seeds int, tunerList string, chart bool, workers, parallel int) error {
 	var task *tuner.Task
 	if workloadSpec != "" {
@@ -158,7 +138,7 @@ func run(ctx context.Context, model string, taskIdx int, workloadSpec, deviceNam
 	for _, name := range strings.Split(tunerList, ",") {
 		name = strings.TrimSpace(name)
 		// Validate every tuner name before spending any compute.
-		if _, err := newTuner(name); err != nil {
+		if _, err := job.NewTuner(name); err != nil {
 			return err
 		}
 		names = append(names, name)
@@ -180,7 +160,7 @@ func run(ctx context.Context, model string, taskIdx int, workloadSpec, deviceNam
 	cellErrs := make([]error, len(names)*seeds)
 	par.ForContext(ctx, len(names)*seeds, parallel, func(k int) {
 		ti, si := k/seeds, k%seeds
-		tn, err := newTuner(names[ti])
+		tn, err := job.NewTuner(names[ti])
 		if err != nil {
 			return // validated above; unreachable
 		}

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/job"
 	"repro/internal/record"
+	"repro/internal/snap"
 )
 
 func testCfg(conc int, policy string) runConfig {
@@ -152,7 +154,7 @@ func TestCrashResumeCheckpoint(t *testing.T) {
 				t.Fatalf("interrupted run returned %v, want context.Canceled", err)
 			}
 
-			cp, err := loadTuneCheckpoint(cpPath)
+			cp, err := job.LoadCheckpoint(cpPath)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,7 +184,7 @@ func TestCrashResumeCheckpoint(t *testing.T) {
 
 			// The resumed run appended to the same checkpoint file; its final
 			// frame must be the run-completing one with every task finalized.
-			final, err := loadTuneCheckpoint(cpPath)
+			final, err := job.LoadCheckpoint(cpPath)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,34 +210,33 @@ func TestCheckpointResumeFlagValidation(t *testing.T) {
 		t.Fatalf("interrupted run returned %v", err)
 	}
 
-	isCp, err := sniffCheckpoint(cpPath)
-	if err != nil || !isCp {
-		t.Fatalf("sniffCheckpoint(%s) = %v, %v; want true", cpPath, isCp, err)
+	if kind, err := snap.Detect(cpPath); err != nil || kind != snap.KindSnap {
+		t.Fatalf("snap.Detect(%s) = %v, %v; want KindSnap", cpPath, kind, err)
 	}
 	logPath := filepath.Join(dir, "plain.jsonl")
 	if err := record.Write(mustCreate(t, logPath), []record.Record{{Task: "t", Workload: "w", Step: 1, Config: []int{0}}}); err != nil {
 		t.Fatal(err)
 	}
-	if isCp, err := sniffCheckpoint(logPath); err != nil || isCp {
-		t.Fatalf("sniffCheckpoint on a record log = %v, %v; want false", isCp, err)
+	if kind, err := snap.Detect(logPath); err != nil || kind != snap.KindRecords {
+		t.Fatalf("snap.Detect on a record log = %v, %v; want KindRecords", kind, err)
 	}
 
-	cp, err := loadTuneCheckpoint(cpPath)
+	cp, err := job.LoadCheckpoint(cpPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cp.validate("mobilenet-v1", cfg, 8); err == nil || !strings.Contains(err.Error(), "original flags") {
+	if err := cp.Validate(cfg.spec("mobilenet-v1", 8)); err == nil || !strings.Contains(err.Error(), "original flags") {
 		t.Fatalf("seed mismatch not rejected: %v", err)
 	}
 	other := cfg
 	other.budget = 99
-	if err := cp.validate("mobilenet-v1", other, 7); err == nil || !strings.Contains(err.Error(), "-budget") {
+	if err := cp.Validate(other.spec("mobilenet-v1", 7)); err == nil || !strings.Contains(err.Error(), "-budget") {
 		t.Fatalf("budget mismatch not rejected: %v", err)
 	}
-	if err := cp.validate("resnet-18", cfg, 7); err == nil {
+	if err := cp.Validate(cfg.spec("resnet-18", 7)); err == nil {
 		t.Fatal("model mismatch not rejected")
 	}
-	if err := cp.validate("mobilenet-v1", cfg, 7); err != nil {
+	if err := cp.Validate(cfg.spec("mobilenet-v1", 7)); err != nil {
 		t.Fatalf("matching flags rejected: %v", err)
 	}
 }

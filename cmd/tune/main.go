@@ -59,6 +59,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/sched"
@@ -195,6 +196,19 @@ func (c runConfig) extract() graph.ExtractOpts {
 	return graph.AllOps
 }
 
+// spec assembles the job description the flags denote. cmd/tune passes
+// every field explicitly (no Normalized defaults), so the stream is exactly
+// what the flags say.
+func (c runConfig) spec(model string, seed int64) job.Spec {
+	return job.Spec{
+		Model: model, Tuner: c.tuner, Device: c.device, Ops: c.ops,
+		Seed: seed, Budget: c.budget, EarlyStop: c.earlyStop,
+		PlanSize: c.planSize, Runs: c.runs, Workers: c.workers,
+		TaskConcurrency: c.taskConc, BudgetPolicy: c.budgetPolicy,
+		CheckpointEvery: c.checkpointEvery,
+	}
+}
+
 // printDryRun prints the scheduler's planned round/budget schedule for each
 // model without running a single measurement: task list, policy, and the
 // per-round grants with cumulative budgets (idealized — early stopping and
@@ -247,43 +261,22 @@ func resolveModels(spec string) []string {
 	return out
 }
 
-func newTuner(name string) (tuner.Tuner, error) {
-	switch name {
-	case "autotvm":
-		return tuner.NewAutoTVM(), nil
-	case "bted":
-		return tuner.NewBTED(), nil
-	case "bted+bao":
-		return tuner.NewBTEDBAO(), nil
-	case "random":
-		return tuner.RandomTuner{}, nil
-	case "grid":
-		return tuner.GridTuner{}, nil
-	case "ga":
-		return tuner.GATuner{}, nil
-	case "chameleon":
-		return tuner.NewChameleon(), nil
-	default:
-		return nil, fmt.Errorf("unknown tuner %q", name)
-	}
-}
-
 func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPath, resumePath, cpPath string, parallel int) error {
 	if len(models) == 0 {
 		return fmt.Errorf("no models given")
 	}
 	var resume []record.Record
-	var resumeCp *tuneCheckpoint
+	var resumeCp *job.Checkpoint
 	if resumePath != "" {
-		isCp, err := sniffCheckpoint(resumePath)
+		kind, err := snap.Detect(resumePath)
 		if err != nil {
 			return err
 		}
-		if isCp {
+		if kind == snap.KindSnap {
 			if len(models) != 1 {
 				return fmt.Errorf("-resume with a checkpoint file drives a single model (a multi-model run writes one checkpoint per model)")
 			}
-			if resumeCp, err = loadTuneCheckpoint(resumePath); err != nil {
+			if resumeCp, err = job.LoadCheckpoint(resumePath); err != nil {
 				return err
 			}
 			fmt.Printf("resuming %s from checkpoint %s (round %d, %d records)\n",
@@ -355,25 +348,7 @@ func run(ctx context.Context, models []string, cfg runConfig, seed int64, logPat
 	return firstErr
 }
 
-func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record, cpPath string, resumeCp *tuneCheckpoint) (err error) {
-	tn, err := newTuner(cfg.tuner)
-	if err != nil {
-		return err
-	}
-	b, err := backend.New(cfg.device, seed)
-	if err != nil {
-		return err
-	}
-	if (cpPath != "" || resumeCp != nil) && !b.Seeded() {
-		// An unseeded backend's shared noise-stream position is not part of
-		// any checkpoint, so a resumed run could not continue bit-identically.
-		return fmt.Errorf("checkpointing requires a seeded backend; %s is not", cfg.device)
-	}
-	if resumeCp != nil {
-		if err := resumeCp.validate(model, cfg, seed); err != nil {
-			return err
-		}
-	}
+func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, seed int64, logPath string, resume []record.Record, cpPath string, resumeCp *job.Checkpoint) error {
 	// -stop-after-checkpoints interrupts through the same path Ctrl-C does:
 	// cancelling the run context after the Nth checkpoint lands.
 	ctx, cancelRun := context.WithCancel(ctx)
@@ -381,21 +356,12 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 	// Per-task wall-clock report, collected from completion events (which the
 	// pipeline serializes, so plain map writes are safe).
 	elapsed := make(map[string]time.Duration)
-	opts := core.PipelineOptions{
-		Tuning: tuner.Options{
-			Budget:    cfg.budget,
-			EarlyStop: cfg.earlyStop,
-			PlanSize:  cfg.planSize,
-			Seed:      seed,
-			Workers:   cfg.workers,
-		},
-		Extract:         cfg.extract(),
-		UseTransfer:     true,
-		Resume:          resume,
-		Runs:            cfg.runs,
-		TaskDeadline:    cfg.timeout,
-		TaskConcurrency: cfg.taskConc,
-		BudgetPolicy:    cfg.budgetPolicy,
+	opts := job.RunOptions{
+		LogPath:          logPath,
+		CheckpointPath:   cpPath,
+		ResumeRecords:    resume,
+		ResumeCheckpoint: resumeCp,
+		TaskDeadline:     cfg.timeout,
 		Progress: func(i, n int, name string) {
 			fmt.Fprintf(w, "[%2d/%2d] tuning %s\n", i, n, name)
 		},
@@ -405,103 +371,23 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 				e.Index, e.Total, e.Name, e.Measurements, e.Elapsed.Round(time.Millisecond))
 		},
 	}
-
-	// Stream the record log: one JSON line per measurement, flushed at each
-	// batch boundary so an interrupt loses at most one in-progress batch. A
-	// checkpoint resume first rewinds the log to the records the checkpoint
-	// counted, then appends from there with the count carried over so batch
-	// boundaries land exactly where an uninterrupted run's would.
-	var sw *record.StreamWriter
-	if logPath != "" {
-		var f *os.File
-		if resumeCp != nil {
-			if err := record.TruncatePrefix(logPath, resumeCp.Records); err != nil {
-				return err
-			}
-			if f, err = os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
-				return err
-			}
-			sw = record.NewStreamWriterAt(f, resumeCp.Records)
-		} else {
-			if f, err = os.Create(logPath); err != nil {
-				return err
-			}
-			sw = record.NewStreamWriter(f)
-		}
-		defer func() {
-			if cerr := f.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
-		opts.OnRecord = func(rec record.Record) {
-			if aerr := sw.Append(rec); aerr != nil {
-				return // latched; reported at the final Flush below
-			}
-			if sw.Count()%cfg.planSize == 0 {
-				_ = sw.Flush() // latched too; per-batch checkpoint is best-effort
-			}
-		}
-	}
-
-	// Stream checkpoints: each scheduler boundary appends one self-contained
-	// frame with a single write, so an interrupt at any instant leaves a
-	// valid checkpoint file. The record log flushes first — a frame's record
-	// count must never exceed what the log actually holds.
-	var cpErr error
-	if cpPath != "" {
-		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-		if resumeCp != nil && resumeCp.path == cpPath {
-			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-		}
-		cpFile, oerr := os.OpenFile(cpPath, mode, 0o644)
-		if oerr != nil {
-			return oerr
-		}
-		defer func() {
-			if cerr := cpFile.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}()
-		checkpoints := 0
-		opts.CheckpointEvery = cfg.checkpointEvery
-		opts.OnCheckpoint = func(cp *sched.Checkpoint) {
-			count := 0
-			if sw != nil {
-				_ = sw.Flush() // latched; reported at the final Flush below
-				count = sw.Count()
-			}
-			tc := &tuneCheckpoint{
-				Model: model, Tuner: cfg.tuner, Device: cfg.device, Ops: cfg.ops,
-				Seed: seed, Budget: cfg.budget, EarlyStop: cfg.earlyStop,
-				PlanSize: cfg.planSize, Runs: cfg.runs, TaskConc: cfg.taskConc,
-				Policy: cfg.budgetPolicy, Records: count, Sched: cp,
-			}
-			if aerr := snap.Append(cpFile, tuneCheckpointKind, tc); aerr != nil && cpErr == nil {
-				cpErr = aerr
-			}
-			checkpoints++
-			if cfg.stopAfter > 0 && checkpoints >= cfg.stopAfter {
+	if cfg.stopAfter > 0 {
+		stopAfter := cfg.stopAfter
+		opts.AfterCheckpoint = func(n int) {
+			if n >= stopAfter {
 				cancelRun()
 			}
 		}
 	}
-	if resumeCp != nil {
-		opts.ResumeCheckpoint = resumeCp.Sched
-	}
 
-	dep, derr := core.OptimizeModel(ctx, model, tn, b, opts)
-	if sw != nil {
-		if ferr := sw.Flush(); ferr != nil && derr == nil {
-			return ferr
-		}
-		fmt.Fprintf(w, "streamed %d records to %s\n", sw.Count(), logPath)
+	res, err := job.Run(ctx, cfg.spec(model, seed), opts)
+	if res.Streamed {
+		fmt.Fprintf(w, "streamed %d records to %s\n", res.Records, logPath)
 	}
-	if cpErr != nil && derr == nil {
-		return cpErr
+	if err != nil {
+		return err
 	}
-	if derr != nil {
-		return derr
-	}
+	dep := res.Deployment
 
 	fmt.Fprintln(w)
 	for _, t := range dep.Tasks {
@@ -512,7 +398,7 @@ func runModel(ctx context.Context, w io.Writer, model string, cfg runConfig, see
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, dep.Summary())
 
-	if shares, berr := dep.Breakdown(b.Simulator().Estimator()); berr == nil {
+	if shares, berr := dep.Breakdown(res.Backend.Simulator().Estimator()); berr == nil {
 		fmt.Fprintln(w, "\nlatency breakdown (top tasks):")
 		if len(shares) > 8 {
 			shares = shares[:8]

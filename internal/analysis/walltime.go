@@ -14,7 +14,8 @@ import (
 // time.Since-based budget silently couples the stream to machine load.
 //
 // The analyzer applies to the packages that produce sample streams
-// (internal/tuner, internal/active, internal/sched). Within them it builds
+// (internal/tuner, internal/active, internal/sched) and to the job layer
+// that drives them (internal/job). Within them it builds
 // the intra-package call graph and flags time.Now / time.Since /
 // time.Sleep / time.After / time.Tick / time.NewTimer / time.NewTicker in
 // any function reachable from the package's exported API. Pure
@@ -29,7 +30,7 @@ func (Walltime) Name() string { return "walltime" }
 
 // Doc implements Analyzer.
 func (Walltime) Doc() string {
-	return "forbid time.Now/Since/Sleep (and timer constructors) on paths reachable from the sample-stream-producing APIs of internal/{tuner,active,sched}; annotate observability-only uses"
+	return "forbid time.Now/Since/Sleep (and timer constructors) on paths reachable from the sample-stream-producing APIs of internal/{tuner,active,sched,job}; annotate observability-only uses"
 }
 
 // walltimePkgs are the import-path suffixes the contract covers: the
@@ -39,6 +40,11 @@ var walltimePkgs = []string{
 	"internal/tuner",
 	"internal/active",
 	"internal/sched",
+	// The job layer drives the pipeline and fans records out to service
+	// subscribers; a wall-clock read there could pace or reorder a stream
+	// just as easily as one inside a tuner. Status timestamps are the only
+	// sanctioned uses and each carries its annotation.
+	"internal/job",
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

@@ -1,0 +1,123 @@
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// CheckpointKind tags a job's checkpoint frames. The kind predates the job
+// package (cmd/tune wrote it as "tune-checkpoint/v1"), and keeping the
+// token means checkpoint files written before the lifecycle moved here
+// still resume.
+const CheckpointKind = "tune-checkpoint/v1"
+
+// Checkpoint is one checkpoint frame: the run inputs that must match on
+// resume (the scheduler state is only meaningful against the exact model,
+// tuner, seeds, and budget shape that produced it), the record-log
+// position the frame is aligned with, and the scheduler's serialized
+// state.
+//
+// Workers and wall-clock deadlines are deliberately absent: measurement
+// results are worker-count invariant, and per-task deadline clocks restart
+// on resume by design.
+//
+// The field declaration order is the frame's canonical JSON order — do not
+// reorder.
+type Checkpoint struct {
+	Model     string `json:"model"`
+	Tuner     string `json:"tuner"`
+	Device    string `json:"device"`
+	Ops       string `json:"ops"`
+	Seed      int64  `json:"seed"`
+	Budget    int    `json:"budget"`
+	EarlyStop int    `json:"early_stop"`
+	PlanSize  int    `json:"plan_size"`
+	Runs      int    `json:"runs"`
+	TaskConc  int    `json:"task_concurrency"`
+	Policy    string `json:"budget_policy"`
+	// Records counts the record-log entries flushed before this frame was
+	// written. Resume truncates the log back to exactly this many records,
+	// discarding measurements from the interrupted tail, and continues
+	// appending from there.
+	Records int               `json:"records"`
+	Sched   *sched.Checkpoint `json:"sched"`
+
+	// Path is the file this checkpoint was loaded from, so a resumed run
+	// that checkpoints to the same file appends instead of truncating.
+	Path string `json:"-"`
+}
+
+// checkpointOf captures the spec-derived header of a checkpoint frame; the
+// runner fills Records and Sched per boundary.
+func checkpointOf(spec Spec, records int, cp *sched.Checkpoint) *Checkpoint {
+	return &Checkpoint{
+		Model: spec.Model, Tuner: spec.Tuner, Device: spec.Device, Ops: spec.Ops,
+		Seed: spec.Seed, Budget: spec.Budget, EarlyStop: spec.EarlyStop,
+		PlanSize: spec.PlanSize, Runs: spec.Runs, TaskConc: spec.TaskConcurrency,
+		Policy: spec.BudgetPolicy, Records: records, Sched: cp,
+	}
+}
+
+// Validate rejects a resume whose spec differs from the checkpointed
+// run's. The error names the diverging flag so CLI users can correct it.
+func (tc *Checkpoint) Validate(spec Spec) error {
+	checks := []struct {
+		flag      string
+		got, want any
+	}{
+		{"model", tc.Model, spec.Model},
+		{"tuner", tc.Tuner, spec.Tuner},
+		{"device", tc.Device, spec.Device},
+		{"ops", tc.Ops, spec.Ops},
+		{"seed", tc.Seed, spec.Seed},
+		{"budget", tc.Budget, spec.Budget},
+		{"earlystop", tc.EarlyStop, spec.EarlyStop},
+		{"plan", tc.PlanSize, spec.PlanSize},
+		{"runs", tc.Runs, spec.Runs},
+		{"task-concurrency", tc.TaskConc, spec.TaskConcurrency},
+		{"budget-policy", tc.Policy, spec.BudgetPolicy},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("checkpoint was written with -%s %v, this run has %v (resume with the original flags)", c.flag, c.got, c.want)
+		}
+	}
+	if tc.Sched == nil {
+		return fmt.Errorf("checkpoint frame carries no scheduler state")
+	}
+	return nil
+}
+
+// LoadCheckpoint returns the last complete checkpoint frame in path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	tc := &Checkpoint{}
+	ok, err := ReadLast(path, CheckpointKind, tc)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("checkpoint %s holds no complete %q frame", path, CheckpointKind)
+	}
+	tc.Path = path
+	return tc, nil
+}
+
+// ReadLast decodes the latest complete frame of the given kind from the
+// snap stream at path into v, reporting whether one was found. Torn final
+// frames are tolerated (snap.ReadFile semantics).
+func ReadLast(path, kind string, v any) (bool, error) {
+	frames, err := snap.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	fr, ok := snap.Last(frames, kind)
+	if !ok {
+		return false, nil
+	}
+	if err := fr.Unmarshal(v); err != nil {
+		return false, fmt.Errorf("decoding %s frame in %s: %w", kind, path, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,86 @@
+package job
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeriveSeedGolden pins the ID → seed derivation byte for byte. These
+// values are the wire contract of "jobseed/v1": a job resubmitted under the
+// same ID must replay the same stream on any machine and any future version
+// of this package. If this test fails, the derivation changed — that is a
+// protocol break, not a refactor.
+func TestDeriveSeedGolden(t *testing.T) {
+	golden := map[string]int64{
+		"a":                          -7872465979612697172,
+		"j0000000000000000":          712385541227884445,
+		"paper-run-1":                8427205277040022327,
+		"mobilenet-v1.bted-bao.2021": -8904413184907405629,
+	}
+	for id, want := range golden {
+		if got := DeriveSeed(id); got != want {
+			t.Errorf("DeriveSeed(%q) = %d, want %d (jobseed/v1 derivation changed: protocol break)", id, got, want)
+		}
+	}
+	if got := DeriveSeed("a"); got != DeriveSeed("a") {
+		t.Errorf("DeriveSeed is not deterministic: %d", got)
+	}
+}
+
+// TestSpecIDGolden pins the spec → default-ID derivation: the normalized
+// spec's canonical JSON hashed with FNV-1a 64. Field order is declaration
+// order, so adding, removing, or reordering Spec fields changes these IDs —
+// which is intended (a different spec shape is a different job), but must
+// never happen silently.
+func TestSpecIDGolden(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Model: "mobilenet-v1"}, "jaf2b04b29360b1e7"},
+		{Spec{Model: "mobilenet-v1", Tuner: "autotvm", Ops: "conv", Seed: 2021,
+			Budget: 24, EarlyStop: -1, PlanSize: 8, Runs: 50, Workers: 2}, "j69da8e5a7aef1afc"},
+	}
+	for _, c := range cases {
+		if got := SpecID(c.spec); got != c.want {
+			t.Errorf("SpecID(%+v) = %s, want %s", c.spec, got, c.want)
+		}
+	}
+	// Normalization happens inside SpecID: a spec given explicitly at the
+	// defaults collides with its zero-field spelling, by design.
+	explicit := Spec{Model: "mobilenet-v1"}.Normalized()
+	if got := SpecID(explicit); got != "jaf2b04b29360b1e7" {
+		t.Errorf("SpecID of explicit defaults = %s, want the zero-field spec's ID", got)
+	}
+	if err := ValidateID(SpecID(Spec{Model: "resnet-18"})); err != nil {
+		t.Errorf("SpecID output fails ValidateID: %v", err)
+	}
+}
+
+func TestEffectiveSeed(t *testing.T) {
+	if got := EffectiveSeed("paper-run-1", Spec{}); got != 8427205277040022327 {
+		t.Errorf("derived seed = %d", got)
+	}
+	if got := EffectiveSeed("paper-run-1", Spec{Seed: 7}); got != 7 {
+		t.Errorf("explicit seed not honored: %d", got)
+	}
+}
+
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"a", "j69da8e5a7aef1afc", "run_1.retry-2", "A.B-c_9"} {
+		if err := ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", ok, err)
+		}
+	}
+	bad := []string{"", ".", "..", ".hidden", "a/b", "a b", "a\x00b", "é", strings.Repeat("x", MaxIDLen+1)}
+	for _, id := range bad {
+		err := ValidateID(id)
+		if err == nil {
+			t.Errorf("ValidateID(%q) accepted", id)
+			continue
+		}
+		if !strings.Contains(err.Error(), "job ID") {
+			t.Errorf("ValidateID(%q) error %q does not name the job ID", id, err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package job
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	got := Spec{Model: "mobilenet-v1"}.Normalized()
+	want := Spec{
+		Model: "mobilenet-v1", Tuner: "bted+bao", Device: "gtx1080ti", Ops: "all",
+		Budget: 512, EarlyStop: 400, PlanSize: 64, Runs: 600,
+		TaskConcurrency: 1, BudgetPolicy: "uniform",
+	}
+	if got != want {
+		t.Errorf("Normalized() = %+v, want cmd/tune's flag defaults %+v", got, want)
+	}
+	// Set fields survive normalization untouched.
+	full := want
+	full.Budget, full.Seed, full.Workers = 24, 7, 3
+	if full.Normalized() != full {
+		t.Errorf("Normalized() rewrote set fields: %+v", full.Normalized())
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("normalized default spec fails Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Spec{Model: "mobilenet-v1"}.Normalized()
+	mutate := map[string]func(*Spec){
+		"no model":             func(s *Spec) { s.Model = "" },
+		"unknown model":        func(s *Spec) { s.Model = "nope" },
+		"unknown tuner":        func(s *Spec) { s.Tuner = "nope" },
+		"unknown device":       func(s *Spec) { s.Device = "nope" },
+		"unknown ops":          func(s *Spec) { s.Ops = "nope" },
+		"unknown policy":       func(s *Spec) { s.BudgetPolicy = "nope" },
+		"budget low":           func(s *Spec) { s.Budget = -1 },
+		"budget high":          func(s *Spec) { s.Budget = MaxBudget + 1 },
+		"plan high":            func(s *Spec) { s.PlanSize = MaxPlanSize + 1 },
+		"runs high":            func(s *Spec) { s.Runs = MaxRuns + 1 },
+		"workers negative":     func(s *Spec) { s.Workers = -1 },
+		"workers high":         func(s *Spec) { s.Workers = MaxWorkers + 1 },
+		"task conc high":       func(s *Spec) { s.TaskConcurrency = MaxTaskConcurrency + 1 },
+		"early stop high":      func(s *Spec) { s.EarlyStop = MaxBudget + 1 },
+		"checkpoint negative":  func(s *Spec) { s.CheckpointEvery = -1 },
+		"checkpoint too large": func(s *Spec) { s.CheckpointEvery = MaxBudget + 1 },
+	}
+	for name, mut := range mutate {
+		s := base
+		mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", name, s)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", name, err)
+		}
+	}
+}
+
+func TestDecodeSubmit(t *testing.T) {
+	sub, err := DecodeSubmit(strings.NewReader(`{"id": "run-1", "model": "mobilenet-v1", "budget": 24}`))
+	if err != nil {
+		t.Fatalf("valid submission rejected: %v", err)
+	}
+	if sub.ID != "run-1" || sub.Spec.Budget != 24 || sub.Spec.Tuner != "bted+bao" {
+		t.Errorf("decoded %+v; want id run-1, budget 24, normalized tuner", sub)
+	}
+
+	rejected := map[string]string{
+		"unknown field":   `{"model": "mobilenet-v1", "budgetz": 24}`,
+		"typoed knob":     `{"model": "mobilenet-v1", "Budget ": 1}`,
+		"trailing data":   `{"model": "mobilenet-v1"} {"model": "resnet-18"}`,
+		"not json":        `--budget 24`,
+		"empty":           ``,
+		"wrong type":      `{"model": 5}`,
+		"bad model":       `{"model": "nope"}`,
+		"bad id":          `{"id": "../etc", "model": "mobilenet-v1"}`,
+		"budget too big":  `{"model": "mobilenet-v1", "budget": 99999999}`,
+		"oversized":       `{"model": "mobilenet-v1", "tuner": "` + strings.Repeat("x", MaxSubmitBytes) + `"}`,
+		"array not obj":   `[1, 2]`,
+		"null then junk":  `null`,
+		"unknown nested":  `{"model": "mobilenet-v1", "spec": {"budget": 1}}`,
+		"deadline banned": `{"model": "mobilenet-v1", "task_deadline": "5s"}`,
+	}
+	for name, body := range rejected {
+		_, err := DecodeSubmit(strings.NewReader(body))
+		if err == nil {
+			t.Errorf("%s: accepted %q", name, body)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", name, err)
+		}
+	}
+}
+
+// FuzzDecodeSubmit hammers the HTTP submission decoder with arbitrary
+// bytes: it must never panic, and anything it accepts must satisfy the same
+// invariants the service relies on (validated spec, usable ID).
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add(`{"model": "mobilenet-v1"}`)
+	f.Add(`{"id": "run-1", "model": "resnet-18", "tuner": "autotvm", "budget": 24, "seed": -1}`)
+	f.Add(`{"model": "mobilenet-v1", "unknown": 1}`)
+	f.Add(`{"model": "mobilenet-v1"} trailing`)
+	f.Add(`{"id": "` + strings.Repeat("a", 200) + `"}`)
+	f.Add(`[{"model": null}]`)
+	f.Add("{\"model\": \"mobilenet-v1\", \"budget\": 1e300}")
+	f.Add("\x00\x01SNAP1 junk")
+	f.Fuzz(func(t *testing.T, body string) {
+		sub, err := DecodeSubmit(strings.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("DecodeSubmit error %v does not wrap ErrBadSpec", err)
+			}
+			return
+		}
+		if verr := sub.Spec.Validate(); verr != nil {
+			t.Errorf("accepted spec fails Validate: %v (body %q)", verr, body)
+		}
+		if sub.ID != "" {
+			if verr := ValidateID(sub.ID); verr != nil {
+				t.Errorf("accepted ID fails ValidateID: %v", verr)
+			}
+		}
+	})
+}

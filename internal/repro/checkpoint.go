@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/sched"
 	"repro/internal/snap"
 )
@@ -91,38 +92,30 @@ func runTrialPipeline(ctx context.Context, cfg Config, study, model string, mi, 
 		}
 	}
 
-	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-	if appendMode {
-		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	}
-	f, err := os.OpenFile(path, mode, 0o644)
+	// Frame appends are single writes, so an interrupt mid-study leaves at
+	// worst a torn final frame that the tolerant reader drops on resume.
+	// SnapFile latches periodic append failures (a checkpoint hiccup must not
+	// abort the trial mid-measurement); they surface via Err after the run.
+	cpFile, err := job.CreateSnapFile(path, appendMode)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
+		if cerr := cpFile.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}()
-
-	// Frame appends are single writes, so an interrupt mid-study leaves at
-	// worst a torn final frame that the tolerant reader drops on resume.
-	var cpErr error
 	popts.CheckpointEvery = cfg.checkpointStride()
-	popts.OnCheckpoint = func(cp *sched.Checkpoint) {
-		if aerr := snap.Append(f, trialCheckpointKind, cp); aerr != nil && cpErr == nil {
-			cpErr = aerr
-		}
-	}
+	popts.OnCheckpoint = cpFile.OnSchedCheckpoint(trialCheckpointKind)
 
 	dep, derr := core.OptimizeModel(ctx, model, NewMethodTuner(mi), b, popts)
 	if derr != nil {
 		return 0, 0, derr
 	}
-	if cpErr != nil {
+	if cpErr := cpFile.Err(); cpErr != nil {
 		return 0, 0, fmt.Errorf("repro: checkpointing %s: %w", path, cpErr)
 	}
-	if aerr := snap.Append(f, trialResultKind, trialResult{LatencyMS: dep.LatencyMS, Variance: dep.Variance}); aerr != nil {
+	if aerr := cpFile.Append(trialResultKind, trialResult{LatencyMS: dep.LatencyMS, Variance: dep.Variance}); aerr != nil {
 		return 0, 0, fmt.Errorf("repro: finalizing %s: %w", path, aerr)
 	}
 	return dep.LatencyMS, dep.Variance, nil

@@ -1,0 +1,74 @@
+package snap
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// FileKind classifies what a resumable file path holds, so callers that
+// accept "a record log or a checkpoint file" through one flag (cmd/tune's
+// -resume, the job store's recovery scan) can branch without duplicating
+// the magic sniffing.
+type FileKind int
+
+const (
+	// KindEmpty: the file exists but holds no bytes. Callers usually treat
+	// it as a record log with zero records.
+	KindEmpty FileKind = iota
+	// KindSnap: the file starts with the SNAP1 frame magic — a checkpoint
+	// stream for ReadFile.
+	KindSnap
+	// KindRecords: the file starts with a JSON object line — a record log
+	// for record.Read.
+	KindRecords
+	// KindUnknown: neither framing; the payload is garbage for both
+	// readers and callers should fail loudly.
+	KindUnknown
+)
+
+// String names the kind for error messages.
+func (k FileKind) String() string {
+	switch k {
+	case KindEmpty:
+		return "empty"
+	case KindSnap:
+		return "checkpoint"
+	case KindRecords:
+		return "record log"
+	default:
+		return "unknown"
+	}
+}
+
+// Detect sniffs the first bytes of path and classifies the file. It reads
+// at most one header's worth of bytes: the SNAP1 magic followed by a space
+// marks a checkpoint stream, a leading '{' marks a JSON-lines record log,
+// an empty file is KindEmpty, and anything else is KindUnknown. Detect
+// never parses further — a KindSnap file may still fail ReadFile, which is
+// where corruption is diagnosed.
+func Detect(path string) (FileKind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return KindUnknown, err
+	}
+	// Read-only open: a close failure cannot corrupt anything the sniff
+	// reports, so the error is deliberately dropped.
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, len(Magic)+1)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return KindUnknown, err
+	}
+	buf = buf[:n]
+	if len(buf) == 0 {
+		return KindEmpty, nil
+	}
+	if string(buf) == Magic+" " {
+		return KindSnap, nil
+	}
+	if buf[0] == '{' {
+		return KindRecords, nil
+	}
+	return KindUnknown, nil
+}

@@ -1,0 +1,67 @@
+package snap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDetect(t *testing.T) {
+	frame, err := Encode("detect-test/v1", map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want FileKind
+	}{
+		{"checkpoint", frame, KindSnap},
+		{"record log", []byte(`{"task":"t","step":1}` + "\n"), KindRecords},
+		{"empty", nil, KindEmpty},
+		{"garbage", []byte("not a log\n"), KindUnknown},
+		{"magic without space", []byte("SNAP1x rest"), KindUnknown},
+		{"truncated magic", []byte("SNA"), KindUnknown},
+		{"short json", []byte("{"), KindRecords},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, "f", tc.data)
+			got, err := Detect(path)
+			if err != nil {
+				t.Fatalf("Detect: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("Detect = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDetectMissingFile(t *testing.T) {
+	if _, err := Detect(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Detect on a missing file returned nil error")
+	}
+}
+
+func TestFileKindString(t *testing.T) {
+	for k, want := range map[FileKind]string{
+		KindEmpty:   "empty",
+		KindSnap:    "checkpoint",
+		KindRecords: "record log",
+		KindUnknown: "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("FileKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
