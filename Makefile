@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race determinism bench bench-smoke bench-check serve-smoke cover lint lint-sarif fmt-check verify
+.PHONY: all build test race determinism bench bench-smoke bench-check serve-smoke serve-bench cover lint lint-sarif fmt-check verify
 
 all: build test lint
 
@@ -16,7 +16,7 @@ test:
 # and Gram assembly, parallel SA chains, the job manager's record fan-out
 # and the daemon's SSE subscribers).
 race:
-	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp ./internal/sa ./internal/job ./cmd/served
+	$(GO) test -race ./internal/hwsim ./internal/transfer ./internal/tuner ./internal/active ./internal/linalg ./internal/par ./internal/backend ./internal/sched ./internal/xgb ./internal/gp ./internal/sa ./internal/job ./internal/serve ./cmd/served
 
 # Determinism suite under the race detector: same seed, Workers 1/4/8
 # must yield bit-identical samples for every tuner, a cancelled or
@@ -95,10 +95,21 @@ serve-smoke:
 		{ echo "serve-smoke: served record stream differs from cmd/tune's for the same spec/seed"; exit 1; }; \
 	echo "serve-smoke: ok ($$n records, byte-identical to cmd/tune)"
 
-# Coverage gates: the scheduler, the checkpoint codec, and the job
-# lifecycle layer must each stay >= 80% covered by their own tests.
+# Serving-throughput benchmark gated against the committed report: a
+# small fleet (12 jobs — the committed BENCH_served.json is a 64-job run
+# and is left alone) through the real daemon over loopback HTTP, once
+# with the shared measurement cache off and once on. The gate is
+# size-independent: per-job record logs must stay byte-identical between
+# the legs, the cache must actually hit, and the cache speedup must not
+# collapse below baseline / -max-regress (default 3; CI hosts are noisy).
+serve-bench:
+	$(GO) run ./cmd/bench -served -served-jobs 12 -out /tmp/BENCH_served_check.json -baseline BENCH_served.json
+
+# Coverage gates: the scheduler, the checkpoint codec, the job lifecycle
+# layer, and the fleet load generator must each stay >= 80% covered by
+# their own tests.
 cover:
-	@for pkg in internal/sched internal/snap internal/job; do \
+	@for pkg in internal/sched internal/snap internal/job internal/fleet; do \
 		name=$$(basename $$pkg); \
 		$(GO) test -coverprofile=/tmp/$${name}_cover.out ./$$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=/tmp/$${name}_cover.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \

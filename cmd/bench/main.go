@@ -50,7 +50,14 @@ type report struct {
 	Workers         int    `json:"workers"`
 	TaskConcurrency int    `json:"task_concurrency"`
 	BudgetPolicy    string `json:"budget_policy"`
-	GOMAXPROCS      int    `json:"gomaxprocs"`
+	// GOMAXPROCSSerial and GOMAXPROCSParallel record each leg's scheduler
+	// width. They differ on purpose: the serial leg is a single-threaded
+	// reference no matter the host, while the parallel leg is pinned to
+	// NumCPU so its speedup reflects the hardware instead of an inherited
+	// GOMAXPROCS (an earlier report ran both legs at 1, making its
+	// "speedup" a no-op comparison).
+	GOMAXPROCSSerial   int `json:"gomaxprocs_serial"`
+	GOMAXPROCSParallel int `json:"gomaxprocs_parallel"`
 	// SerialMS and ParallelWallMS are each leg's wall-clock, directly
 	// comparable to each other (Speedup is their ratio). The parallel field
 	// says "wall" explicitly to keep it from being read against
@@ -80,14 +87,26 @@ func main() {
 	workers := flag.Int("workers", 8, "measurement worker pool per task in the parallel leg")
 	taskConc := flag.Int("task-concurrency", 0, "scheduler task concurrency of the parallel leg (<=0: same as -workers)")
 	policyName := flag.String("budget-policy", "uniform", "scheduler budget policy for both legs: uniform | adaptive")
-	out := flag.String("out", "BENCH_tune.json", "output JSON path")
-	baseline := flag.String("baseline", "", "committed report to regression-check the serial candidate_selection phase against (typically the repo's BENCH_tune.json); empty: skip")
-	maxRegress := flag.Float64("max-regress", 3.0, "with -baseline: fail if the serial candidate_selection phase exceeds the baseline's by more than this factor (generous by default — shared CI hosts are noisy)")
+	out := flag.String("out", "", "output JSON path (default BENCH_tune.json, or BENCH_served.json with -served)")
+	baseline := flag.String("baseline", "", "committed report to regression-check against (tuner mode: serial candidate_selection phase, typically BENCH_tune.json; served mode: cache speedup and byte-identity, typically BENCH_served.json); empty: skip")
+	maxRegress := flag.Float64("max-regress", 3.0, "with -baseline: fail past this regression factor (generous by default — shared CI hosts are noisy)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	servedMode := flag.Bool("served", false, "benchmark the serving daemon (loopback HTTP fleet) instead of the tuner")
+	servedJobs := flag.Int("served-jobs", 64, "with -served: fleet size")
+	servedConc := flag.Int("served-concurrency", 2, "with -served: daemon job concurrency")
+	servedArrival := flag.String("served-arrival", "burst", "with -served: arrival pattern (burst | uniform | poisson)")
+	servedPeriod := flag.Duration("served-period", time.Second, "with -served: arrival window for uniform/poisson")
 	flag.Parse()
 	if *taskConc <= 0 {
 		*taskConc = *workers
+	}
+	if *out == "" {
+		if *servedMode {
+			*out = "BENCH_served.json"
+		} else {
+			*out = "BENCH_tune.json"
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,6 +115,18 @@ func main() {
 	// Profiled body in its own function so deferred profile teardown runs
 	// before os.Exit.
 	if err := profiledRun(ctx, *cpuProfile, *memProfile, func(ctx context.Context) error {
+		if *servedMode {
+			return runServed(ctx, servedOptions{
+				Jobs:        *servedJobs,
+				Concurrency: *servedConc,
+				Arrival:     *servedArrival,
+				Period:      *servedPeriod,
+				Seed:        *seed,
+				Out:         *out,
+				Baseline:    *baseline,
+				MaxRegress:  *maxRegress,
+			})
+		}
 		return run(ctx, *model, *tunerName, *nTasks, *budget, *plan, *seed, *workers, *taskConc, *policyName, *out, *baseline, *maxRegress)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -291,7 +322,13 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 	fmt.Printf("serial   (tasks x1, workers 1): %8.1f ms\n", float64(serialDur.Microseconds())/1000)
 	printPhases(serialPhases)
 
+	// The parallel leg gets the full machine: comparing it against serial
+	// only means something when the scheduler may actually run wide.
+	gmpSerial := runtime.GOMAXPROCS(0)
+	gmpParallel := runtime.NumCPU()
+	prev := runtime.GOMAXPROCS(gmpParallel)
 	parRes, parDur, parPhases, err := leg(ctx, tasks, tunerName, budget, plan, seed, taskConc, workers, policy)
+	runtime.GOMAXPROCS(prev)
 	if err != nil {
 		return err
 	}
@@ -316,7 +353,8 @@ func run(ctx context.Context, model, tunerName string, nTasks, budget, plan int,
 		Workers:            workers,
 		TaskConcurrency:    taskConc,
 		BudgetPolicy:       policy.Name(),
-		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GOMAXPROCSSerial:   gmpSerial,
+		GOMAXPROCSParallel: gmpParallel,
 		SerialMS:           float64(serialDur.Microseconds()) / 1000,
 		ParallelWallMS:     float64(parDur.Microseconds()) / 1000,
 		IdenticalSamples:   identical,

@@ -1,0 +1,500 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/job"
+	"repro/internal/record"
+	"repro/internal/serve"
+)
+
+// servedOptions parameterizes the serving-throughput benchmark.
+type servedOptions struct {
+	Jobs        int
+	Concurrency int
+	Arrival     string
+	Period      time.Duration
+	Seed        int64
+	Out         string
+	Baseline    string
+	MaxRegress  float64
+}
+
+// latencyStats are submit→done percentiles in milliseconds, computed from
+// the daemon's own admission/finish timestamps so they include queueing.
+type latencyStats struct {
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// fanoutPoint is one SSE fan-out measurement: how long it takes N
+// concurrent subscribers to each drain a finished job's full stream.
+type fanoutPoint struct {
+	Subscribers int     `json:"subscribers"`
+	TotalMS     float64 `json:"total_ms"`
+	PerSubMS    float64 `json:"per_subscriber_ms"`
+}
+
+// servedReport is the BENCH_served.json schema. The two legs run the same
+// deterministic fleet against the same daemon build; only the shared
+// measurement cache differs, so CacheSpeedup isolates the cross-job reuse
+// win and ByteIdentical proves the cache changed no job's output.
+type servedReport struct {
+	Jobs        int    `json:"jobs"`
+	Arrival     string `json:"arrival"`
+	Seed        int64  `json:"seed"`
+	Concurrency int    `json:"concurrency"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"`
+	WarmJobsPerSec float64 `json:"warm_jobs_per_sec"`
+	// CacheSpeedup is cold wall / warm wall: how much faster the fleet
+	// finishes with the shared measurement cache on.
+	CacheSpeedup float64 `json:"cache_speedup"`
+
+	ColdLatency latencyStats `json:"cold_latency"`
+	WarmLatency latencyStats `json:"warm_latency"`
+
+	Cache        backend.SharedCacheStats `json:"cache"`
+	CacheHitRate float64                  `json:"cache_hit_rate"`
+	// ByteIdentical: every job's record log is byte-identical between the
+	// cold and warm legs — the cache is observationally invisible.
+	ByteIdentical bool `json:"byte_identical"`
+
+	SSEFanout []fanoutPoint `json:"sse_fanout"`
+}
+
+// servedLegResult is what one fleet leg leaves behind.
+type servedLegResult struct {
+	wall      time.Duration
+	latencies []time.Duration
+	records   map[string][]byte // job ID → /records response bytes
+	stats     backend.SharedCacheStats
+	hasStats  bool
+}
+
+// startDaemon builds the real daemon — store, manager, HTTP server — on a
+// loopback listener and returns its base URL plus a shutdown func.
+func startDaemon(dir string, concurrency int, shared *backend.SharedCache) (string, *job.Manager, func(), error) {
+	store, err := job.OpenStore(dir)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	mgr := job.NewManagerWith(store, job.ManagerOptions{Concurrency: concurrency, Shared: shared})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: serve.New(mgr)}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		_ = srv.Close()
+		mgr.Close()
+	}
+	return "http://" + ln.Addr().String(), mgr, stop, nil
+}
+
+// servedLeg drives one full fleet through a fresh daemon over loopback
+// HTTP: submit each job at its generated offset, wait for the fleet to
+// drain, then collect per-job latencies (from the daemon's timestamps) and
+// record logs (from /records).
+func servedLeg(ctx context.Context, jobs []fleet.Job, concurrency int, shared *backend.SharedCache) (*servedLegResult, error) {
+	dir, err := os.MkdirTemp("", "bench-served-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	base, mgr, stop, err := startDaemon(dir, concurrency, shared)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	start := time.Now()
+	for _, fj := range jobs {
+		if d := time.Until(start.Add(fj.Offset)); d > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		if err := submitJob(ctx, base, fj); err != nil {
+			return nil, err
+		}
+	}
+	// Drain: poll the list endpoint until every job is terminal. The poll
+	// runs identically in both legs, but it still costs CPU the daemon could
+	// spend tuning (encoding the full status list), so it is deliberately
+	// coarse — per-job latency comes from the daemon's own timestamps, not
+	// from poll observations, and loses nothing to the coarseness.
+	var list []job.Status
+	for {
+		if err := getJSON(ctx, base+"/v1/jobs", &list); err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, st := range list {
+			if st.State.Terminal() {
+				if st.State != job.StateDone {
+					return nil, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+				}
+				done++
+			}
+		}
+		if done == len(jobs) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	res := &servedLegResult{wall: time.Since(start), records: make(map[string][]byte, len(jobs))}
+
+	for _, st := range list {
+		if st.FinishedAt == nil {
+			return nil, fmt.Errorf("job %s is done without a finish timestamp", st.ID)
+		}
+		res.latencies = append(res.latencies, st.FinishedAt.Sub(st.SubmittedAt))
+		body, err := getBytes(ctx, base+"/v1/jobs/"+st.ID+"/records")
+		if err != nil {
+			return nil, err
+		}
+		if len(body) == 0 {
+			return nil, fmt.Errorf("job %s served an empty record log", st.ID)
+		}
+		res.records[st.ID] = body
+	}
+	res.stats, res.hasStats = mgr.SharedCacheStats()
+	return res, nil
+}
+
+func submitJob(ctx context.Context, base string, fj fleet.Job) error {
+	body, err := json.Marshal(job.Submit{ID: fj.ID, Spec: fj.Spec})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("submit %s: %d: %s", fj.ID, resp.StatusCode, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func getJSON(ctx context.Context, url string, v any) error {
+	body, err := getBytes(ctx, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func getBytes(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, msg)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// drainSSE reads one /stream response to its done event and returns the
+// record data re-joined into JSON-lines form — the byte layout of the
+// record log itself.
+func drainSSE(r io.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "done" {
+				return buf.Bytes(), nil
+			}
+			if event == "record" {
+				buf.WriteString(data)
+				buf.WriteByte('\n')
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, "id: "):
+		default:
+			return nil, fmt.Errorf("unexpected SSE line %q", line)
+		}
+	}
+	return nil, fmt.Errorf("stream ended without a done event: %v", sc.Err())
+}
+
+// measureFanout times n concurrent subscribers each draining jobID's full
+// SSE stream from a finished job, and checks every drained stream against
+// the record log bytes.
+func measureFanout(ctx context.Context, base, jobID string, want []byte, n int) (fanoutPoint, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jobID+"/stream", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			got, err := drainSSE(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs[i] = fmt.Errorf("subscriber %d drained %d bytes, record log has %d", i, len(got), len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return fanoutPoint{}, err
+		}
+	}
+	ms := float64(total.Microseconds()) / 1000
+	return fanoutPoint{Subscribers: n, TotalMS: ms, PerSubMS: ms / float64(n)}, nil
+}
+
+// percentiles summarizes sorted latencies.
+func percentiles(lats []time.Duration) latencyStats {
+	if len(lats) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx].Microseconds()) / 1000
+	}
+	return latencyStats{P50MS: at(0.50), P95MS: at(0.95), P99MS: at(0.99)}
+}
+
+// checkServedBaseline gates a fresh served report against the committed
+// one. The fleet sizes may differ (CI runs a small smoke fleet against the
+// committed 64-job report), so the gate uses size-independent invariants:
+// byte-identity must hold, the cache must actually hit, and the cache
+// speedup ratio must not collapse below baseline/factor.
+func checkServedBaseline(baseData []byte, path string, cur servedReport, factor float64) error {
+	var base servedReport
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.CacheSpeedup <= 0 {
+		return fmt.Errorf("baseline %s has no cache_speedup", path)
+	}
+	limit := base.CacheSpeedup / factor
+	fmt.Printf("baseline check: cache speedup %.2fx vs baseline %.2fx (floor %.2fx)\n",
+		cur.CacheSpeedup, base.CacheSpeedup, limit)
+	if cur.CacheSpeedup < limit {
+		return fmt.Errorf("cache speedup regressed: %.2fx below baseline %.2fx / %.1f = %.2fx",
+			cur.CacheSpeedup, base.CacheSpeedup, factor, limit)
+	}
+	return nil
+}
+
+// runServed is the -served entry point: generate a deterministic fleet,
+// run it cold (no shared cache) and warm (shared cache) through the real
+// daemon over loopback HTTP, verify per-job byte-identity between the
+// legs, measure SSE fan-out at 1/8/64 subscribers, and write
+// BENCH_served.json.
+func runServed(ctx context.Context, opts servedOptions) error {
+	var baseData []byte
+	var err error
+	if opts.Baseline != "" {
+		if baseData, err = os.ReadFile(opts.Baseline); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	jobs, err := fleet.Generate(fleet.Options{
+		Jobs:      opts.Jobs,
+		Seed:      opts.Seed,
+		Arrival:   opts.Arrival,
+		Period:    opts.Period,
+		Templates: fleet.DefaultTemplates(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served bench: %d jobs, %s arrival, daemon concurrency %d, GOMAXPROCS %d\n",
+		opts.Jobs, opts.Arrival, opts.Concurrency, runtime.GOMAXPROCS(0))
+
+	cold, err := servedLeg(ctx, jobs, opts.Concurrency, nil)
+	if err != nil {
+		return fmt.Errorf("cold leg: %w", err)
+	}
+	coldMS := float64(cold.wall.Microseconds()) / 1000
+	fmt.Printf("cold (no shared cache):  %8.1f ms (%.2f jobs/sec)\n", coldMS, float64(opts.Jobs)/cold.wall.Seconds())
+
+	warm, err := servedLeg(ctx, jobs, opts.Concurrency, backend.NewSharedCache(0))
+	if err != nil {
+		return fmt.Errorf("warm leg: %w", err)
+	}
+	warmMS := float64(warm.wall.Microseconds()) / 1000
+	fmt.Printf("warm (shared cache):     %8.1f ms (%.2f jobs/sec)\n", warmMS, float64(opts.Jobs)/warm.wall.Seconds())
+	if !warm.hasStats {
+		return fmt.Errorf("warm leg ran without a shared cache")
+	}
+	fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
+		warm.stats.Hits, warm.stats.Misses, 100*warm.stats.HitRate(), warm.stats.Entries, warm.stats.Evictions)
+
+	// Byte-identity across legs: the shared cache must not change a single
+	// job's record log. Walk the fleet, not the map, so divergence output is
+	// deterministic.
+	identical := len(cold.records) == len(warm.records)
+	for _, fj := range jobs {
+		if !bytes.Equal(cold.records[fj.ID], warm.records[fj.ID]) {
+			identical = false
+			fmt.Printf("DIVERGENCE: job %s record log differs between cold and warm legs\n", fj.ID)
+		}
+	}
+
+	// SSE fan-out over a finished job on a fresh daemon life (recovered
+	// store): measures pure replay fan-out without tuning in the background.
+	fanout, err := measureFanoutLegs(ctx, jobs, opts.Concurrency, warm.records)
+	if err != nil {
+		return fmt.Errorf("fan-out: %w", err)
+	}
+
+	r := servedReport{
+		Jobs:           opts.Jobs,
+		Arrival:        opts.Arrival,
+		Seed:           opts.Seed,
+		Concurrency:    opts.Concurrency,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		ColdWallMS:     coldMS,
+		WarmWallMS:     warmMS,
+		ColdJobsPerSec: float64(opts.Jobs) / cold.wall.Seconds(),
+		WarmJobsPerSec: float64(opts.Jobs) / warm.wall.Seconds(),
+		ColdLatency:    percentiles(cold.latencies),
+		WarmLatency:    percentiles(warm.latencies),
+		Cache:          warm.stats,
+		CacheHitRate:   warm.stats.HitRate(),
+		ByteIdentical:  identical,
+		SSEFanout:      fanout,
+	}
+	if warmMS > 0 {
+		r.CacheSpeedup = coldMS / warmMS
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := record.WriteFileAtomic(opts.Out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cache speedup %.2fx, byte-identical: %v; wrote %s\n", r.CacheSpeedup, identical, opts.Out)
+	if !identical {
+		return fmt.Errorf("warm leg record streams diverged from cold leg")
+	}
+	if r.Cache.Hits == 0 {
+		return fmt.Errorf("shared cache never hit: the fleet shape is not exercising cross-job reuse")
+	}
+	if opts.Baseline != "" {
+		return checkServedBaseline(baseData, opts.Baseline, r, opts.MaxRegress)
+	}
+	return nil
+}
+
+// measureFanoutLegs runs one tiny single-job daemon and times 1/8/64
+// concurrent SSE subscribers replaying the finished job's stream,
+// verifying every drained stream byte-for-byte against the cold leg's
+// record log.
+func measureFanoutLegs(ctx context.Context, jobs []fleet.Job, concurrency int, records map[string][]byte) ([]fanoutPoint, error) {
+	// Re-run just the first job on a fresh daemon so the replay source is a
+	// closed stream, then fan out against it.
+	fj := jobs[0]
+	dir, err := os.MkdirTemp("", "bench-fanout-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	base, _, stop, err := startDaemon(dir, concurrency, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	if err := submitJob(ctx, base, fj); err != nil {
+		return nil, err
+	}
+	want := records[fj.ID]
+	// The first drain doubles as the completion wait: SSE follows the live
+	// run to its done event.
+	first, err := measureFanout(ctx, base, fj.ID, want, 1)
+	if err != nil {
+		return nil, err
+	}
+	_ = first // includes the job's runtime; replay points below are the signal
+	var out []fanoutPoint
+	for _, n := range []int{1, 8, 64} {
+		pt, err := measureFanout(ctx, base, fj.ID, want, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -7,23 +7,28 @@
 //
 // Usage:
 //
-//	served -addr :8080 -store jobs -concurrency 2
+//	served -addr :8080 -store jobs -concurrency 2 -max-queue 256
 //
 // API (JSON unless noted):
 //
 //	POST   /v1/jobs              submit {"id": ..., "spec": {...}} → 201 status
+//	                             (429 + Retry-After when the queue is full)
 //	GET    /v1/jobs              list all job statuses
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/result  terminal result frame (409 while running)
 //	GET    /v1/jobs/{id}/records snapshot of the record log (JSON lines)
 //	GET    /v1/jobs/{id}/stream  live SSE record stream; ?from=N skips a prefix
 //	DELETE /v1/jobs/{id}         cancel (queued: immediate; running: next batch)
+//	GET    /v1/stats             fleet stats (shared measurement cache accounting)
 //	GET    /healthz              liveness probe
 //
 // Every job's record stream is a pure function of its spec and seed: an
 // omitted ID is derived from the spec, an omitted seed is derived from the
 // ID, and the SSE stream replays from the start for every subscriber, so a
-// late subscriber sees byte-for-byte what an early one did.
+// late subscriber sees byte-for-byte what an early one did. The fleet-wide
+// measurement cache (disable with -cache-capacity -1) shares simulator
+// work between jobs on the same device without changing any stream: cache
+// hits are bit-identical to re-measuring.
 package main
 
 import (
@@ -38,27 +43,39 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/job"
+	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storeDir := flag.String("store", "jobs", "job store directory (crash-safe; survives restarts)")
 	concurrency := flag.Int("concurrency", 1, "jobs tuned concurrently")
+	maxQueue := flag.Int("max-queue", 0, "pending-queue cap; submits past it get 429 (0: unbounded)")
+	cacheCap := flag.Int("cache-capacity", 0, "shared measurement cache entries (0: default, negative: disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *concurrency); err != nil {
+	if err := run(*addr, *storeDir, *concurrency, *maxQueue, *cacheCap); err != nil {
 		fmt.Fprintln(os.Stderr, "served:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, concurrency int) error {
+func run(addr, storeDir string, concurrency, maxQueue, cacheCap int) error {
 	store, err := job.OpenStore(storeDir)
 	if err != nil {
 		return err
 	}
-	mgr := job.NewManager(store, concurrency)
+	var shared *backend.SharedCache
+	if cacheCap >= 0 {
+		shared = backend.NewSharedCache(cacheCap)
+	}
+	mgr := job.NewManagerWith(store, job.ManagerOptions{
+		Concurrency: concurrency,
+		MaxQueue:    maxQueue,
+		Shared:      shared,
+	})
 	// Recovery before serving: jobs a previous daemon life left queued or
 	// mid-run re-enter the queue (ahead of new arrivals) and resume from
 	// their last checkpoint.
@@ -71,13 +88,13 @@ func run(addr, storeDir string, concurrency int) error {
 		}
 	}
 
-	srv := &http.Server{Addr: addr, Handler: newServer(mgr)}
+	srv := &http.Server{Addr: addr, Handler: serve.New(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (store %s, concurrency %d)", addr, storeDir, concurrency)
+	log.Printf("serving on %s (store %s, concurrency %d, max-queue %d)", addr, storeDir, concurrency, maxQueue)
 
 	select {
 	case err := <-errc:

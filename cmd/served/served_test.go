@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/job"
+	"repro/internal/serve"
 )
 
 func tinySpec(seed int64) job.Spec {
@@ -112,7 +113,7 @@ func TestServedCrashResumeCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgr1 := job.NewManager(store1, 1)
-	ts1 := httptest.NewServer(newServer(mgr1))
+	ts1 := httptest.NewServer(serve.New(mgr1))
 
 	const id = "crash-1"
 	resp, err := http.Post(ts1.URL+"/v1/jobs", "application/json", submitBody(t, id, spec))
@@ -161,7 +162,7 @@ func TestServedCrashResumeCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mgr2.Close()
-	ts2 := httptest.NewServer(newServer(mgr2))
+	ts2 := httptest.NewServer(serve.New(mgr2))
 	defer ts2.Close()
 
 	var st job.Status
@@ -246,7 +247,7 @@ func TestServedAPI(t *testing.T) {
 	}
 	mgr := job.NewManager(store, 1)
 	defer mgr.Close()
-	ts := httptest.NewServer(newServer(mgr))
+	ts := httptest.NewServer(serve.New(mgr))
 	defer ts.Close()
 
 	post := func(body string) (int, string) {

@@ -1,0 +1,175 @@
+// Package fleet generates deterministic synthetic tuning fleets: N job
+// submissions drawn from M weighted spec templates with a configurable
+// arrival pattern, all derived from one seed. The generator exists so the
+// serving layer can be load-tested reproducibly — the same (seed, options)
+// always yields the same jobs with the same IDs, specs, and submit
+// offsets, run after run and host after host — in the spirit of
+// multi-period temporal workload generators for inference simulators.
+//
+// Templates deliberately carry an explicit Spec.Seed: every job stamped
+// from the same template is the identical (spec, seed) tuning problem
+// under a different job ID, which is exactly the fleet shape where the
+// daemon's shared measurement cache should convert repeated simulation
+// into cache hits. Set distinct seeds (or Seed 0, derived per job ID) to
+// generate an all-unique fleet instead.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/job"
+)
+
+// Arrival patterns. Burst submits every job at offset 0; Uniform spaces
+// jobs evenly across the period; Poisson draws exponential inter-arrival
+// gaps (mean period/jobs) from the generator seed.
+const (
+	ArrivalBurst   = "burst"
+	ArrivalUniform = "uniform"
+	ArrivalPoisson = "poisson"
+)
+
+// Template is one weighted job shape: a name (the prefix of generated job
+// IDs), the spec each stamped job runs, and a selection weight.
+type Template struct {
+	Name string
+	Spec job.Spec
+	// Weight biases template selection; 0 means 1.
+	Weight int
+}
+
+// Options parameterizes Generate.
+type Options struct {
+	// Jobs is how many submissions to generate.
+	Jobs int
+	// Seed drives template selection and Poisson arrival draws. The same
+	// seed always generates the same fleet.
+	Seed int64
+	// Arrival is the submit-time pattern: ArrivalBurst (default),
+	// ArrivalUniform, or ArrivalPoisson.
+	Arrival string
+	// Period is the window arrivals spread over; ignored by ArrivalBurst.
+	Period time.Duration
+	// Templates is the weighted shape mix. Required.
+	Templates []Template
+}
+
+// Job is one generated submission: the ID and spec to POST, and when to
+// submit it relative to the fleet's start.
+type Job struct {
+	ID     string
+	Spec   job.Spec
+	Offset time.Duration
+}
+
+// Generate stamps out the fleet. Jobs are returned in submission order
+// (offsets non-decreasing), with IDs "<template>-<index>" where index is
+// the job's position in the fleet — globally unique even when templates
+// repeat. All randomness flows from Options.Seed through one generator in
+// a fixed draw order (template pick, then arrival gap, per job), so the
+// output is a pure function of Options.
+func Generate(opts Options) ([]Job, error) {
+	if opts.Jobs < 1 {
+		return nil, fmt.Errorf("fleet: jobs %d, want >= 1", opts.Jobs)
+	}
+	if len(opts.Templates) == 0 {
+		return nil, fmt.Errorf("fleet: no templates")
+	}
+	arrival := opts.Arrival
+	if arrival == "" {
+		arrival = ArrivalBurst
+	}
+	switch arrival {
+	case ArrivalBurst:
+	case ArrivalUniform, ArrivalPoisson:
+		if opts.Period <= 0 {
+			return nil, fmt.Errorf("fleet: %s arrivals need a positive period", arrival)
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown arrival pattern %q (want %s, %s, or %s)",
+			arrival, ArrivalBurst, ArrivalUniform, ArrivalPoisson)
+	}
+	total := 0
+	for i, tpl := range opts.Templates {
+		if tpl.Name == "" {
+			return nil, fmt.Errorf("fleet: template %d has no name", i)
+		}
+		if err := job.ValidateID(fmt.Sprintf("%s-0", tpl.Name)); err != nil {
+			return nil, fmt.Errorf("fleet: template %q makes invalid job IDs: %w", tpl.Name, err)
+		}
+		if tpl.Weight < 0 {
+			return nil, fmt.Errorf("fleet: template %q has negative weight %d", tpl.Name, tpl.Weight)
+		}
+		total += weightOf(tpl)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]Job, opts.Jobs)
+	var clock time.Duration
+	mean := float64(0)
+	if arrival == ArrivalPoisson {
+		mean = float64(opts.Period) / float64(opts.Jobs)
+	}
+	for i := range out {
+		tpl := pick(opts.Templates, total, rng)
+		switch arrival {
+		case ArrivalUniform:
+			clock = opts.Period * time.Duration(i) / time.Duration(opts.Jobs)
+		case ArrivalPoisson:
+			clock += time.Duration(rng.ExpFloat64() * mean)
+		}
+		out[i] = Job{
+			ID:     fmt.Sprintf("%s-%04d", tpl.Name, i),
+			Spec:   tpl.Spec,
+			Offset: clock,
+		}
+	}
+	return out, nil
+}
+
+func weightOf(t Template) int {
+	if t.Weight == 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// pick draws one template proportionally to weight.
+func pick(tpls []Template, total int, rng *rand.Rand) Template {
+	n := rng.Intn(total)
+	for _, t := range tpls {
+		n -= weightOf(t)
+		if n < 0 {
+			return t
+		}
+	}
+	return tpls[len(tpls)-1] // unreachable: weights sum to total
+}
+
+// DefaultTemplates is the benchmark fleet shape: measurement-dominated
+// jobs (random search spends its budget measuring, not training
+// surrogates) over one device, each template's jobs sharing one explicit
+// seed so a same-device fleet repeats identical tuning problems — the
+// workload where the daemon's shared measurement cache pays off. Two
+// templates give the fleet some mix without diluting repetition.
+func DefaultTemplates() []Template {
+	base := job.Spec{
+		Model: "mobilenet-v1", Tuner: "random", Device: "gtx1080ti", Ops: "conv",
+		Budget: 512, EarlyStop: -1, PlanSize: 32, Runs: 1, Workers: 1,
+		TaskConcurrency: 1, BudgetPolicy: "uniform",
+		// Sparse checkpoints: a frame serializes full session state, which
+		// dwarfs the (cacheable) measurement work at benchmark budgets and
+		// would drown the signal the fleet exists to measure.
+		CheckpointEvery: 512,
+	}
+	a := base
+	a.Seed = 7001
+	b := base
+	b.Seed = 7002
+	return []Template{
+		{Name: "mnet-a", Spec: a, Weight: 3},
+		{Name: "mnet-b", Spec: b, Weight: 1},
+	}
+}

@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/job"
+)
+
+func testTemplates() []Template {
+	spec := job.Spec{
+		Model: "mobilenet-v1", Tuner: "random", Device: "gtx1080ti", Ops: "conv",
+		Seed: 11, Budget: 16, EarlyStop: -1, PlanSize: 8, Runs: 20, Workers: 1,
+		TaskConcurrency: 1, BudgetPolicy: "uniform",
+	}
+	other := spec
+	other.Seed = 12
+	return []Template{
+		{Name: "alpha", Spec: spec, Weight: 3},
+		{Name: "beta", Spec: other, Weight: 1},
+	}
+}
+
+// TestGenerateDeterministic is the generator's whole point: the same
+// options produce the same fleet, and a different seed produces a
+// different one.
+func TestGenerateDeterministic(t *testing.T) {
+	opts := Options{Jobs: 32, Seed: 42, Arrival: ArrivalPoisson, Period: time.Second, Templates: testTemplates()}
+	a, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("generated %d and %d jobs, want 32", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Offset != b[i].Offset || a[i].Spec != b[i].Spec {
+			t.Fatalf("job %d differs between identical generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	opts.Seed = 43
+	c, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].ID == c[i].ID && a[i].Offset == c[i].Offset {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+// TestGenerateIDsAndSpecs checks that IDs are globally unique, valid job
+// IDs, prefixed by their template, and that each job carries its
+// template's spec verbatim (shared seed included).
+func TestGenerateIDsAndSpecs(t *testing.T) {
+	tpls := testTemplates()
+	jobs, err := Generate(Options{Jobs: 64, Seed: 7, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	byName := map[string]job.Spec{}
+	for _, tpl := range tpls {
+		byName[tpl.Name] = tpl.Spec
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %s", j.ID)
+		}
+		seen[j.ID] = true
+		if err := job.ValidateID(j.ID); err != nil {
+			t.Fatalf("generated invalid ID %s: %v", j.ID, err)
+		}
+		matched := false
+		for name, spec := range byName {
+			if len(j.ID) > len(name) && j.ID[:len(name)] == name {
+				if j.Spec != spec {
+					t.Fatalf("job %s does not carry template %s's spec", j.ID, name)
+				}
+				counts[name]++
+				matched = true
+			}
+		}
+		if !matched {
+			t.Fatalf("job %s matches no template prefix", j.ID)
+		}
+	}
+	// Weight 3:1 over 64 draws: alpha should clearly dominate beta without
+	// asserting an exact split.
+	if counts["alpha"] <= counts["beta"] {
+		t.Fatalf("weighted pick ignored weights: %v", counts)
+	}
+}
+
+// TestGenerateArrivals pins each pattern's offset shape.
+func TestGenerateArrivals(t *testing.T) {
+	tpls := testTemplates()
+
+	burst, err := Generate(Options{Jobs: 8, Seed: 1, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range burst {
+		if j.Offset != 0 {
+			t.Fatalf("burst job %s has offset %v", j.ID, j.Offset)
+		}
+	}
+
+	uni, err := Generate(Options{Jobs: 8, Seed: 1, Arrival: ArrivalUniform, Period: 800 * time.Millisecond, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range uni {
+		want := 100 * time.Millisecond * time.Duration(i)
+		if j.Offset != want {
+			t.Fatalf("uniform job %d offset %v, want %v", i, j.Offset, want)
+		}
+	}
+
+	poi, err := Generate(Options{Jobs: 64, Seed: 5, Arrival: ArrivalPoisson, Period: time.Second, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	for i, j := range poi {
+		if j.Offset < last {
+			t.Fatalf("poisson offsets not monotone at job %d: %v < %v", i, j.Offset, last)
+		}
+		last = j.Offset
+	}
+	if last == 0 {
+		t.Fatal("poisson fleet never advanced the clock")
+	}
+	// Mean inter-arrival is period/jobs, so the final offset should be the
+	// same order of magnitude as the period — a loose sanity band.
+	if last < 200*time.Millisecond || last > 5*time.Second {
+		t.Fatalf("poisson span %v wildly off a 1s period", last)
+	}
+}
+
+// TestGenerateValidation covers every rejected option.
+func TestGenerateValidation(t *testing.T) {
+	tpls := testTemplates()
+	cases := []Options{
+		{Jobs: 0, Templates: tpls},
+		{Jobs: 4},
+		{Jobs: 4, Arrival: "steady", Templates: tpls},
+		{Jobs: 4, Arrival: ArrivalUniform, Templates: tpls},             // no period
+		{Jobs: 4, Arrival: ArrivalPoisson, Period: -1, Templates: tpls}, // bad period
+		{Jobs: 4, Templates: []Template{{Name: "", Spec: tpls[0].Spec}}},
+		{Jobs: 4, Templates: []Template{{Name: "bad/../name", Spec: tpls[0].Spec}}},
+		{Jobs: 4, Templates: []Template{{Name: "ok", Spec: tpls[0].Spec, Weight: -2}}},
+	}
+	for i, opts := range cases {
+		if _, err := Generate(opts); err == nil {
+			t.Errorf("case %d: Generate accepted invalid options %+v", i, opts)
+		}
+	}
+}
+
+// TestDefaultTemplatesSubmit checks the benchmark templates survive the
+// manager's own validation: every generated job admits cleanly.
+func TestDefaultTemplatesSubmit(t *testing.T) {
+	jobs, err := Generate(Options{Jobs: 6, Seed: 3, Templates: DefaultTemplates()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		spec := j.Spec.Normalized()
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("job %s: %v", j.ID, err)
+		}
+		if spec.Seed == 0 {
+			t.Fatalf("job %s lost its template seed", j.ID)
+		}
+	}
+}

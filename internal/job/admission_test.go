@@ -1,0 +1,83 @@
+package job
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestManagerQueueFull pins the admission-control contract: with MaxQueue
+// set, a Submit that would push the pending queue past the cap fails with
+// ErrQueueFull, leaves no trace in the store, and a later Submit of the
+// same ID succeeds once the queue drains. The sequencing is deterministic:
+// Submit starts jobs synchronously while capacity remains, so after the
+// first Submit returns the worker is occupied and every later admission
+// waits in the queue.
+func TestManagerQueueFull(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManagerWith(store, ManagerOptions{Concurrency: 1, MaxQueue: 2})
+	defer mgr.Close()
+
+	slow := tinySpec(3001)
+	slow.Budget = 96 // keeps the worker busy while the queue fills
+	if _, err := mgr.Submit(Submit{ID: "run-1", Spec: slow}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := mgr.Submit(Submit{ID: "q-1", Spec: tinySpec(3002)}); err != nil {
+		t.Fatalf("queued submit 1: %v", err)
+	}
+	if _, err := mgr.Submit(Submit{ID: "q-2", Spec: tinySpec(3003)}); err != nil {
+		t.Fatalf("queued submit 2: %v", err)
+	}
+
+	_, err = mgr.Submit(Submit{ID: "q-3", Spec: tinySpec(3004)})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit past the cap: err %v, want ErrQueueFull", err)
+	}
+	// Rejection must precede the store claim: no directory, so an immediate
+	// retry (below) is not an ErrExists collision.
+	ids, err := store.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == "q-3" {
+			t.Fatal("rejected submit left a store directory behind")
+		}
+	}
+
+	// Cancelling a queued job frees a slot; the retry now admits cleanly.
+	if ok, err := mgr.Cancel("q-2"); err != nil || !ok {
+		t.Fatalf("cancel queued job: ok=%v err=%v", ok, err)
+	}
+	if _, err := mgr.Submit(Submit{ID: "q-3", Spec: tinySpec(3004)}); err != nil {
+		t.Fatalf("resubmit after drain: %v", err)
+	}
+}
+
+// TestManagerUnboundedQueue checks MaxQueue 0 keeps the pre-admission
+// behavior: everything queues.
+func TestManagerUnboundedQueue(t *testing.T) {
+	store, err := OpenStore(filepath.Join(t.TempDir(), "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManagerWith(store, ManagerOptions{Concurrency: 1})
+	defer mgr.Close()
+
+	slow := tinySpec(3005)
+	slow.Budget = 96
+	if _, err := mgr.Submit(Submit{ID: "run-1", Spec: slow}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := mgr.Submit(Submit{ID: ids8[i], Spec: tinySpec(int64(3100 + i))}); err != nil {
+			t.Fatalf("unbounded submit %d: %v", i, err)
+		}
+	}
+}
+
+var ids8 = []string{"u-0", "u-1", "u-2", "u-3", "u-4", "u-5", "u-6", "u-7"}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/record"
 )
 
@@ -84,14 +85,16 @@ type managed struct {
 }
 
 // tail is a job's in-memory record stream: the replay source for
-// subscribers. Appends come from the runner's serialized OnRecord hook;
-// reads come from SSE subscriber goroutines at their own pace, each with
-// its own cursor, so a slow client never blocks the tuner — it just reads
-// the slice later.
+// subscribers. It stores each record's canonical wire line (record.Line)
+// exactly as the runner encoded it for the log — encode once, fan out the
+// bytes. Appends come from the runner's serialized OnRecordLine hook; reads
+// come from SSE subscriber goroutines at their own pace, each with its own
+// cursor, so a slow client never blocks the tuner — it just reads the
+// slice later.
 type tail struct {
 	mu     sync.Mutex
-	recs   []record.Record
-	closed bool // no more appends (job reached a terminal state)
+	lines  [][]byte // newline-terminated wire lines; elements are immutable
+	closed bool     // no more appends (job reached a terminal state)
 	subs   map[int]chan struct{}
 	nextID int
 }
@@ -100,13 +103,14 @@ func newTail() *tail {
 	return &tail{subs: make(map[int]chan struct{})}
 }
 
-// append adds one record and nudges every subscriber. The notification
+// append adds one wire line and nudges every subscriber. The notification
 // channels have capacity 1 and drops are fine: a subscriber drains the
-// slice, not the channel.
-func (t *tail) append(rec record.Record) {
+// slice, not the channel. The line must never be mutated afterwards — the
+// tail hands it to subscribers as-is.
+func (t *tail) append(line []byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.recs = append(t.recs, rec)
+	t.lines = append(t.lines, line)
 	for _, ch := range t.subs {
 		select {
 		case ch <- struct{}{}:
@@ -116,11 +120,21 @@ func (t *tail) append(rec record.Record) {
 }
 
 // seed pre-populates the tail (recovered jobs replaying their truncated
-// log prefix).
-func (t *tail) seed(recs []record.Record) {
+// log prefix), re-encoding through the same record.Line the live path
+// uses so replayed bytes equal streamed bytes.
+func (t *tail) seed(recs []record.Record) error {
+	lines := make([][]byte, len(recs))
+	for i := range recs {
+		line, err := record.Line(recs[i])
+		if err != nil {
+			return err
+		}
+		lines[i] = line
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.recs = append([]record.Record(nil), recs...)
+	t.lines = lines
+	return nil
 }
 
 // close marks the stream complete and wakes subscribers one last time.
@@ -139,7 +153,7 @@ func (t *tail) close() {
 func (t *tail) len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.recs)
+	return len(t.lines)
 }
 
 // Sub is one subscriber's cursor over a job's record stream.
@@ -150,18 +164,23 @@ type Sub struct {
 	notify chan struct{}
 }
 
-// Next blocks until records beyond the cursor exist, then returns them and
+// Next blocks until lines beyond the cursor exist, then returns them and
 // advances. more=false means the stream is complete and fully consumed.
 // Every subscriber sees the full stream from its starting offset in
 // order — late subscribers replay the whole log first.
-func (s *Sub) Next(ctx context.Context) (recs []record.Record, more bool, err error) {
+//
+// The returned slice is a capacity-clipped view of the tail's backing
+// array, not a copy: the zero-copy contract is that appends only ever
+// write at indices the view cannot reach (len == cap), and the line bytes
+// themselves are immutable. Callers must treat both levels as read-only.
+func (s *Sub) Next(ctx context.Context) (lines [][]byte, more bool, err error) {
 	for {
 		s.t.mu.Lock()
-		if s.cursor < len(s.t.recs) {
-			recs = append([]record.Record(nil), s.t.recs[s.cursor:]...)
-			s.cursor = len(s.t.recs)
+		if n := len(s.t.lines); s.cursor < n {
+			lines = s.t.lines[s.cursor:n:n]
+			s.cursor = n
 			s.t.mu.Unlock()
-			return recs, true, nil
+			return lines, true, nil
 		}
 		closed := s.t.closed
 		s.t.mu.Unlock()
@@ -176,12 +195,14 @@ func (s *Sub) Next(ctx context.Context) (recs []record.Record, more bool, err er
 	}
 }
 
-// Snapshot returns the stream's records so far without moving the cursor —
-// the non-blocking "what is in the log right now" read.
-func (s *Sub) Snapshot() []record.Record {
+// Snapshot returns the stream's wire lines so far without moving the
+// cursor — the non-blocking "what is in the log right now" read. Same
+// read-only view contract as Next.
+func (s *Sub) Snapshot() [][]byte {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
-	return append([]record.Record(nil), s.t.recs...)
+	n := len(s.t.lines)
+	return s.t.lines[:n:n]
 }
 
 // Close unregisters the subscriber.
@@ -197,8 +218,10 @@ func (s *Sub) Close() {
 // recovery. All scheduling state lives in memory; everything needed to
 // rebuild it lives in the Store.
 type Manager struct {
-	store *Store
-	conc  int
+	store    *Store
+	conc     int
+	maxQueue int
+	shared   *backend.SharedCache
 
 	mu      sync.Mutex
 	jobs    map[string]*managed
@@ -209,22 +232,60 @@ type Manager struct {
 	wg      sync.WaitGroup
 }
 
+// ManagerOptions configures a Manager beyond its store.
+type ManagerOptions struct {
+	// Concurrency caps how many jobs run at once (minimum 1).
+	Concurrency int
+	// MaxQueue caps how many jobs may wait in the pending queue; a Submit
+	// past the cap fails with ErrQueueFull. 0 means unbounded — matching
+	// the pre-admission-control behavior.
+	MaxQueue int
+	// Shared, when non-nil, is the fleet-wide measurement memo every job
+	// this manager runs consults and populates (see backend.SharedCache).
+	// Nil runs every job cold, exactly as before.
+	Shared *backend.SharedCache
+}
+
 // NewManager builds a manager over the store running at most concurrency
 // jobs at once (minimum 1). Call Recover to re-admit jobs a previous
 // daemon left behind, then Submit freely.
 func NewManager(store *Store, concurrency int) *Manager {
-	if concurrency < 1 {
-		concurrency = 1
+	return NewManagerWith(store, ManagerOptions{Concurrency: concurrency})
+}
+
+// NewManagerWith is NewManager with the full option set.
+func NewManagerWith(store *Store, opts ManagerOptions) *Manager {
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0
 	}
 	return &Manager{
-		store: store,
-		conc:  concurrency,
-		jobs:  make(map[string]*managed),
+		store:    store,
+		conc:     opts.Concurrency,
+		maxQueue: opts.MaxQueue,
+		shared:   opts.Shared,
+		jobs:     make(map[string]*managed),
 	}
+}
+
+// SharedCacheStats snapshots the fleet memo's accounting; ok is false when
+// the manager runs without one.
+func (m *Manager) SharedCacheStats() (backend.SharedCacheStats, bool) {
+	if m.shared == nil {
+		return backend.SharedCacheStats{}, false
+	}
+	return m.shared.Stats(), true
 }
 
 // ErrClosed reports an operation on a shut-down manager.
 var ErrClosed = errors.New("job: manager is shut down")
+
+// ErrQueueFull reports a Submit rejected by admission control: the pending
+// queue is at its MaxQueue cap. The caller should retry after jobs drain —
+// the HTTP layer maps this to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("job: pending queue is full")
 
 // Submit validates and admits one job: the spec is normalized, the ID
 // defaulted to the deterministic SpecID, the effective seed resolved, the
@@ -250,6 +311,11 @@ func (m *Manager) Submit(sub Submit) (Status, error) {
 	}
 	if _, ok := m.jobs[id]; ok {
 		return Status{}, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	// Admission control: reject before claiming the store directory, so a
+	// rejected submit leaves no trace and an immediate retry is clean.
+	if m.maxQueue > 0 && len(m.queue) >= m.maxQueue {
+		return Status{}, fmt.Errorf("%w: %d pending (cap %d)", ErrQueueFull, len(m.queue), m.maxQueue)
 	}
 	if err := m.store.Create(id, spec); err != nil {
 		return Status{}, err
@@ -327,7 +393,9 @@ func (m *Manager) Recover() error {
 			}
 			j.resume = cp
 			j.resumed = true
-			j.tail.seed(recs[:cp.Records])
+			if err := j.tail.seed(recs[:cp.Records]); err != nil {
+				return fmt.Errorf("job: recovering %s: %w", id, err)
+			}
 		}
 		j.state = StateQueued
 		m.register(j)
@@ -366,7 +434,8 @@ func (m *Manager) run(ctx context.Context, j *managed) {
 		LogPath:          m.store.LogPath(j.id),
 		CheckpointPath:   m.store.SnapPath(j.id),
 		ResumeCheckpoint: j.resume,
-		OnRecord:         j.tail.append,
+		Shared:           m.shared,
+		OnRecordLine:     func(_ record.Record, line []byte) { j.tail.append(line) },
 	})
 	m.finish(j, res, err)
 }
@@ -526,7 +595,10 @@ func (m *Manager) Subscribe(id string, from int) (*Sub, error) {
 			m.mu.Unlock()
 			return nil, err
 		}
-		j.tail.seed(recs)
+		if err := j.tail.seed(recs); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
 		j.tail.close()
 		j.lazy = false
 	}
@@ -538,8 +610,8 @@ func (m *Manager) Subscribe(id string, from int) (*Sub, error) {
 	if from < 0 {
 		from = 0
 	}
-	if from > len(t.recs) {
-		from = len(t.recs)
+	if from > len(t.lines) {
+		from = len(t.lines)
 	}
 	sub := &Sub{t: t, cursor: from, id: t.nextID, notify: make(chan struct{}, 1)}
 	t.nextID++

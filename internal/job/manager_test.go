@@ -6,21 +6,19 @@ import (
 	"errors"
 	"path/filepath"
 	"testing"
-
-	"repro/internal/record"
 )
 
 // drain consumes a subscription until the stream completes, returning every
-// record it saw.
-func drain(t *testing.T, sub *Sub) []record.Record {
+// wire line it saw.
+func drain(t *testing.T, sub *Sub) [][]byte {
 	t.Helper()
-	var all []record.Record
+	var all [][]byte
 	for {
-		recs, more, err := sub.Next(context.Background())
+		lines, more, err := sub.Next(context.Background())
 		if err != nil {
 			t.Fatalf("Next: %v", err)
 		}
-		all = append(all, recs...)
+		all = append(all, lines...)
 		if !more {
 			return all
 		}

@@ -44,6 +44,17 @@ type RunOptions struct {
 	// appended to the log (if any) — the manager's live fan-out hook. Like
 	// all pipeline callbacks it is mutex-serialized by core.
 	OnRecord func(record.Record)
+	// OnRecordLine, when non-nil, receives each record's canonical wire
+	// bytes (record.Line) alongside the decoded record. The line is the
+	// same allocation that fed the log — encoded exactly once per record —
+	// and must be treated as immutable by the receiver. Serialized like
+	// OnRecord.
+	OnRecordLine func(rec record.Record, line []byte)
+	// Shared, when non-nil, layers the fleet-wide measurement memo over the
+	// job's backend. Cache hits are bit-identical to re-measuring (see
+	// backend.SharedCache), so this changes how much simulator work the job
+	// does, never the record stream it produces.
+	Shared *backend.SharedCache
 	// Progress and OnTaskDone are forwarded to the pipeline for reporting.
 	Progress   func(taskIdx, taskTotal int, name string)
 	OnTaskDone func(core.TaskEvent)
@@ -147,12 +158,26 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (res *RunResult, err e
 			}
 		}()
 	}
-	if sw != nil || opts.OnRecord != nil {
+	if sw != nil || opts.OnRecord != nil || opts.OnRecordLine != nil {
 		popts.OnRecord = func(rec record.Record) {
+			// Encode once: the same wire bytes feed the log and every live
+			// subscriber. Encoding a Record cannot realistically fail (plain
+			// fields, no cycles), but if it ever does the log's Append latches
+			// the error exactly as before.
+			line, lerr := record.Line(rec)
 			if sw != nil {
-				if aerr := sw.Append(rec); aerr == nil && sw.Count()%planSize == 0 {
+				var aerr error
+				if lerr != nil {
+					aerr = sw.Append(rec)
+				} else {
+					aerr = sw.AppendLine(line)
+				}
+				if aerr == nil && sw.Count()%planSize == 0 {
 					_ = sw.Flush() // latched too; per-batch checkpoint is best-effort
 				}
+			}
+			if lerr == nil && opts.OnRecordLine != nil {
+				opts.OnRecordLine(rec, line)
 			}
 			if opts.OnRecord != nil {
 				opts.OnRecord(rec)
@@ -195,7 +220,7 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (res *RunResult, err e
 		popts.ResumeCheckpoint = resumeCp.Sched
 	}
 
-	dep, derr := core.OptimizeModel(ctx, spec.Model, tn, b, popts)
+	dep, derr := core.OptimizeModel(ctx, spec.Model, tn, backend.WithShared(b, opts.Shared), popts)
 	if sw != nil {
 		if ferr := sw.Flush(); ferr != nil && derr == nil {
 			return res, ferr

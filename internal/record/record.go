@@ -24,6 +24,20 @@ type Record struct {
 	Valid    bool    `json:"valid"`
 }
 
+// Line encodes one record to its canonical newline-terminated JSON wire
+// form — byte-for-byte what Write and StreamWriter.Append emit
+// (json.Encoder is Marshal plus '\n', with the same HTML escaping). It is
+// the single wire encoding of a record: the job layer encodes each record
+// once at append time and every consumer — log file, SSE frame, replay —
+// reuses the same bytes.
+func Line(rec Record) ([]byte, error) {
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("record: encoding line: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
 // Write encodes records as JSON lines.
 func Write(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)

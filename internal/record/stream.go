@@ -3,7 +3,6 @@ package record
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -18,7 +17,6 @@ import (
 type StreamWriter struct {
 	mu    sync.Mutex
 	bw    *bufio.Writer
-	enc   *json.Encoder
 	count int
 	err   error
 }
@@ -26,8 +24,7 @@ type StreamWriter struct {
 // NewStreamWriter wraps w. The caller owns w's lifetime (closing files,
 // etc.); Flush forces buffered lines down to it.
 func NewStreamWriter(w io.Writer) *StreamWriter {
-	bw := bufio.NewWriter(w)
-	return &StreamWriter{bw: bw, enc: json.NewEncoder(bw)}
+	return &StreamWriter{bw: bufio.NewWriter(w)}
 }
 
 // NewStreamWriterAt is NewStreamWriter for a log that already holds count
@@ -45,12 +42,29 @@ func NewStreamWriterAt(w io.Writer, count int) *StreamWriter {
 // returns the same error, so callers may checkpoint per batch and report
 // once.
 func (s *StreamWriter) Append(rec Record) error {
+	line, err := Line(rec)
+	if err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.err == nil {
+			s.err = fmt.Errorf("record: streaming entry %d: %w", s.count+1, err)
+		}
+		return s.err
+	}
+	return s.AppendLine(line)
+}
+
+// AppendLine appends an already-encoded wire line (as produced by Line).
+// It exists so a caller that encoded the record once can feed the log and
+// any number of live subscribers from the same bytes instead of
+// re-marshaling per sink.
+func (s *StreamWriter) AppendLine(line []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
-	if err := s.enc.Encode(&rec); err != nil {
+	if _, err := s.bw.Write(line); err != nil {
 		s.err = fmt.Errorf("record: streaming entry %d: %w", s.count+1, err)
 		return s.err
 	}

@@ -1,4 +1,10 @@
-package main
+// Package serve is the HTTP face of a job.Manager: the request routing,
+// error mapping, and SSE fan-out of the tuning daemon, factored out of
+// cmd/served so the load benchmark (cmd/bench -served) can drive the real
+// daemon over loopback HTTP in-process. The handlers hold no state of
+// their own — every request reads or mutates the manager — so the HTTP
+// layer can be rebuilt at will around any manager.
+package serve
 
 import (
 	"encoding/json"
@@ -10,16 +16,15 @@ import (
 	"repro/internal/job"
 )
 
-// server is the HTTP face of a job.Manager. It holds no state of its own:
-// every request reads or mutates the manager, so the daemon's HTTP layer
-// can be rebuilt at will (tests construct one around an in-test manager).
-type server struct {
+// Server routes the daemon's HTTP API onto a job.Manager.
+type Server struct {
 	mgr *job.Manager
 	mux *http.ServeMux
 }
 
-func newServer(mgr *job.Manager) *server {
-	s := &server{mgr: mgr, mux: http.NewServeMux()}
+// New builds the API surface over mgr.
+func New(mgr *job.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -27,17 +32,21 @@ func newServer(mgr *job.Manager) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.records)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok") // liveness probe; a failed write means the client left
 	})
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // httpError maps a job-layer error to its status code: bad submissions are
-// the client's fault, collisions are conflicts, unknown IDs are 404s.
+// the client's fault, collisions are conflicts, unknown IDs are 404s, and
+// a full queue is 429 with a Retry-After hint — the admission-control
+// contract that lets fleet clients back off instead of piling on.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
@@ -45,6 +54,9 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, job.ErrExists):
 		code = http.StatusConflict
+	case errors.Is(err, job.ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, job.ErrClosed):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, job.ErrBadSpec):
@@ -61,7 +73,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	sub, err := job.DecodeSubmit(r.Body)
 	if err != nil {
 		httpError(w, err)
@@ -76,11 +88,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, st)
 }
 
-func (s *server) list(w http.ResponseWriter, r *http.Request) {
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.List())
 }
 
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Status(r.PathValue("id"))
 	if err != nil {
 		httpError(w, err)
@@ -89,7 +101,17 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
+// stats reports fleet-level accounting: the shared measurement cache's
+// hits/misses/entries (all-zero when the daemon runs without one).
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.mgr.SharedCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shared_cache_enabled": ok,
+		"shared_cache":         st,
+	})
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Status(r.PathValue("id"))
 	if err != nil {
 		httpError(w, err)
@@ -105,20 +127,19 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 }
 
 // records serves a snapshot of the job's record log as JSON lines — the
-// same bytes, in the same order, as the records.jsonl a cmd/tune run of the
-// identical spec and seed writes.
-func (s *server) records(w http.ResponseWriter, r *http.Request) {
+// stored wire bytes themselves, so the response is byte-identical to the
+// records.jsonl a cmd/tune run of the identical spec and seed writes,
+// without re-encoding a single record.
+func (s *Server) records(w http.ResponseWriter, r *http.Request) {
 	sub, err := s.mgr.Subscribe(r.PathValue("id"), 0)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	defer sub.Close()
-	recs := sub.Snapshot()
 	w.Header().Set("Content-Type", "application/jsonl")
-	enc := json.NewEncoder(w)
-	for _, rec := range recs {
-		if err := enc.Encode(&rec); err != nil {
+	for _, line := range sub.Snapshot() {
+		if _, err := w.Write(line); err != nil {
 			return // client went away mid-stream; nothing to recover
 		}
 	}
@@ -130,7 +151,12 @@ func (s *server) records(w http.ResponseWriter, r *http.Request) {
 // final "done" event carrying the job status. Replay-from-log means a
 // subscriber that connects after the job finished — even in a later daemon
 // life — still receives the full, bit-identical stream.
-func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+//
+// Each event's data is the record's stored wire line (sans trailing
+// newline): the bytes were encoded exactly once, at append time, and every
+// subscriber writes the same immutable slice — fan-out cost is framing and
+// I/O, not encoding.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	from := 0
 	if q := r.URL.Query().Get("from"); q != "" {
 		n, err := strconv.Atoi(q)
@@ -162,19 +188,15 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 
 	seq := from
 	for {
-		recs, more, err := sub.Next(r.Context())
+		lines, more, err := sub.Next(r.Context())
 		if err != nil {
 			return // client went away
 		}
-		for _, rec := range recs {
-			data, merr := json.Marshal(&rec)
-			if merr != nil {
-				return
-			}
+		for _, line := range lines {
 			// One event per record, id = its zero-based log offset, data =
 			// exactly the log's JSON line. A client reconnecting with
 			// ?from=<last id + 1> resumes without gaps or duplicates.
-			if _, werr := fmt.Fprintf(w, "id: %d\nevent: record\ndata: %s\n\n", seq, data); werr != nil {
+			if _, werr := fmt.Fprintf(w, "id: %d\nevent: record\ndata: %s\n\n", seq, line[:len(line)-1]); werr != nil {
 				return
 			}
 			seq++
@@ -192,11 +214,11 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+	_, _ = fmt.Fprintf(w, "event: done\ndata: %s\n\n", data) // stream teardown; the client may already be gone
 	fl.Flush()
 }
 
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ok, err := s.mgr.Cancel(id)
 	if err != nil {

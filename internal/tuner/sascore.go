@@ -86,10 +86,21 @@ func newSAObjective(model *xgb.Model, sp *space.Space) *saObjective {
 // scratch; passing an objective built over a different space also falls
 // back to scratch.
 func resetSAObjective(o *saObjective, model *xgb.Model, sp *space.Space) *saObjective {
-	cm := model.Compile()
+	// Compile into the shared arena, then retire the previous round's
+	// compiled form. Order matters: releasing first would let the pool hand
+	// the old arrays straight back while we still read o.cm below. Forks
+	// share o.cm only within a round, and resets happen strictly between
+	// rounds, so by the time the old model is released nothing reads it —
+	// and across sessions the arena lets a fleet daemon reuse one set of
+	// buffers instead of allocating per session per round.
+	cm := model.CompilePooled()
 	if cm.NumFeatures() != sp.FeatureDim() {
 		//lint:ignore panicpath trainModel only ever fits on rows encoded from this space, so a width mismatch is a programming error
 		panic(fmt.Sprintf("tuner: surrogate trained on %d features, space encodes %d", cm.NumFeatures(), sp.FeatureDim()))
+	}
+	if o != nil {
+		o.cm.Release()
+		o.cm = nil
 	}
 	n := sp.NumKnobs()
 	if o == nil || o.sp != sp {

@@ -11,6 +11,7 @@ package xgb
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/par"
 )
@@ -68,17 +69,59 @@ func (c *CompiledModel) maskWords() int { return (c.nfeat + 63) / 64 }
 // Compile flattens the ensemble into the SoA layout. The model remains
 // usable; the compiled form shares no state with it.
 func (m *Model) Compile() *CompiledModel {
-	c := &CompiledModel{base: m.base, nfeat: m.nfeat, ntrees: len(m.trees)}
+	return m.compileInto(&CompiledModel{})
+}
+
+// compiledArena recycles retired CompiledModels across compilations. A
+// surrogate-driven tuning session recompiles its ensemble every round, and
+// a serving fleet opens many sessions; reusing the node/value/mask arrays
+// keeps the per-round cost at "fill the arrays" instead of "allocate and
+// fault them in". Pool discipline is strict transfer of ownership: Release
+// hands the arrays over, and nothing may touch them afterwards.
+var compiledArena = sync.Pool{New: func() any { return &CompiledModel{} }}
+
+// CompilePooled is Compile into a recycled arena slot. The caller owns the
+// result until it passes it to (*CompiledModel).Release.
+func (m *Model) CompilePooled() *CompiledModel {
+	return m.compileInto(compiledArena.Get().(*CompiledModel))
+}
+
+// Release returns a compiled model's arrays to the arena for the next
+// compilation to reuse. The caller must hold the only live reference: any
+// read after Release races with the next CompilePooled.
+func (c *CompiledModel) Release() {
+	if c != nil {
+		compiledArena.Put(c)
+	}
+}
+
+// grown returns s resized to n, reusing its backing array when capacity
+// allows. Contents are unspecified; compileInto overwrites (or zeroes)
+// every element it reads.
+func grown[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// compileInto is Compile writing into c's (possibly recycled) arrays. It
+// fully overwrites every field — the result is bit-identical whether c was
+// zero-valued or held a previous ensemble, which is what makes arena reuse
+// invisible to every golden stream hash.
+func (m *Model) compileInto(c *CompiledModel) *CompiledModel {
+	c.base, c.nfeat, c.ntrees = m.base, m.nfeat, len(m.trees)
 	total := 0
 	for i := range m.trees {
 		total += len(m.trees[i].nodes)
 	}
-	c.off = make([]int32, len(m.trees)+1)
-	c.steps = make([]int32, len(m.trees))
-	c.nodes = make([]cnode, total)
-	c.value = make([]float64, total)
+	c.off = grown(c.off, len(m.trees)+1)
+	c.steps = grown(c.steps, len(m.trees))
+	c.nodes = grown(c.nodes, total)
+	c.value = grown(c.value, total)
 	words := c.maskWords()
-	c.fmask = make([]uint64, len(m.trees)*words)
+	c.fmask = grown(c.fmask, len(m.trees)*words)
+	clear(c.fmask)
 
 	base := int32(0)
 	for ti := range m.trees {
@@ -99,6 +142,7 @@ func (m *Model) Compile() *CompiledModel {
 				left:   base + n.left,
 				right:  base + n.right,
 			}
+			c.value[gi] = 0
 			mask[n.feature>>6] |= 1 << (uint(n.feature) & 63)
 		}
 		c.steps[ti] = treeDepth(nodes)
